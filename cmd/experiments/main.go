@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (see DESIGN.md §5 and EXPERIMENTS.md). Without flags it
+// runs the full suite; -run selects specific experiments and -quick
+// shrinks workloads for a fast smoke pass.
+//
+// Usage:
+//
+//	experiments [-quick] [-run e1,e2,a2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,a1,a2) or 'all'")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		selected[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	want := func(id string) bool { return selected["all"] || selected[id] }
+
+	type exp struct {
+		id  string
+		run func(experiments.Options) ([]*stats.Table, error)
+	}
+	one := func(f func(experiments.Options) (*stats.Table, error)) func(experiments.Options) ([]*stats.Table, error) {
+		return func(o experiments.Options) ([]*stats.Table, error) {
+			t, err := f(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*stats.Table{t}, nil
+		}
+	}
+	suite := []exp{
+		{"e1", one(experiments.E1)},
+		{"e1b", one(experiments.E1b)},
+		{"e2", one(experiments.E2)},
+		{"e3", one(experiments.E3)},
+		{"e4", experiments.E4},
+		{"e5", experiments.E5},
+		{"e6", one(experiments.E6)},
+		{"e7", one(experiments.E7)},
+		{"e8", one(experiments.E8)},
+		{"a1", one(experiments.A1)},
+		{"a2", one(experiments.A2)},
+	}
+
+	failed := false
+	for _, e := range suite {
+		if !want(e.id) {
+			continue
+		}
+		tables, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,235 @@
+// Command mpsim is the co-simulation driver: it builds an MPSoC from
+// command-line flags (masters × interconnect × shared memories), runs a
+// workload, and prints the activity statistics of every component.
+//
+// Examples:
+//
+//	mpsim -isses 4 -memories 4 -workload gsm -frames 20
+//	mpsim -isses 2 -memories 1 -workload traffic -iters 100
+//	mpsim -pes 1 -memories 2 -workload trace -events 5000 -memkind heapsim
+//	mpsim -isses 1 -memories 1 -workload gsm -frames 1 -vcd wave.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		isses    = flag.Int("isses", 0, "number of ISS masters (armlet CPUs)")
+		pes      = flag.Int("pes", 0, "number of native PE masters (trace replay)")
+		memories = flag.Int("memories", 1, "number of shared memory modules")
+		memkind  = flag.String("memkind", "wrapper", "memory model: wrapper | static | heapsim")
+		inter    = flag.String("interconnect", "bus", "interconnect: bus | crossbar")
+		wl       = flag.String("workload", "gsm", "workload: gsm | traffic | trace")
+		frames   = flag.Int("frames", 10, "gsm: frames per ISS")
+		iters    = flag.Int("iters", 50, "traffic: iterations per ISS")
+		events   = flag.Int("events", 10000, "trace: events per PE")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		vcdPath  = flag.String("vcd", "", "write a VCD waveform of the interconnect handshake")
+		profile  = flag.Bool("profile", false, "report host time per module (explains simulation-speed degradation)")
+		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
+	)
+	flag.Parse()
+
+	if *isses == 0 && *pes == 0 {
+		*isses = 4
+	}
+	if *isses > 0 && *pes > 0 {
+		return fmt.Errorf("choose either -isses or -pes")
+	}
+
+	var kind config.MemKind
+	switch *memkind {
+	case "wrapper":
+		kind = config.MemWrapper
+	case "static":
+		kind = config.MemStatic
+	case "heapsim":
+		kind = config.MemHeapSim
+	default:
+		return fmt.Errorf("unknown -memkind %q", *memkind)
+	}
+	var ic config.InterconnectKind
+	switch *inter {
+	case "bus":
+		ic = config.InterBus
+	case "crossbar":
+		ic = config.InterCrossbar
+	default:
+		return fmt.Errorf("unknown -interconnect %q", *inter)
+	}
+
+	masters := *isses + *pes
+	sys, err := config.Build(config.SystemConfig{
+		Masters: masters, Memories: *memories, MemKind: kind, Interconnect: ic,
+	})
+	if err != nil {
+		return err
+	}
+
+	var doneFn func() bool
+	switch {
+	case *isses > 0:
+		var progs [][]byte
+		for i := 0; i < *isses; i++ {
+			var src string
+			switch *wl {
+			case "gsm":
+				src = workload.GSMKernelSource(workload.GSMKernelConfig{
+					Frames: *frames, SM: i % *memories, Seed: uint32(*seed) + uint32(i),
+				})
+			case "traffic":
+				src = workload.TrafficKernelSource(workload.TrafficKernelConfig{
+					Iterations: *iters, SM: i % *memories,
+				})
+			default:
+				return fmt.Errorf("workload %q needs -pes masters", *wl)
+			}
+			p, err := isa.Assemble(src)
+			if err != nil {
+				return fmt.Errorf("assemble iss %d: %w", i, err)
+			}
+			progs = append(progs, p.Code)
+		}
+		if err := sys.AddCPUs(progs...); err != nil {
+			return err
+		}
+		doneFn = sys.CPUsHalted
+	default:
+		if *wl != "trace" {
+			return fmt.Errorf("workload %q needs -isses masters", *wl)
+		}
+		mode := trace.ModeDynamic
+		if kind == config.MemStatic {
+			mode = trace.ModeStatic
+		}
+		for i := 0; i < *pes; i++ {
+			tr := trace.Generate(trace.GenConfig{
+				Seed: *seed + int64(i), Events: *events, Slots: 16, NumSM: *memories,
+				MinDim: 4, MaxDim: 128, DType: bus.U32, Mix: trace.DefaultMix(), PtrArithPct: 20,
+			})
+			if err := sys.AddProcs(trace.ReplayTask(tr, mode, nil)); err != nil {
+				return err
+			}
+		}
+		doneFn = sys.ProcsDone
+	}
+
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		vcd := sim.NewVCD(f, "1ns")
+		for i, w := range sys.Wrappers {
+			w := w
+			vcd.AddVar("mem", fmt.Sprintf("%s_live", w.Name()), 16, func() uint64 {
+				return uint64(w.Table().Len())
+			})
+			_ = i
+		}
+		st := func() uint64 { return sys.Inter.Stats().Transactions }
+		vcd.AddVar("bus", "transactions", 32, st)
+		sys.Kernel.AfterCycle(vcd.Sample)
+		defer vcd.Flush()
+	}
+
+	if *profile {
+		sys.Kernel.EnableProfiling()
+	}
+	start := time.Now()
+	if _, err := sys.Kernel.RunUntil(doneFn, *limit); err != nil {
+		return fmt.Errorf("simulation: %w", err)
+	}
+	wall := time.Since(start)
+	cycles := sys.Kernel.Cycle()
+
+	fmt.Printf("simulated %d cycles in %v (%s cycles/s)\n\n",
+		cycles, wall.Round(time.Millisecond), stats.SI(stats.Rate(cycles, wall)))
+
+	for i, cpu := range sys.CPUs {
+		fmt.Printf("iss%d: exit=%#x instructions=%d stall-cycles=%d\n",
+			i, cpu.ExitCode(), cpu.Icount, cpu.StallCycles)
+		if out := cpu.Console(); out != "" {
+			fmt.Printf("iss%d console: %q\n", i, out)
+		}
+	}
+	if len(sys.CPUs) > 0 {
+		fmt.Println()
+	}
+
+	ist := sys.Inter.Stats()
+	it := stats.NewTable("interconnect", "metric", "value")
+	it.Add("transactions", fmt.Sprint(ist.Transactions))
+	it.Add("words moved", fmt.Sprint(ist.Words))
+	it.Add("busy cycles", fmt.Sprint(ist.BusyCycles))
+	it.Add("bad sm_addr", fmt.Sprint(ist.NoSlave))
+	fmt.Println(it)
+
+	mt := stats.NewTable("memories", "module", "allocs", "frees", "reads", "writes", "bursts", "errors")
+	for _, w := range sys.Wrappers {
+		st := w.Stats()
+		var errs uint64
+		for _, e := range st.Errors {
+			errs += e
+		}
+		mt.Add(w.Name(), fmt.Sprint(st.Ops[bus.OpAlloc]), fmt.Sprint(st.Ops[bus.OpFree]),
+			fmt.Sprint(st.Ops[bus.OpRead]), fmt.Sprint(st.Ops[bus.OpWrite]),
+			fmt.Sprint(st.Ops[bus.OpReadBurst]+st.Ops[bus.OpWriteBurst]), fmt.Sprint(errs))
+	}
+	for _, r := range sys.Statics {
+		st := r.Stats()
+		var errs uint64
+		for _, e := range st.Errors {
+			errs += e
+		}
+		mt.Add(r.Name(), "-", "-", fmt.Sprint(st.Ops[bus.OpRead]), fmt.Sprint(st.Ops[bus.OpWrite]),
+			fmt.Sprint(st.Ops[bus.OpReadBurst]+st.Ops[bus.OpWriteBurst]), fmt.Sprint(errs))
+	}
+	for _, h := range sys.Heaps {
+		st := h.Stats()
+		var errs uint64
+		for _, e := range st.Errors {
+			errs += e
+		}
+		mt.Add(h.Name(), fmt.Sprint(st.Ops[bus.OpAlloc]), fmt.Sprint(st.Ops[bus.OpFree]),
+			fmt.Sprint(st.Ops[bus.OpRead]), fmt.Sprint(st.Ops[bus.OpWrite]),
+			fmt.Sprint(st.Ops[bus.OpReadBurst]+st.Ops[bus.OpWriteBurst]), fmt.Sprint(errs))
+	}
+	fmt.Println(mt)
+
+	if *profile {
+		var total time.Duration
+		rep := sys.Kernel.ProfileReport()
+		for _, r := range rep {
+			total += r.Time
+		}
+		pt := stats.NewTable("host time per module (profiled run)", "module", "time", "share")
+		for _, r := range rep {
+			pt.Add(r.Name, r.Time.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1f%%", 100*float64(r.Time)/float64(total)))
+		}
+		fmt.Println(pt)
+	}
+	return nil
+}

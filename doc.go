@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Fast Dynamic
+// Memory Integration in Co-Simulation Frameworks for Multiprocessor
+// System on-Chip" (O. Villa, P. Schaumont, I. Verbauwhede, M. Monchiero,
+// G. Palermo — DATE 2005).
+//
+// The repository contains the paper's contribution — a cycle-true
+// dynamic shared memory wrapper that maps simulated allocations onto the
+// host's memory management (internal/core) — together with every
+// substrate the original system relied on, rebuilt in pure Go:
+// a cycle-based simulation kernel (internal/sim), an ARM-flavoured
+// instruction-set simulator with assembler (internal/isa, internal/iss),
+// a shared-bus/crossbar interconnect (internal/bus), baseline memory
+// models (internal/mem, internal/heapsim), the software API layer
+// (internal/smapi), and a GSM 06.10 full-rate codec workload
+// (internal/gsm).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results. The benchmarks in bench_test.go regenerate every experiment;
+// cmd/experiments prints the same tables interactively.
+package repro

@@ -1,0 +1,57 @@
+package bus
+
+// Arbiter selects which of several competing masters is granted the
+// shared bus for the next transaction. Pick receives the indices of
+// masters with a pending request (in ascending order) and returns the
+// winner. Pick is only called with a non-empty candidate list.
+type Arbiter interface {
+	// Pick returns the index of the granted master.
+	Pick(pending []int) int
+	// Name identifies the policy in stats and configs.
+	Name() string
+}
+
+// RoundRobin grants the requester following the most recently granted
+// one, guaranteeing starvation freedom. The zero value starts at master 0.
+type RoundRobin struct {
+	last int
+	init bool
+}
+
+// NewRoundRobin returns a round-robin arbiter.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Arbiter.
+func (a *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Arbiter: the first pending index strictly greater than
+// the previous grant wins, wrapping around.
+func (a *RoundRobin) Pick(pending []int) int {
+	if !a.init {
+		a.init = true
+		a.last = pending[0]
+		return pending[0]
+	}
+	for _, i := range pending {
+		if i > a.last {
+			a.last = i
+			return i
+		}
+	}
+	a.last = pending[0]
+	return pending[0]
+}
+
+// FixedPriority always grants the lowest-indexed pending master. Simple
+// and cheap, but can starve high-indexed masters under load; used in the
+// arbitration ablation.
+type FixedPriority struct{}
+
+// NewFixedPriority returns a fixed-priority arbiter.
+func NewFixedPriority() *FixedPriority { return &FixedPriority{} }
+
+// Name implements Arbiter.
+func (FixedPriority) Name() string { return "fixed-priority" }
+
+// Pick implements Arbiter.
+func (FixedPriority) Pick(pending []int) int { return pending[0] }

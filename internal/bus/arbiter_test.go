@@ -1,0 +1,66 @@
+package bus
+
+import "testing"
+
+func TestRoundRobinRotates(t *testing.T) {
+	a := NewRoundRobin()
+	pending := []int{0, 1, 2}
+	var grants []int
+	for i := 0; i < 6; i++ {
+		grants = append(grants, a.Pick(pending))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsIdleMasters(t *testing.T) {
+	a := NewRoundRobin()
+	if got := a.Pick([]int{1, 3}); got != 1 {
+		t.Errorf("first pick = %d, want 1", got)
+	}
+	if got := a.Pick([]int{1, 3}); got != 3 {
+		t.Errorf("second pick = %d, want 3", got)
+	}
+	if got := a.Pick([]int{1, 3}); got != 1 {
+		t.Errorf("third pick = %d, want 1 (wrap)", got)
+	}
+	// After granting 3, a newly pending 0 should win the wrap-around.
+	if got := a.Pick([]int{0, 3}); got != 3 {
+		t.Errorf("fourth pick = %d, want 3 (next after 1)", got)
+	}
+	if got := a.Pick([]int{0, 2}); got != 0 {
+		t.Errorf("fifth pick = %d, want 0 (wrap past 3)", got)
+	}
+}
+
+func TestRoundRobinSingleMaster(t *testing.T) {
+	a := NewRoundRobin()
+	for i := 0; i < 3; i++ {
+		if got := a.Pick([]int{2}); got != 2 {
+			t.Fatalf("pick = %d, want 2", got)
+		}
+	}
+}
+
+func TestFixedPriorityAlwaysLowest(t *testing.T) {
+	a := NewFixedPriority()
+	if got := a.Pick([]int{0, 1, 2}); got != 0 {
+		t.Errorf("pick = %d, want 0", got)
+	}
+	if got := a.Pick([]int{1, 2}); got != 1 {
+		t.Errorf("pick = %d, want 1", got)
+	}
+}
+
+func TestArbiterNames(t *testing.T) {
+	if NewRoundRobin().Name() != "round-robin" {
+		t.Error("round-robin name wrong")
+	}
+	if NewFixedPriority().Name() != "fixed-priority" {
+		t.Error("fixed-priority name wrong")
+	}
+}

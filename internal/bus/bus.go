@@ -1,0 +1,164 @@
+package bus
+
+import (
+	"repro/internal/sim"
+)
+
+// Stats aggregates interconnect activity counters. All counters are in
+// units of transactions, bus words, or cycles of the simulated clock.
+type Stats struct {
+	Transactions uint64
+	Words        uint64 // request + response words moved
+	BusyCycles   uint64 // cycles the interconnect was occupied
+	PerOp        [NumOps]uint64
+	PerMaster    []uint64 // grants per master
+	PerSlave     []uint64 // transactions per slave
+	NoSlave      uint64   // requests addressed to a nonexistent sm_addr
+}
+
+type busState uint8
+
+const (
+	busIdle busState = iota
+	busReqXfer
+	busWaitSlave
+	busRespXfer
+)
+
+// Bus is the shared interconnect: all masters compete for a single
+// transaction channel, one transaction occupies the bus end-to-end
+// (request words, slave wait, response words). This is the paper's
+// INTERCONNECT box: ISSs on one side, shared memories on the other.
+//
+// Timing model: moving one word costs WordCycles bus cycles (default 1).
+// While the slave processes, the bus is held (a simple, common on-chip
+// bus without split transactions — the conservative choice for the
+// paper's era; the Crossbar relaxes this for the A1 ablation).
+type Bus struct {
+	name    string
+	masters []*Link
+	slaves  []*Link
+	arb     Arbiter
+
+	// WordCycles is the bus occupancy per transferred word. Configure
+	// before simulation starts; 0 is treated as 1.
+	WordCycles uint32
+
+	state     busState
+	cur       Request
+	curMaster int
+	counter   uint32
+
+	stats Stats
+}
+
+// NewBus creates a shared bus connecting the given master-side links to
+// the given slave-side links, arbitrated by arb. Slave i serves requests
+// whose SM field equals i. The bus registers itself with the kernel.
+func NewBus(k *sim.Kernel, name string, masters, slaves []*Link, arb Arbiter) *Bus {
+	b := &Bus{
+		name:       name,
+		masters:    masters,
+		slaves:     slaves,
+		arb:        arb,
+		WordCycles: 1,
+		stats: Stats{
+			PerMaster: make([]uint64, len(masters)),
+			PerSlave:  make([]uint64, len(slaves)),
+		},
+	}
+	k.Add(b)
+	return b
+}
+
+// Name implements sim.Module.
+func (b *Bus) Name() string { return b.name }
+
+// Stats returns a snapshot of the accumulated counters.
+func (b *Bus) Stats() Stats {
+	s := b.stats
+	s.PerMaster = append([]uint64(nil), b.stats.PerMaster...)
+	s.PerSlave = append([]uint64(nil), b.stats.PerSlave...)
+	return s
+}
+
+func (b *Bus) wordCycles(words uint32) uint32 {
+	wc := b.WordCycles
+	if wc == 0 {
+		wc = 1
+	}
+	return words * wc
+}
+
+// Tick implements sim.Module: a four-state transaction engine.
+func (b *Bus) Tick(cycle uint64) {
+	switch b.state {
+	case busIdle:
+		var pending []int
+		for i, m := range b.masters {
+			if m.Pending() {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			return
+		}
+		gi := b.arb.Pick(pending)
+		req, ok := b.masters[gi].TakeRequest()
+		if !ok {
+			return // unreachable if Pending was true, but stay safe
+		}
+		req.Master = gi
+		b.cur = req
+		b.curMaster = gi
+		b.stats.Transactions++
+		b.stats.PerMaster[gi]++
+		b.stats.PerOp[req.Op]++
+		b.stats.Words += uint64(req.WireWords())
+		b.counter = b.wordCycles(req.WireWords())
+		b.state = busReqXfer
+		b.stats.BusyCycles++
+
+	case busReqXfer:
+		b.stats.BusyCycles++
+		if b.counter > 0 {
+			b.counter--
+		}
+		if b.counter > 0 {
+			return
+		}
+		if b.cur.SM < 0 || b.cur.SM >= len(b.slaves) {
+			b.stats.NoSlave++
+			b.masters[b.curMaster].Complete(Response{Err: ErrNoSlave})
+			b.state = busIdle
+			return
+		}
+		b.stats.PerSlave[b.cur.SM]++
+		b.slaves[b.cur.SM].Issue(b.cur)
+		b.state = busWaitSlave
+
+	case busWaitSlave:
+		b.stats.BusyCycles++
+		resp, ok := b.slaves[b.cur.SM].Response()
+		if !ok {
+			return
+		}
+		b.cur = Request{SM: b.cur.SM} // keep routing info, drop payload
+		b.stats.Words += uint64(resp.WireWords())
+		b.counter = b.wordCycles(resp.WireWords())
+		b.masters[b.curMaster].Complete(resp)
+		b.state = busRespXfer
+
+	case busRespXfer:
+		// The response words occupy the bus after completion has been
+		// signalled; the master observes the response when the signal
+		// commits, while the bus remains busy draining the payload.
+		b.stats.BusyCycles++
+		if b.counter > 0 {
+			b.counter--
+		}
+		if b.counter == 0 {
+			b.state = busIdle
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package bus
+
+import (
+	"repro/internal/sim"
+)
+
+// Crossbar is a full crossbar interconnect: each slave has an independent
+// transaction channel, so transactions to different memories proceed in
+// parallel. Masters competing for the same slave are arbitrated per
+// slave. Used by the A1 ablation to quantify how much of the multi-memory
+// slowdown of experiment E1 is interconnect serialization versus kernel
+// per-module overhead.
+type Crossbar struct {
+	name    string
+	masters []*Link
+	slaves  []*Link
+	arbs    []Arbiter
+
+	// WordCycles is the per-word occupancy of each crossbar lane.
+	WordCycles uint32
+
+	lanes []xbarLane
+	stats Stats
+}
+
+type xbarLane struct {
+	state     busState
+	cur       Request
+	curMaster int
+	counter   uint32
+}
+
+// NewCrossbar creates a crossbar connecting masters to slaves. newArb is
+// invoked once per slave to create that lane's arbiter (arbiters are
+// stateful, so they cannot be shared).
+func NewCrossbar(k *sim.Kernel, name string, masters, slaves []*Link, newArb func() Arbiter) *Crossbar {
+	x := &Crossbar{
+		name:       name,
+		masters:    masters,
+		slaves:     slaves,
+		WordCycles: 1,
+		lanes:      make([]xbarLane, len(slaves)),
+		stats: Stats{
+			PerMaster: make([]uint64, len(masters)),
+			PerSlave:  make([]uint64, len(slaves)),
+		},
+	}
+	for range slaves {
+		x.arbs = append(x.arbs, newArb())
+	}
+	k.Add(x)
+	return x
+}
+
+// Name implements sim.Module.
+func (x *Crossbar) Name() string { return x.name }
+
+// Stats returns a snapshot of the accumulated counters. BusyCycles counts
+// lane-cycles (two lanes busy in one cycle count twice).
+func (x *Crossbar) Stats() Stats {
+	s := x.stats
+	s.PerMaster = append([]uint64(nil), x.stats.PerMaster...)
+	s.PerSlave = append([]uint64(nil), x.stats.PerSlave...)
+	return s
+}
+
+func (x *Crossbar) wordCycles(words uint32) uint32 {
+	wc := x.WordCycles
+	if wc == 0 {
+		wc = 1
+	}
+	return words * wc
+}
+
+// Tick implements sim.Module. Each lane runs the same four-state engine
+// as the shared Bus, restricted to requests targeting its slave. A master
+// with an in-flight request on one lane cannot issue on another (the Link
+// enforces single-outstanding), so no cross-lane conflict handling is
+// needed on the master side. Requests to nonexistent slaves are rejected
+// by lane 0 to keep error semantics identical to Bus.
+func (x *Crossbar) Tick(cycle uint64) {
+	// Reject out-of-range sm_addr centrally (lane 0 duty).
+	for mi, m := range x.masters {
+		if m.Pending() {
+			if sm := m.PeekRequest().SM; sm < 0 || sm >= len(x.slaves) {
+				if req, ok := m.TakeRequest(); ok {
+					_ = req
+					x.stats.NoSlave++
+					x.stats.Transactions++
+					x.stats.PerMaster[mi]++
+					m.Complete(Response{Err: ErrNoSlave})
+				}
+			}
+		}
+	}
+	for si := range x.lanes {
+		x.tickLane(si)
+	}
+}
+
+func (x *Crossbar) tickLane(si int) {
+	ln := &x.lanes[si]
+	switch ln.state {
+	case busIdle:
+		var pending []int
+		for mi, m := range x.masters {
+			if m.Pending() && m.PeekRequest().SM == si {
+				pending = append(pending, mi)
+			}
+		}
+		if len(pending) == 0 {
+			return
+		}
+		gi := x.arbs[si].Pick(pending)
+		req, ok := x.masters[gi].TakeRequest()
+		if !ok {
+			return
+		}
+		req.Master = gi
+		ln.cur = req
+		ln.curMaster = gi
+		x.stats.Transactions++
+		x.stats.PerMaster[gi]++
+		x.stats.PerOp[req.Op]++
+		x.stats.PerSlave[si]++
+		x.stats.Words += uint64(req.WireWords())
+		ln.counter = x.wordCycles(req.WireWords())
+		ln.state = busReqXfer
+		x.stats.BusyCycles++
+
+	case busReqXfer:
+		x.stats.BusyCycles++
+		if ln.counter > 0 {
+			ln.counter--
+		}
+		if ln.counter > 0 {
+			return
+		}
+		x.slaves[si].Issue(ln.cur)
+		ln.state = busWaitSlave
+
+	case busWaitSlave:
+		x.stats.BusyCycles++
+		resp, ok := x.slaves[si].Response()
+		if !ok {
+			return
+		}
+		x.stats.Words += uint64(resp.WireWords())
+		ln.counter = x.wordCycles(resp.WireWords())
+		x.masters[ln.curMaster].Complete(resp)
+		ln.cur = Request{}
+		ln.state = busRespXfer
+
+	case busRespXfer:
+		x.stats.BusyCycles++
+		if ln.counter > 0 {
+			ln.counter--
+		}
+		if ln.counter == 0 {
+			ln.state = busIdle
+		}
+	}
+}

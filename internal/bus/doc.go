@@ -1,0 +1,21 @@
+// Package bus provides the on-chip interconnect of the simulated MPSoC:
+// transaction types, cycle-true master/slave handshake links, a shared bus
+// with pluggable arbitration, and a crossbar used for ablation studies.
+//
+// The paper's system connects several ISSs (masters) to several shared
+// memory modules (slaves) through an interconnect. Every transaction
+// carries an operation code and a shared-memory address (sm_addr) "as the
+// first data of every transaction"; the remaining operands depend on the
+// operation (allocation carries a size and data type, writes carry a
+// virtual pointer and data, and so on). This package models that
+// transaction vocabulary in the Request/Response pair, and the
+// cycle-by-cycle handshake in Link.
+//
+// Handshake discipline. A Link is a single-outstanding-transaction
+// connection. The master issues a request; one cycle later the slave can
+// observe and latch it; after the slave completes, one further cycle
+// elapses before the master observes the response. The two-cycle minimum
+// round trip is the cost of registered (cycle-true) communication and is
+// deliberate: it matches the paper's statement that "incoming signals are
+// evaluated cycle by cycle".
+package bus

@@ -1,0 +1,109 @@
+package bus
+
+import (
+	"repro/internal/sim"
+)
+
+// Link is a cycle-true, single-outstanding-transaction connection between
+// one master and one slave. The handshake is carried by two sequence
+// signals: the master advances reqSeq when issuing, the slave advances
+// ackSeq when completing. Because signals commit at cycle boundaries, the
+// slave observes a request at the earliest one cycle after Issue, and the
+// master observes the response one cycle after Complete — the registered
+// "evaluated cycle by cycle" protocol of the paper.
+//
+// Payloads ride alongside the handshake in plain fields. This is safe:
+// the master writes req strictly before advancing reqSeq (and never while
+// a transaction is outstanding), and the slave writes resp strictly
+// before advancing ackSeq. Timing fidelity for multi-word payloads is the
+// slave FSM's responsibility (it stalls WireWords cycles; see the wrapper).
+type Link struct {
+	name   string
+	reqSeq *sim.Signal[uint64]
+	ackSeq *sim.Signal[uint64]
+
+	req  Request
+	resp Response
+
+	taken    uint64 // slave-side: highest reqSeq already latched
+	consumed uint64 // master-side: highest ackSeq already consumed
+}
+
+// NewLink creates a link registered with kernel k.
+func NewLink(k *sim.Kernel, name string) *Link {
+	return &Link{
+		name:   name,
+		reqSeq: sim.NewSignal(k, name+".reqSeq", uint64(0)),
+		ackSeq: sim.NewSignal(k, name+".ackSeq", uint64(0)),
+	}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// --- master side ---
+
+// Idle reports whether the master may issue a new request: no request is
+// in flight (including one issued earlier in the current cycle) and the
+// previous response has been consumed.
+func (l *Link) Idle() bool {
+	return l.reqSeq.Pending() == l.ackSeq.Get() && l.consumed == l.ackSeq.Get()
+}
+
+// Issue sends a request. It panics if the link is not Idle; masters are
+// expected to check. The slave can observe the request from the next
+// cycle onward.
+func (l *Link) Issue(r Request) {
+	if !l.Idle() {
+		panic("bus: Issue on busy link " + l.name)
+	}
+	l.req = r
+	l.reqSeq.Set(l.reqSeq.Get() + 1)
+}
+
+// Response returns the completed response exactly once per transaction.
+// The second return is false while the transaction is still in flight or
+// when no transaction exists.
+func (l *Link) Response() (Response, bool) {
+	ack := l.ackSeq.Get()
+	if ack == l.reqSeq.Get() && ack > l.consumed {
+		l.consumed = ack
+		return l.resp, true
+	}
+	return Response{}, false
+}
+
+// Busy reports whether a transaction is in flight (issued and not yet
+// consumed by the master).
+func (l *Link) Busy() bool { return !l.Idle() }
+
+// --- slave side ---
+
+// TakeRequest latches a newly visible request exactly once. The slave
+// calls it each cycle; it returns ok=false when there is nothing new.
+func (l *Link) TakeRequest() (Request, bool) {
+	seq := l.reqSeq.Get()
+	if seq > l.taken && seq > l.ackSeq.Get() {
+		l.taken = seq
+		return l.req, true
+	}
+	return Request{}, false
+}
+
+// Complete publishes the response for the most recently taken request.
+// The master can observe it from the next cycle onward.
+func (l *Link) Complete(p Response) {
+	l.resp = p
+	l.ackSeq.Set(l.ackSeq.Get() + 1)
+}
+
+// Pending reports whether an unserved request is visible to the slave
+// without latching it (used by arbiters to inspect demand).
+func (l *Link) Pending() bool {
+	seq := l.reqSeq.Get()
+	return seq > l.taken && seq > l.ackSeq.Get()
+}
+
+// PeekRequest returns the visible unserved request without latching it.
+// Valid only when Pending reports true.
+func (l *Link) PeekRequest() Request { return l.req }

@@ -1,0 +1,279 @@
+// Package config assembles complete simulated systems — processing
+// elements, interconnect and memory modules — from a declarative
+// description. It is the composition root the examples, experiments and
+// benchmarks share, mirroring the paper's Figure 2 topology: n masters
+// (ISSs or native PEs) × one interconnect × p shared memories.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/heapsim"
+	"repro/internal/iss"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/smapi"
+)
+
+// MemKind selects the memory model instantiated for every module.
+type MemKind int
+
+const (
+	// MemWrapper is the paper's host-backed dynamic shared memory.
+	MemWrapper MemKind = iota
+	// MemStatic is the traditional static table memory.
+	MemStatic
+	// MemHeapSim is the detailed in-simulation allocator model.
+	MemHeapSim
+)
+
+// String names the kind for reports.
+func (k MemKind) String() string {
+	switch k {
+	case MemWrapper:
+		return "wrapper"
+	case MemStatic:
+		return "static"
+	case MemHeapSim:
+		return "heapsim"
+	default:
+		return fmt.Sprintf("MemKind(%d)", int(k))
+	}
+}
+
+// InterconnectKind selects the interconnect topology.
+type InterconnectKind int
+
+const (
+	// InterBus is the shared arbitrated bus (the paper's configuration).
+	InterBus InterconnectKind = iota
+	// InterCrossbar gives every memory an independent channel (A1
+	// ablation).
+	InterCrossbar
+)
+
+// String names the interconnect for reports.
+func (k InterconnectKind) String() string {
+	if k == InterCrossbar {
+		return "crossbar"
+	}
+	return "bus"
+}
+
+// SystemConfig describes a system to build.
+type SystemConfig struct {
+	// Masters is the number of master ports (PEs or ISSs).
+	Masters int
+	// Memories is the number of shared memory modules.
+	Memories int
+	// MemKind selects the memory model (default MemWrapper).
+	MemKind MemKind
+	// MemBytes is the per-module capacity (wrapper TotalSize, static
+	// table size, heapsim arena). Default 1 MiB.
+	MemBytes uint32
+	// Interconnect selects bus or crossbar.
+	Interconnect InterconnectKind
+	// FixedPriority selects the fixed-priority arbiter instead of
+	// round-robin.
+	FixedPriority bool
+	// BusWordCycles is the interconnect's per-word occupancy (default 1).
+	BusWordCycles uint32
+	// WrapperDelays overrides the wrapper timing (nil → DefaultDelays).
+	WrapperDelays *core.DelayParams
+	// StaticDelays overrides static RAM timing (nil → DefaultDelays).
+	StaticDelays *mem.Delays
+	// HeapWordLatency is heapsim's per-metadata-word cost (default 1).
+	HeapWordLatency uint32
+	// Endian sets the wrapper's simulated byte order.
+	Endian core.Endian
+	// LinearLookup forces the wrapper's linear pointer-table search
+	// (ablation A2).
+	LinearLookup bool
+	// EnforceReadReservation extends wrapper reservations to reads.
+	EnforceReadReservation bool
+}
+
+// Interconnect is the common face of Bus and Crossbar.
+type Interconnect interface {
+	sim.Module
+	Stats() bus.Stats
+}
+
+// System is a fully wired simulated platform.
+type System struct {
+	Kernel      *sim.Kernel
+	MasterLinks []*bus.Link
+	SlaveLinks  []*bus.Link
+	Inter       Interconnect
+
+	Wrappers []*core.Wrapper
+	Statics  []*mem.StaticRAM
+	Heaps    []*heapsim.HeapMem
+
+	Procs []*smapi.Proc
+	CPUs  []*iss.CPU
+
+	Cfg SystemConfig
+}
+
+// Build wires a system. Masters are created as bare links; attach
+// software with AddProcs or AddCPUs (or drive the links directly).
+func Build(cfg SystemConfig) (*System, error) {
+	if cfg.Masters <= 0 {
+		return nil, fmt.Errorf("config: need at least one master, got %d", cfg.Masters)
+	}
+	if cfg.Memories <= 0 {
+		return nil, fmt.Errorf("config: need at least one memory, got %d", cfg.Memories)
+	}
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 1 << 20
+	}
+	k := sim.New()
+	sys := &System{Kernel: k, Cfg: cfg}
+
+	for i := 0; i < cfg.Masters; i++ {
+		sys.MasterLinks = append(sys.MasterLinks, bus.NewLink(k, fmt.Sprintf("m%d", i)))
+	}
+	for i := 0; i < cfg.Memories; i++ {
+		link := bus.NewLink(k, fmt.Sprintf("s%d", i))
+		sys.SlaveLinks = append(sys.SlaveLinks, link)
+		name := fmt.Sprintf("%s%d", cfg.MemKind, i)
+		switch cfg.MemKind {
+		case MemWrapper:
+			delays := core.DefaultDelays()
+			if cfg.WrapperDelays != nil {
+				delays = *cfg.WrapperDelays
+			}
+			w := core.NewWrapper(k, core.Config{
+				Name:                   name,
+				TotalSize:              cfg.MemBytes,
+				Endian:                 cfg.Endian,
+				Delays:                 delays,
+				LinearLookup:           cfg.LinearLookup,
+				EnforceReadReservation: cfg.EnforceReadReservation,
+			}, link)
+			sys.Wrappers = append(sys.Wrappers, w)
+		case MemStatic:
+			delays := mem.DefaultDelays()
+			if cfg.StaticDelays != nil {
+				delays = *cfg.StaticDelays
+			}
+			r := mem.NewStaticRAM(k, mem.Config{Name: name, Size: cfg.MemBytes, Delays: delays}, link)
+			sys.Statics = append(sys.Statics, r)
+		case MemHeapSim:
+			h := heapsim.NewHeapMem(k, heapsim.Config{
+				Name:        name,
+				ArenaSize:   cfg.MemBytes,
+				WordLatency: cfg.HeapWordLatency,
+				Decode:      1,
+				Read:        1,
+				Write:       1,
+				BurstBase:   1, BurstPerElem: 1,
+			}, link)
+			sys.Heaps = append(sys.Heaps, h)
+		default:
+			return nil, fmt.Errorf("config: unknown memory kind %d", cfg.MemKind)
+		}
+	}
+
+	newArb := func() bus.Arbiter {
+		if cfg.FixedPriority {
+			return bus.NewFixedPriority()
+		}
+		return bus.NewRoundRobin()
+	}
+	switch cfg.Interconnect {
+	case InterBus:
+		b := bus.NewBus(k, "bus", sys.MasterLinks, sys.SlaveLinks, newArb())
+		if cfg.BusWordCycles > 0 {
+			b.WordCycles = cfg.BusWordCycles
+		}
+		sys.Inter = b
+	case InterCrossbar:
+		x := bus.NewCrossbar(k, "xbar", sys.MasterLinks, sys.SlaveLinks, newArb)
+		if cfg.BusWordCycles > 0 {
+			x.WordCycles = cfg.BusWordCycles
+		}
+		sys.Inter = x
+	default:
+		return nil, fmt.Errorf("config: unknown interconnect %d", cfg.Interconnect)
+	}
+	return sys, nil
+}
+
+// attached returns the number of master links already claimed by Procs
+// and CPUs; further masters attach after them.
+func (s *System) attached() int { return len(s.Procs) + len(s.CPUs) }
+
+// AddProcs attaches one native software task per free master link, in
+// order after any already-attached masters. Leaving links bare is legal
+// (for DMA engines or direct driving).
+func (s *System) AddProcs(tasks ...smapi.Task) error {
+	base := s.attached()
+	if base+len(tasks) > len(s.MasterLinks) {
+		return fmt.Errorf("config: %d tasks but only %d of %d masters free",
+			len(tasks), len(s.MasterLinks)-base, len(s.MasterLinks))
+	}
+	for i, task := range tasks {
+		idx := base + i
+		p := smapi.NewProc(s.Kernel, fmt.Sprintf("pe%d", idx), idx, s.MasterLinks[idx], task)
+		s.Procs = append(s.Procs, p)
+	}
+	return nil
+}
+
+// AddCPUs attaches one ISS per free master link running the given
+// program images, in order after any already-attached masters.
+func (s *System) AddCPUs(progs ...[]byte) error {
+	base := s.attached()
+	if base+len(progs) > len(s.MasterLinks) {
+		return fmt.Errorf("config: %d programs but only %d of %d masters free",
+			len(progs), len(s.MasterLinks)-base, len(s.MasterLinks))
+	}
+	for i, prog := range progs {
+		idx := base + i
+		cpu, err := iss.New(s.Kernel, iss.Config{
+			Name: fmt.Sprintf("iss%d", idx),
+			Prog: prog,
+			Link: s.MasterLinks[idx],
+		})
+		if err != nil {
+			return fmt.Errorf("config: cpu %d: %w", idx, err)
+		}
+		s.CPUs = append(s.CPUs, cpu)
+	}
+	return nil
+}
+
+// NextFreeMaster returns the index of the first master link with no
+// Proc or CPU attached, for wiring additional devices (DMA engines,
+// custom masters). It returns -1 when every link is taken. Devices
+// claimed this way are not tracked; attach them last.
+func (s *System) NextFreeMaster() int {
+	if used := s.attached(); used < len(s.MasterLinks) {
+		return used
+	}
+	return -1
+}
+
+// ProcsDone reports whether every attached Proc has finished.
+func (s *System) ProcsDone() bool {
+	for _, p := range s.Procs {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// CPUsHalted reports whether every attached CPU has halted.
+func (s *System) CPUsHalted() bool {
+	for _, c := range s.CPUs {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package core
+
+import "repro/internal/bus"
+
+// DelayParams are the wrapper's timing knobs: the "set of delay
+// parameters" the paper's FSM uses to guarantee simulation accuracy.
+// All values are in cycles of the simulated clock. The functional effect
+// of an operation is applied when its delay expires, so observable timing
+// is exact regardless of the host's speed.
+type DelayParams struct {
+	// Decode is charged for every transaction: the cycles the FSM spends
+	// evaluating the opcode and sm_addr that arrive first.
+	Decode uint32
+
+	// Alloc is the base allocation latency; AllocPerKB adds a
+	// size-dependent component per started KiB (modelling a hardware
+	// allocator/zeroing engine).
+	Alloc      uint32
+	AllocPerKB uint32
+
+	// Read and Write are scalar element access latencies.
+	Read  uint32
+	Write uint32
+
+	// Free is the deallocation latency.
+	Free uint32
+
+	// Reserve is charged for reservation and release operations.
+	Reserve uint32
+
+	// BurstBase plus BurstPerElem×n time the I/O-array transfers used for
+	// indexed structures.
+	BurstBase    uint32
+	BurstPerElem uint32
+
+	// DataDep, when non-nil, returns extra cycles for a request — the
+	// paper's dynamic, data-dependent latency hook (e.g. row-miss
+	// penalties keyed on the address).
+	DataDep func(req bus.Request) uint32
+}
+
+// DefaultDelays returns timing for a single-cycle-ish on-chip SRAM with a
+// small allocation and deallocation cost. These are the parameters used
+// by the experiments unless stated otherwise.
+func DefaultDelays() DelayParams {
+	return DelayParams{
+		Decode:       1,
+		Alloc:        4,
+		AllocPerKB:   0,
+		Read:         1,
+		Write:        1,
+		Free:         2,
+		Reserve:      1,
+		BurstBase:    1,
+		BurstPerElem: 1,
+	}
+}
+
+// opCycles returns the total service delay for req (excluding Decode).
+func (d *DelayParams) opCycles(req bus.Request) uint32 {
+	var c uint32
+	switch req.Op {
+	case bus.OpAlloc:
+		c = d.Alloc
+		if d.AllocPerKB > 0 {
+			bytes := uint64(req.Dim) * uint64(req.DType.Size())
+			c += d.AllocPerKB * uint32((bytes+1023)/1024)
+		}
+	case bus.OpRead:
+		c = d.Read
+	case bus.OpWrite:
+		c = d.Write
+	case bus.OpFree:
+		c = d.Free
+	case bus.OpReserve, bus.OpRelease:
+		c = d.Reserve
+	case bus.OpReadBurst:
+		c = d.BurstBase + d.BurstPerElem*req.Dim
+	case bus.OpWriteBurst:
+		c = d.BurstBase + d.BurstPerElem*uint32(len(req.Burst))
+	}
+	if d.DataDep != nil {
+		c += d.DataDep(req)
+	}
+	return c
+}

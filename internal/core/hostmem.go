@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HostAllocator abstracts the host machine's dynamic memory functions that
+// the translator invokes on behalf of the simulated system. Alloc has
+// calloc semantics: the returned buffer must be zeroed. Free releases a
+// buffer previously returned by Alloc.
+//
+// Putting the host behind an interface serves the same purpose the OS API
+// boundary serves in the paper's host layer: the wrapper's functional part
+// is independent of *how* host memory is produced, which also lets tests
+// count host calls and inject allocation failures.
+type HostAllocator interface {
+	Alloc(size uint32) ([]byte, error)
+	Free(buf []byte)
+}
+
+// GoAllocator is the production HostAllocator: it maps simulated
+// allocations onto the Go heap. Go's make zeroes memory, giving calloc
+// semantics directly; Free drops the reference and leaves reclamation to
+// the garbage collector, the Go equivalent of returning pages to the
+// host OS.
+type GoAllocator struct{}
+
+// Alloc implements HostAllocator.
+func (GoAllocator) Alloc(size uint32) ([]byte, error) {
+	return make([]byte, size), nil
+}
+
+// Free implements HostAllocator.
+func (GoAllocator) Free(buf []byte) {}
+
+// CountingAllocator wraps another allocator and counts traffic. Used by
+// experiments to report host-call rates and by tests to assert the
+// wrapper performs exactly one host call per simulated allocation.
+type CountingAllocator struct {
+	Inner HostAllocator // defaults to GoAllocator when nil
+
+	Allocs     uint64
+	Frees      uint64
+	BytesAlloc uint64
+	LiveBytes  uint64
+}
+
+// Alloc implements HostAllocator.
+func (c *CountingAllocator) Alloc(size uint32) ([]byte, error) {
+	inner := c.Inner
+	if inner == nil {
+		inner = GoAllocator{}
+	}
+	buf, err := inner.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	c.Allocs++
+	c.BytesAlloc += uint64(size)
+	c.LiveBytes += uint64(size)
+	return buf, nil
+}
+
+// Free implements HostAllocator.
+func (c *CountingAllocator) Free(buf []byte) {
+	inner := c.Inner
+	if inner == nil {
+		inner = GoAllocator{}
+	}
+	c.Frees++
+	c.LiveBytes -= uint64(len(buf))
+	inner.Free(buf)
+}
+
+// ErrHostExhausted is returned by FailingAllocator once its budget is
+// spent, standing in for host out-of-memory.
+var ErrHostExhausted = errors.New("core: host allocator exhausted")
+
+// FailingAllocator succeeds for the first AllowAllocs allocations and
+// fails afterwards. It injects host out-of-memory into tests; the wrapper
+// must surface this as the in-band ErrHost response, never as a crash.
+type FailingAllocator struct {
+	AllowAllocs uint64
+	done        uint64
+}
+
+// Alloc implements HostAllocator.
+func (f *FailingAllocator) Alloc(size uint32) ([]byte, error) {
+	if f.done >= f.AllowAllocs {
+		return nil, fmt.Errorf("%w (after %d allocations)", ErrHostExhausted, f.done)
+	}
+	f.done++
+	return make([]byte, size), nil
+}
+
+// Free implements HostAllocator.
+func (f *FailingAllocator) Free(buf []byte) {}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGoAllocatorZeroes(t *testing.T) {
+	buf, err := GoAllocator{}.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 64 {
+		t.Fatalf("len = %d, want 64", len(buf))
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0 (calloc semantics)", i, b)
+		}
+	}
+	GoAllocator{}.Free(buf) // must not panic
+}
+
+func TestCountingAllocator(t *testing.T) {
+	c := &CountingAllocator{}
+	a, err := c.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Allocs != 2 || c.BytesAlloc != 30 || c.LiveBytes != 30 {
+		t.Errorf("counts = %d/%d/%d, want 2/30/30", c.Allocs, c.BytesAlloc, c.LiveBytes)
+	}
+	c.Free(a)
+	if c.Frees != 1 || c.LiveBytes != 20 {
+		t.Errorf("after free: %d/%d, want 1/20", c.Frees, c.LiveBytes)
+	}
+	c.Free(b)
+	if c.LiveBytes != 0 {
+		t.Errorf("LiveBytes = %d, want 0", c.LiveBytes)
+	}
+}
+
+func TestCountingAllocatorWrapsInner(t *testing.T) {
+	inner := &FailingAllocator{AllowAllocs: 1}
+	c := &CountingAllocator{Inner: inner}
+	if _, err := c.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc(4); !errors.Is(err, ErrHostExhausted) {
+		t.Fatalf("err = %v, want ErrHostExhausted", err)
+	}
+	// Failed allocations are not counted.
+	if c.Allocs != 1 {
+		t.Errorf("Allocs = %d, want 1", c.Allocs)
+	}
+}
+
+func TestFailingAllocator(t *testing.T) {
+	f := &FailingAllocator{AllowAllocs: 2}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Alloc(8); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := f.Alloc(8); !errors.Is(err, ErrHostExhausted) {
+		t.Fatalf("err = %v, want ErrHostExhausted", err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bus"
+)
+
+// TestWrapperLatencyFormulaProperty fuzzes delay configurations and
+// operations, asserting the exact latency law the wrapper guarantees:
+//
+//	observed = 2 (registered handshake) + Decode + opCycles(req)
+//
+// This is experiment E4's accuracy claim as a property: simulated timing
+// is *exactly* the configured timing, for every operation and parameter
+// combination, including burst lengths and the data-dependent hook.
+func TestWrapperLatencyFormulaProperty(t *testing.T) {
+	prop := func(decode, rd, wr, al, fr, bb, bpe uint8, dims uint8, opSel uint8, dataDep uint8) bool {
+		delays := DelayParams{
+			Decode:       uint32(decode % 8),
+			Read:         uint32(rd % 8),
+			Write:        uint32(wr % 8),
+			Alloc:        uint32(al % 8),
+			Free:         uint32(fr % 8),
+			Reserve:      1,
+			BurstBase:    uint32(bb % 8),
+			BurstPerElem: uint32(bpe % 4),
+		}
+		extra := uint32(dataDep % 5)
+		if extra > 0 {
+			delays.DataDep = func(bus.Request) uint32 { return extra }
+		}
+		h := newHarness(t, Config{Delays: delays})
+
+		dim := uint32(dims%16) + 1
+		vptr := h.mustAlloc(dim, bus.U32)
+		allocLat := uint64(2 + delays.Decode + delays.Alloc + extra)
+		// (mustAlloc already consumed the alloc; re-derive its latency
+		// with a second allocation so the formula is checked for ALLOC
+		// too.)
+		_, gotAlloc := h.do(bus.Request{Op: bus.OpAlloc, Dim: dim, DType: bus.U32})
+		if gotAlloc != allocLat {
+			return false
+		}
+
+		var req bus.Request
+		var opCyc uint32
+		switch opSel % 5 {
+		case 0:
+			req = bus.Request{Op: bus.OpRead, VPtr: vptr}
+			opCyc = delays.Read
+		case 1:
+			req = bus.Request{Op: bus.OpWrite, VPtr: vptr, Data: 1}
+			opCyc = delays.Write
+		case 2:
+			req = bus.Request{Op: bus.OpReadBurst, VPtr: vptr, Dim: dim}
+			opCyc = delays.BurstBase + delays.BurstPerElem*dim
+		case 3:
+			req = bus.Request{Op: bus.OpWriteBurst, VPtr: vptr, Burst: make([]uint32, dim)}
+			opCyc = delays.BurstBase + delays.BurstPerElem*dim
+		case 4:
+			req = bus.Request{Op: bus.OpFree, VPtr: vptr}
+			opCyc = delays.Free
+		}
+		resp, got := h.do(req)
+		if resp.Err != bus.OK {
+			return false
+		}
+		return got == uint64(2+delays.Decode+opCyc+extra)
+	}
+	cfg := &quick.Config{MaxCount: 60} // each case builds a kernel
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import "repro/internal/bus"
+
+// RowBufferDelay returns a DataDep hook modelling an open-row DRAM-style
+// memory behind the wrapper: accesses to the most recently touched row
+// (of size 1<<rowShift bytes, by virtual address) cost nothing extra,
+// while a row change adds missPenalty cycles. Allocation and free are
+// unaffected.
+//
+// This is the paper's "delays which can be dynamic and data dependent"
+// made concrete: latency depends on the *address stream*, not just the
+// operation, yet remains exactly reproducible because the row register
+// is part of the simulated state. Install it via DelayParams.DataDep:
+//
+//	d := core.DefaultDelays()
+//	d.DataDep = core.RowBufferDelay(10, 6) // 1 KiB rows, 6-cycle miss
+//
+// The closure carries the open-row register, so each wrapper instance
+// needs its own hook (matching one row buffer per memory module).
+func RowBufferDelay(rowShift uint, missPenalty uint32) func(bus.Request) uint32 {
+	openRow := uint32(0xFFFFFFFF) // no row open
+	return func(req bus.Request) uint32 {
+		switch req.Op {
+		case bus.OpRead, bus.OpWrite, bus.OpReadBurst, bus.OpWriteBurst:
+			row := req.VPtr >> rowShift
+			if row == openRow {
+				return 0
+			}
+			openRow = row
+			return missPenalty
+		default:
+			return 0
+		}
+	}
+}
+
+// BankedDelay returns a DataDep hook for a banked memory: the bank is
+// selected by address bits [bankShift, bankShift+bankBits), and
+// consecutive accesses to the *same* bank pay busyPenalty (bank not yet
+// recovered) while alternating banks proceed at full speed. A simple
+// model of bank conflicts for the interleaving ablations.
+func BankedDelay(bankShift, bankBits uint, busyPenalty uint32) func(bus.Request) uint32 {
+	lastBank := uint32(0xFFFFFFFF)
+	return func(req bus.Request) uint32 {
+		switch req.Op {
+		case bus.OpRead, bus.OpWrite, bus.OpReadBurst, bus.OpWriteBurst:
+			bank := req.VPtr >> bankShift & (1<<bankBits - 1)
+			if bank == lastBank {
+				return busyPenalty
+			}
+			lastBank = bank
+			return 0
+		default:
+			return 0
+		}
+	}
+}

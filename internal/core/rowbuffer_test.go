@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+)
+
+func TestRowBufferDelayHitsAndMisses(t *testing.T) {
+	delays := DelayParams{Read: 1, DataDep: RowBufferDelay(10, 6)} // 1 KiB rows
+	h := newHarness(t, Config{Delays: delays})
+	v := h.mustAlloc(2048, bus.U8) // spans two rows
+
+	// First access: row miss.
+	_, c1 := h.do(bus.Request{Op: bus.OpRead, VPtr: v})
+	if c1 != 2+1+6 {
+		t.Errorf("first access = %d cycles, want 9 (miss)", c1)
+	}
+	// Same row: hit.
+	_, c2 := h.do(bus.Request{Op: bus.OpRead, VPtr: v + 512})
+	if c2 != 2+1 {
+		t.Errorf("same-row access = %d cycles, want 3 (hit)", c2)
+	}
+	// Next row: miss again.
+	_, c3 := h.do(bus.Request{Op: bus.OpRead, VPtr: v + 1024})
+	if c3 != 2+1+6 {
+		t.Errorf("row-crossing access = %d cycles, want 9 (miss)", c3)
+	}
+	// Back to the first row: the row register changed, miss.
+	_, c4 := h.do(bus.Request{Op: bus.OpRead, VPtr: v})
+	if c4 != 2+1+6 {
+		t.Errorf("returning access = %d cycles, want 9 (miss)", c4)
+	}
+}
+
+func TestRowBufferDelayIgnoresAllocFree(t *testing.T) {
+	delays := DelayParams{Alloc: 2, Free: 2, DataDep: RowBufferDelay(10, 50)}
+	h := newHarness(t, Config{Delays: delays})
+	resp, cycles := h.do(bus.Request{Op: bus.OpAlloc, Dim: 16, DType: bus.U32})
+	if resp.Err != bus.OK || cycles != 2+2 {
+		t.Errorf("alloc = %d cycles, want 4 (no row penalty)", cycles)
+	}
+	_, cycles = h.do(bus.Request{Op: bus.OpFree, VPtr: resp.VPtr})
+	if cycles != 2+2 {
+		t.Errorf("free = %d cycles, want 4 (no row penalty)", cycles)
+	}
+}
+
+func TestRowBufferDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		delays := DelayParams{Read: 1, DataDep: RowBufferDelay(8, 4)}
+		h := newHarness(t, Config{Delays: delays})
+		v := h.mustAlloc(4096, bus.U8)
+		for i := uint32(0); i < 64; i++ {
+			h.do(bus.Request{Op: bus.OpRead, VPtr: v + i*97%4096})
+		}
+		return h.k.Cycle()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("data-dependent delays broke determinism: %d vs %d", a, b)
+	}
+}
+
+func TestBankedDelayConflicts(t *testing.T) {
+	// 2 banks selected by bit 2 (u32 elements alternate banks).
+	delays := DelayParams{Read: 1, DataDep: BankedDelay(2, 1, 5)}
+	h := newHarness(t, Config{Delays: delays})
+	v := h.mustAlloc(16, bus.U32)
+
+	// Alternating banks: first access establishes bank; subsequent
+	// alternating accesses are conflict-free.
+	_, c1 := h.do(bus.Request{Op: bus.OpRead, VPtr: v})     // bank 0 (new)
+	_, c2 := h.do(bus.Request{Op: bus.OpRead, VPtr: v + 4}) // bank 1 (new)
+	_, c3 := h.do(bus.Request{Op: bus.OpRead, VPtr: v + 8}) // bank 0
+	if c1 != 3 || c2 != 3 || c3 != 3 {
+		t.Errorf("alternating banks = %d/%d/%d cycles, want 3/3/3", c1, c2, c3)
+	}
+	// Same bank back-to-back: conflict.
+	_, c4 := h.do(bus.Request{Op: bus.OpRead, VPtr: v + 4})  // bank 1 (new)
+	_, c5 := h.do(bus.Request{Op: bus.OpRead, VPtr: v + 12}) // bank 1 again: busy
+	if c4 != 3 {
+		t.Errorf("bank switch = %d cycles, want 3", c4)
+	}
+	if c5 != 3+5 {
+		t.Errorf("same-bank conflict = %d cycles, want 8", c5)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/bus"
+)
+
+// Entry is one row of the pointer table (Figure 2): the virtual pointer
+// handed to the simulated system, the host pointer backing it, the element
+// type and dimension of the allocated space, and the reservation bit used
+// as a semaphore, together with the reserving master's identity.
+type Entry struct {
+	VPtr     uint32
+	Host     []byte // the Hptr: host backing store, len == SizeBytes()
+	DType    bus.DataType
+	Dim      uint32 // element count
+	Reserved bool
+	Owner    int // master holding the reservation, valid when Reserved
+}
+
+// SizeBytes returns the allocation's size in bytes (dim × element size).
+func (e *Entry) SizeBytes() uint32 { return e.Dim * e.DType.Size() }
+
+// End returns one past the last virtual address of the allocation.
+func (e *Entry) End() uint32 { return e.VPtr + e.SizeBytes() }
+
+// PointerTable is the functional heart of the wrapper: an ordered table of
+// live allocations. Entries are kept in ascending VPtr order; because new
+// virtual pointers are generated past the end of the last entry, insertion
+// order and address order coincide, and ranges never overlap.
+//
+// The table enforces the paper's finite-size memory model: an allocation
+// is denied when the sum of live allocation sizes would exceed TotalSize.
+type PointerTable struct {
+	// TotalSize is the simulated memory capacity in bytes. Zero means
+	// "no limit" (pure host-bounded, still subject to the 32-bit virtual
+	// address space).
+	TotalSize uint32
+
+	// Linear forces linear containing-range lookup instead of binary
+	// search. Exists solely for the A2 ablation benchmark.
+	Linear bool
+
+	host    HostAllocator
+	entries []Entry
+	used    uint32
+
+	// Probes counts range-lookup comparisons, for the A2 ablation.
+	Probes uint64
+	// HighWater tracks the maximum number of simultaneously live entries.
+	HighWater int
+}
+
+// NewPointerTable creates a table with the given capacity in bytes backed
+// by host (nil means the Go heap).
+func NewPointerTable(totalSize uint32, host HostAllocator) *PointerTable {
+	if host == nil {
+		host = GoAllocator{}
+	}
+	return &PointerTable{TotalSize: totalSize, host: host}
+}
+
+// Len returns the number of live allocations.
+func (t *PointerTable) Len() int { return len(t.entries) }
+
+// Used returns the sum of live allocation sizes in bytes.
+func (t *PointerTable) Used() uint32 { return t.used }
+
+// Entries exposes a read-only view of the live entries in VPtr order.
+// The slice is valid until the next table mutation.
+func (t *PointerTable) Entries() []Entry { return t.entries }
+
+// nextVPtr implements the paper's generation rule: previous (last) entry's
+// VPtr plus the size of its allocated space; zero for an empty table.
+func (t *PointerTable) nextVPtr() (uint32, bool) {
+	if len(t.entries) == 0 {
+		return 0, true
+	}
+	last := &t.entries[len(t.entries)-1]
+	end := uint64(last.VPtr) + uint64(last.SizeBytes())
+	if end > math.MaxUint32 {
+		return 0, false // virtual address space exhausted
+	}
+	return uint32(end), true
+}
+
+// Alloc performs the functional part of an allocation: capacity check,
+// host calloc, table append, virtual pointer generation. dim is the
+// element count, dt the element type.
+func (t *PointerTable) Alloc(dim uint32, dt bus.DataType) (uint32, bus.ErrCode) {
+	if dim == 0 {
+		return 0, bus.ErrBadOp
+	}
+	size64 := uint64(dim) * uint64(dt.Size())
+	if size64 > math.MaxUint32 {
+		return 0, bus.ErrCapacity
+	}
+	size := uint32(size64)
+	if t.TotalSize != 0 && (uint64(t.used)+size64 > uint64(t.TotalSize)) {
+		return 0, bus.ErrCapacity
+	}
+	vptr, ok := t.nextVPtr()
+	if !ok || uint64(vptr)+size64 > math.MaxUint32 {
+		return 0, bus.ErrCapacity
+	}
+	host, err := t.host.Alloc(size)
+	if err != nil {
+		return 0, bus.ErrHost
+	}
+	t.entries = append(t.entries, Entry{VPtr: vptr, Host: host, DType: dt, Dim: dim})
+	t.used += size
+	if len(t.entries) > t.HighWater {
+		t.HighWater = len(t.entries)
+	}
+	return vptr, bus.OK
+}
+
+// Resolve finds the live allocation whose range contains vptr, returning
+// the entry and the byte offset of vptr within it. This implements the
+// paper's pointer-arithmetic support: virtual pointers that are not the
+// start of an allocation are mapped by locating the containing space and
+// adding the corresponding offset to the host pointer.
+func (t *PointerTable) Resolve(vptr uint32) (*Entry, uint32, bool) {
+	if t.Linear {
+		for i := range t.entries {
+			t.Probes++
+			e := &t.entries[i]
+			if vptr >= e.VPtr && vptr < e.End() {
+				return e, vptr - e.VPtr, true
+			}
+		}
+		return nil, 0, false
+	}
+	// Binary search for the last entry with VPtr <= vptr.
+	lo, hi := 0, len(t.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.Probes++
+		if t.entries[mid].VPtr <= vptr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil, 0, false
+	}
+	e := &t.entries[lo-1]
+	if vptr < e.End() {
+		return e, vptr - e.VPtr, true
+	}
+	return nil, 0, false
+}
+
+// Free removes the allocation that starts exactly at vptr: the entry is
+// deleted, the table re-compacted, the allocation size subtracted from the
+// in-use total, and the host buffer released. A reservation held by a
+// different master denies the free.
+func (t *PointerTable) Free(vptr uint32, master int) bus.ErrCode {
+	e, off, ok := t.Resolve(vptr)
+	if !ok || off != 0 {
+		return bus.ErrBadVPtr
+	}
+	if e.Reserved && e.Owner != master {
+		return bus.ErrReserved
+	}
+	host := e.Host
+	t.used -= e.SizeBytes()
+	// Re-compact: shift the tail down over the removed entry, preserving
+	// ascending VPtr order.
+	idx := t.indexOf(e)
+	copy(t.entries[idx:], t.entries[idx+1:])
+	t.entries[len(t.entries)-1] = Entry{}
+	t.entries = t.entries[:len(t.entries)-1]
+	t.host.Free(host)
+	return bus.OK
+}
+
+// indexOf converts an entry pointer obtained from Resolve back to its
+// slice index.
+func (t *PointerTable) indexOf(e *Entry) int {
+	// Entries are contiguous; derive the index from pointer arithmetic-free
+	// search on the unique VPtr (cheap: binary search again).
+	lo, hi := 0, len(t.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.entries[mid].VPtr < e.VPtr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Reserve sets the reservation bit on the allocation containing vptr for
+// master. Re-reserving by the same master is idempotent; a reservation
+// held by another master denies the request.
+func (t *PointerTable) Reserve(vptr uint32, master int) bus.ErrCode {
+	e, _, ok := t.Resolve(vptr)
+	if !ok {
+		return bus.ErrBadVPtr
+	}
+	if e.Reserved && e.Owner != master {
+		return bus.ErrReserved
+	}
+	e.Reserved = true
+	e.Owner = master
+	return bus.OK
+}
+
+// Release clears the reservation bit if master holds it. Releasing an
+// unreserved allocation succeeds (idempotent); releasing another master's
+// reservation is denied.
+func (t *PointerTable) Release(vptr uint32, master int) bus.ErrCode {
+	e, _, ok := t.Resolve(vptr)
+	if !ok {
+		return bus.ErrBadVPtr
+	}
+	if e.Reserved && e.Owner != master {
+		return bus.ErrReserved
+	}
+	e.Reserved = false
+	return bus.OK
+}

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bus"
+)
+
+// stubAllocator returns nil buffers; for table-level tests that never
+// touch data, so huge dims don't allocate real host memory.
+type stubAllocator struct{}
+
+func (stubAllocator) Alloc(size uint32) ([]byte, error) { return nil, nil }
+func (stubAllocator) Free(buf []byte)                   {}
+
+func TestVPtrGenerationRule(t *testing.T) {
+	// "Every new Vptr is obtained summing the value of the previous Vptr
+	// in the table with the size of the previous allocated space. The
+	// first Vptr's value is zero by default."
+	tb := NewPointerTable(0, nil)
+	cases := []struct {
+		dim  uint32
+		dt   bus.DataType
+		want uint32
+	}{
+		{10, bus.U8, 0},    // first → 0
+		{5, bus.U32, 10},   // 0 + 10×1
+		{3, bus.U16, 30},   // 10 + 5×4
+		{1, bus.U8, 36},    // 30 + 3×2
+		{100, bus.I16, 37}, // 36 + 1×1
+	}
+	for i, c := range cases {
+		vptr, code := tb.Alloc(c.dim, c.dt)
+		if code != bus.OK {
+			t.Fatalf("alloc %d: %v", i, code)
+		}
+		if vptr != c.want {
+			t.Errorf("alloc %d: vptr = %d, want %d", i, vptr, c.want)
+		}
+	}
+}
+
+func TestAllocZeroDimDenied(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	if _, code := tb.Alloc(0, bus.U32); code != bus.ErrBadOp {
+		t.Errorf("code = %v, want ErrBadOp", code)
+	}
+}
+
+func TestFiniteSizeCapacity(t *testing.T) {
+	// "A finite size memory can be simulated denying other allocations
+	// when the sum of the dimension reaches a prefixed limit."
+	tb := NewPointerTable(100, nil)
+	v1, code := tb.Alloc(60, bus.U8)
+	if code != bus.OK {
+		t.Fatalf("first alloc: %v", code)
+	}
+	if _, code := tb.Alloc(50, bus.U8); code != bus.ErrCapacity {
+		t.Fatalf("over-capacity alloc: %v, want ErrCapacity", code)
+	}
+	if _, code := tb.Alloc(40, bus.U8); code != bus.OK {
+		t.Fatalf("fitting alloc: %v, want OK", code)
+	}
+	if got := tb.Used(); got != 100 {
+		t.Errorf("Used = %d, want 100", got)
+	}
+	// Freeing returns capacity.
+	if code := tb.Free(v1, 0); code != bus.OK {
+		t.Fatalf("free: %v", code)
+	}
+	if got := tb.Used(); got != 40 {
+		t.Errorf("Used after free = %d, want 40", got)
+	}
+	if _, code := tb.Alloc(60, bus.U8); code != bus.OK {
+		t.Errorf("alloc after free: %v, want OK", code)
+	}
+}
+
+func TestCapacityCountsBytesNotElements(t *testing.T) {
+	tb := NewPointerTable(16, nil)
+	if _, code := tb.Alloc(5, bus.U32); code != bus.ErrCapacity {
+		t.Errorf("5×u32=20B in 16B: %v, want ErrCapacity", code)
+	}
+	if _, code := tb.Alloc(4, bus.U32); code != bus.OK {
+		t.Errorf("4×u32=16B in 16B: %v, want OK", code)
+	}
+}
+
+func TestFreeRequiresExactStart(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	v, _ := tb.Alloc(8, bus.U32)
+	if code := tb.Free(v+4, 0); code != bus.ErrBadVPtr {
+		t.Errorf("interior free: %v, want ErrBadVPtr", code)
+	}
+	if code := tb.Free(v, 0); code != bus.OK {
+		t.Errorf("exact free: %v, want OK", code)
+	}
+	if code := tb.Free(v, 0); code != bus.ErrBadVPtr {
+		t.Errorf("double free: %v, want ErrBadVPtr", code)
+	}
+}
+
+func TestFreeRecompactsAndPreservesOrder(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	var vs []uint32
+	for i := 0; i < 5; i++ {
+		v, code := tb.Alloc(4, bus.U32)
+		if code != bus.OK {
+			t.Fatal(code)
+		}
+		vs = append(vs, v)
+	}
+	if code := tb.Free(vs[2], 0); code != bus.OK {
+		t.Fatal(code)
+	}
+	if got := tb.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	es := tb.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].VPtr >= es[i].VPtr {
+			t.Fatalf("entries out of order after recompaction: %v vs %v", es[i-1].VPtr, es[i].VPtr)
+		}
+	}
+	// Freed hole must not resolve.
+	if _, _, ok := tb.Resolve(vs[2]); ok {
+		t.Error("freed range still resolves")
+	}
+	// Neighbours still resolve.
+	for _, v := range []uint32{vs[0], vs[1], vs[3], vs[4]} {
+		if _, _, ok := tb.Resolve(v); !ok {
+			t.Errorf("live range %d does not resolve", v)
+		}
+	}
+}
+
+func TestFreedMiddleHoleNeverReused(t *testing.T) {
+	// The published generation rule allocates past the *last* entry, so a
+	// hole in the middle stays unused: virtual space grows monotonically.
+	tb := NewPointerTable(0, nil)
+	a, _ := tb.Alloc(16, bus.U8) // [0,16)
+	b, _ := tb.Alloc(16, bus.U8) // [16,32)
+	c, _ := tb.Alloc(16, bus.U8) // [32,48)
+	_ = a
+	if code := tb.Free(b, 0); code != bus.OK {
+		t.Fatal(code)
+	}
+	d, code := tb.Alloc(4, bus.U8)
+	if code != bus.OK {
+		t.Fatal(code)
+	}
+	if d != c+16 {
+		t.Errorf("post-hole alloc vptr = %d, want %d (past last entry)", d, c+16)
+	}
+}
+
+func TestFreedTailIsReused(t *testing.T) {
+	// Corollary of the same rule: freeing the *last* entry rewinds the
+	// next Vptr to the new last entry's end.
+	tb := NewPointerTable(0, nil)
+	tb.Alloc(16, bus.U8)         // [0,16)
+	b, _ := tb.Alloc(16, bus.U8) // [16,32)
+	if code := tb.Free(b, 0); code != bus.OK {
+		t.Fatal(code)
+	}
+	c, code := tb.Alloc(8, bus.U8)
+	if code != bus.OK {
+		t.Fatal(code)
+	}
+	if c != 16 {
+		t.Errorf("tail realloc vptr = %d, want 16 (tail reuse)", c)
+	}
+}
+
+func TestResolveExactInteriorAndMisses(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	tb.Alloc(4, bus.U32)         // [0,16)
+	v, _ := tb.Alloc(4, bus.U32) // [16,32)
+	tb.Alloc(4, bus.U32)         // [32,48)
+	if e, off, ok := tb.Resolve(v); !ok || off != 0 || e.VPtr != v {
+		t.Errorf("exact resolve failed: ok=%v off=%d", ok, off)
+	}
+	if e, off, ok := tb.Resolve(v + 7); !ok || off != 7 || e.VPtr != v {
+		t.Errorf("interior resolve failed: ok=%v off=%d", ok, off)
+	}
+	if _, _, ok := tb.Resolve(48); ok {
+		t.Error("one-past-end resolved")
+	}
+	if _, _, ok := tb.Resolve(1 << 30); ok {
+		t.Error("wild pointer resolved")
+	}
+	// With a hole: free middle, gap must miss.
+	if code := tb.Free(v, 0); code != bus.OK {
+		t.Fatal(code)
+	}
+	if _, _, ok := tb.Resolve(v + 7); ok {
+		t.Error("freed gap resolved")
+	}
+	if _, _, ok := tb.Resolve(33); !ok {
+		t.Error("entry after gap did not resolve")
+	}
+}
+
+func TestResolveEmptyTable(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	if _, _, ok := tb.Resolve(0); ok {
+		t.Error("empty table resolved vptr 0")
+	}
+}
+
+func TestReserveReleaseSemantics(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	v, _ := tb.Alloc(4, bus.U32)
+	const alice, bob = 1, 2
+	if code := tb.Reserve(v, alice); code != bus.OK {
+		t.Fatalf("reserve: %v", code)
+	}
+	if code := tb.Reserve(v, alice); code != bus.OK {
+		t.Errorf("re-reserve by owner: %v, want OK (idempotent)", code)
+	}
+	if code := tb.Reserve(v, bob); code != bus.ErrReserved {
+		t.Errorf("reserve by other: %v, want ErrReserved", code)
+	}
+	if code := tb.Free(v, bob); code != bus.ErrReserved {
+		t.Errorf("free by other while reserved: %v, want ErrReserved", code)
+	}
+	if code := tb.Release(v, bob); code != bus.ErrReserved {
+		t.Errorf("release by other: %v, want ErrReserved", code)
+	}
+	if code := tb.Release(v, alice); code != bus.OK {
+		t.Fatalf("release by owner: %v", code)
+	}
+	if code := tb.Release(v, bob); code != bus.OK {
+		t.Errorf("release of unreserved: %v, want OK (idempotent)", code)
+	}
+	if code := tb.Reserve(v, bob); code != bus.OK {
+		t.Errorf("reserve after release: %v, want OK", code)
+	}
+	if code := tb.Free(v, bob); code != bus.OK {
+		t.Errorf("free by owner: %v, want OK", code)
+	}
+}
+
+func TestReserveInteriorPointerProtectsWholeAllocation(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	v, _ := tb.Alloc(8, bus.U32)
+	if code := tb.Reserve(v+12, 1); code != bus.OK {
+		t.Fatalf("interior reserve: %v", code)
+	}
+	if code := tb.Free(v, 2); code != bus.ErrReserved {
+		t.Errorf("free of reserved (via interior ptr): %v, want ErrReserved", code)
+	}
+}
+
+func TestReserveBadVPtr(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	if code := tb.Reserve(10, 1); code != bus.ErrBadVPtr {
+		t.Errorf("reserve wild: %v, want ErrBadVPtr", code)
+	}
+	if code := tb.Release(10, 1); code != bus.ErrBadVPtr {
+		t.Errorf("release wild: %v, want ErrBadVPtr", code)
+	}
+}
+
+func TestVirtualAddressSpaceExhaustion(t *testing.T) {
+	tb := NewPointerTable(0, stubAllocator{})
+	// Two 2 GiB allocations fill the 32-bit space; the third must be
+	// denied by the address-space check, not wrap around.
+	if _, code := tb.Alloc(1<<31, bus.U8); code != bus.OK {
+		t.Fatalf("first 2GiB: %v", code)
+	}
+	if _, code := tb.Alloc((1<<31)-1, bus.U8); code != bus.OK {
+		t.Fatalf("second ~2GiB: %v", code)
+	}
+	if _, code := tb.Alloc(2, bus.U8); code != bus.ErrCapacity {
+		t.Errorf("overflowing alloc: %v, want ErrCapacity", code)
+	}
+}
+
+func TestAllocSizeOverflow(t *testing.T) {
+	tb := NewPointerTable(0, stubAllocator{})
+	// dim × elemsize overflowing 32 bits must be denied.
+	if _, code := tb.Alloc(1<<30+1, bus.U32); code != bus.ErrCapacity {
+		t.Errorf("overflow alloc: %v, want ErrCapacity", code)
+	}
+}
+
+func TestHostAllocatorFailure(t *testing.T) {
+	tb := NewPointerTable(0, &FailingAllocator{AllowAllocs: 1})
+	if _, code := tb.Alloc(4, bus.U8); code != bus.OK {
+		t.Fatal("first alloc should succeed")
+	}
+	if _, code := tb.Alloc(4, bus.U8); code != bus.ErrHost {
+		t.Errorf("second alloc: %v, want ErrHost", code)
+	}
+	// A failed alloc must not corrupt accounting.
+	if got := tb.Used(); got != 4 {
+		t.Errorf("Used = %d, want 4", got)
+	}
+	if got := tb.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+}
+
+func TestHighWaterAndProbes(t *testing.T) {
+	tb := NewPointerTable(0, nil)
+	var vs []uint32
+	for i := 0; i < 10; i++ {
+		v, _ := tb.Alloc(4, bus.U8)
+		vs = append(vs, v)
+	}
+	for _, v := range vs[:5] {
+		tb.Free(v, 0)
+	}
+	if tb.HighWater != 10 {
+		t.Errorf("HighWater = %d, want 10", tb.HighWater)
+	}
+	before := tb.Probes
+	tb.Resolve(vs[7])
+	if tb.Probes == before {
+		t.Error("Resolve did not count probes")
+	}
+}
+
+// refModel is an executable restatement of the paper's allocation rules,
+// kept deliberately naive (linear scans, explicit list) to cross-check
+// the real table under random workloads.
+type refModel struct {
+	live  []refEntry
+	total uint32
+	used  uint32
+}
+
+type refEntry struct {
+	vptr, size uint32
+}
+
+func (m *refModel) alloc(size uint32) (uint32, bool) {
+	if size == 0 {
+		return 0, false
+	}
+	if m.total != 0 && m.used+size > m.total {
+		return 0, false
+	}
+	var vptr uint32
+	if n := len(m.live); n > 0 {
+		vptr = m.live[n-1].vptr + m.live[n-1].size
+	}
+	if uint64(vptr)+uint64(size) > 1<<32-1 {
+		return 0, false
+	}
+	m.live = append(m.live, refEntry{vptr, size})
+	m.used += size
+	return vptr, true
+}
+
+func (m *refModel) free(vptr uint32) bool {
+	for i, e := range m.live {
+		if e.vptr == vptr {
+			m.used -= e.size
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *refModel) resolve(vptr uint32) (refEntry, uint32, bool) {
+	for _, e := range m.live {
+		if vptr >= e.vptr && vptr < e.vptr+e.size {
+			return e, vptr - e.vptr, true
+		}
+	}
+	return refEntry{}, 0, false
+}
+
+func TestTableMatchesReferenceModelUnderRandomWorkload(t *testing.T) {
+	const (
+		seeds  = 20
+		opsPer = 400
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		total := uint32(0)
+		if rng.Intn(2) == 0 {
+			total = uint32(1024 + rng.Intn(4096))
+		}
+		tb := NewPointerTable(total, nil)
+		tb.Linear = seed%2 == 0 // exercise both lookup paths
+		ref := &refModel{total: total}
+		var liveVptrs []uint32
+
+		for op := 0; op < opsPer; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // alloc
+				dim := uint32(1 + rng.Intn(300))
+				gotV, gotCode := tb.Alloc(dim, bus.U8)
+				wantV, wantOK := ref.alloc(dim)
+				if (gotCode == bus.OK) != wantOK {
+					t.Fatalf("seed %d op %d: alloc ok mismatch: table=%v ref=%v", seed, op, gotCode, wantOK)
+				}
+				if wantOK {
+					if gotV != wantV {
+						t.Fatalf("seed %d op %d: vptr %d, ref %d", seed, op, gotV, wantV)
+					}
+					liveVptrs = append(liveVptrs, gotV)
+				}
+			case r < 8: // free random live (or wild) vptr
+				var v uint32
+				if len(liveVptrs) > 0 && rng.Intn(5) > 0 {
+					i := rng.Intn(len(liveVptrs))
+					v = liveVptrs[i]
+				} else {
+					v = rng.Uint32()
+				}
+				gotCode := tb.Free(v, 0)
+				wantOK := ref.free(v)
+				if (gotCode == bus.OK) != wantOK {
+					t.Fatalf("seed %d op %d: free(%d) mismatch: table=%v ref=%v", seed, op, v, gotCode, wantOK)
+				}
+				if wantOK {
+					for i, lv := range liveVptrs {
+						if lv == v {
+							liveVptrs = append(liveVptrs[:i], liveVptrs[i+1:]...)
+							break
+						}
+					}
+				}
+			default: // resolve random address
+				v := rng.Uint32() % 8192
+				re, roff, rok := ref.resolve(v)
+				ge, goff, gok := tb.Resolve(v)
+				if rok != gok {
+					t.Fatalf("seed %d op %d: resolve(%d) ok mismatch: table=%v ref=%v", seed, op, v, gok, rok)
+				}
+				if rok && (ge.VPtr != re.vptr || goff != roff) {
+					t.Fatalf("seed %d op %d: resolve(%d) = (%d,%d), ref (%d,%d)",
+						seed, op, v, ge.VPtr, goff, re.vptr, roff)
+				}
+			}
+
+			// Invariants after every operation.
+			if tb.Used() != ref.used {
+				t.Fatalf("seed %d op %d: used %d, ref %d", seed, op, tb.Used(), ref.used)
+			}
+			if tb.Len() != len(ref.live) {
+				t.Fatalf("seed %d op %d: len %d, ref %d", seed, op, tb.Len(), len(ref.live))
+			}
+			es := tb.Entries()
+			for i := 1; i < len(es); i++ {
+				if es[i-1].End() > es[i].VPtr {
+					t.Fatalf("seed %d op %d: overlapping entries", seed, op)
+				}
+			}
+			if total != 0 && tb.Used() > total {
+				t.Fatalf("seed %d op %d: capacity exceeded", seed, op)
+			}
+		}
+	}
+}
+
+func TestLinearAndBinaryResolveAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lin := NewPointerTable(0, nil)
+	lin.Linear = true
+	bin := NewPointerTable(0, nil)
+	for i := 0; i < 200; i++ {
+		dim := uint32(1 + rng.Intn(64))
+		v1, c1 := lin.Alloc(dim, bus.U8)
+		v2, c2 := bin.Alloc(dim, bus.U8)
+		if v1 != v2 || c1 != c2 {
+			t.Fatal("alloc divergence")
+		}
+	}
+	for probe := 0; probe < 2000; probe++ {
+		v := rng.Uint32() % 20000
+		e1, o1, ok1 := lin.Resolve(v)
+		e2, o2, ok2 := bin.Resolve(v)
+		if ok1 != ok2 {
+			t.Fatalf("resolve(%d) ok: linear=%v binary=%v", v, ok1, ok2)
+		}
+		if ok1 && (e1.VPtr != e2.VPtr || o1 != o2) {
+			t.Fatalf("resolve(%d) differs", v)
+		}
+	}
+}

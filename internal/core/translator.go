@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/bus"
+)
+
+// Endian is the byte order of the simulated target architecture.
+type Endian uint8
+
+const (
+	// Little is little-endian target byte order (ARM's usual mode, and
+	// the default).
+	Little Endian = iota
+	// Big is big-endian target byte order.
+	Big
+)
+
+// String returns "little" or "big".
+func (e Endian) String() string {
+	if e == Big {
+		return "big"
+	}
+	return "little"
+}
+
+// Translator is the functional-part component that converts between the
+// simulated wire format (32-bit data words, target byte order, typed
+// elements) and host memory (raw bytes). It is the piece of Figure 2
+// labelled "Translator: memory size / endianess / data size / ptr type /
+// function calls".
+//
+// Host buffers store elements in the *target's* byte order, so that a
+// byte-granular copy of simulated memory is exactly what the target would
+// hold; reads convert back to host-native integer values. Signed types
+// sign-extend into the 32-bit wire word on read, matching what an ARM
+// LDRSH-style access would produce.
+type Translator struct {
+	Target Endian
+}
+
+// order returns the binary.ByteOrder for the target.
+func (t Translator) order() binary.ByteOrder {
+	if t.Target == Big {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+// ReadElem reads element elem of type dt from host buffer host.
+// The caller guarantees bounds.
+func (t Translator) ReadElem(host []byte, dt bus.DataType, elem uint32) uint32 {
+	off := elem * dt.Size()
+	switch dt {
+	case bus.U8:
+		return uint32(host[off])
+	case bus.U16:
+		return uint32(t.order().Uint16(host[off:]))
+	case bus.I16:
+		return uint32(int32(int16(t.order().Uint16(host[off:]))))
+	default: // U32, I32
+		return t.order().Uint32(host[off:])
+	}
+}
+
+// WriteElem writes the low bits of val into element elem of type dt in
+// host buffer host. The caller guarantees bounds.
+func (t Translator) WriteElem(host []byte, dt bus.DataType, elem uint32, val uint32) {
+	off := elem * dt.Size()
+	switch dt {
+	case bus.U8:
+		host[off] = byte(val)
+	case bus.U16, bus.I16:
+		t.order().PutUint16(host[off:], uint16(val))
+	default:
+		t.order().PutUint32(host[off:], val)
+	}
+}
+
+// ReadBurst reads n consecutive elements starting at elem into a fresh
+// slice (the outgoing I/O array).
+func (t Translator) ReadBurst(host []byte, dt bus.DataType, elem, n uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := uint32(0); i < n; i++ {
+		out[i] = t.ReadElem(host, dt, elem+i)
+	}
+	return out
+}
+
+// WriteBurst moves the staged I/O array into host memory starting at
+// element elem.
+func (t Translator) WriteBurst(host []byte, dt bus.DataType, elem uint32, data []uint32) {
+	for i, v := range data {
+		t.WriteElem(host, dt, elem+uint32(i), v)
+	}
+}

@@ -1,0 +1,231 @@
+package dma
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/config"
+	"repro/internal/smapi"
+)
+
+// buildDMASystem wires one PE (for setup/verification) and one DMA
+// engine as masters over nMem wrapper memories.
+func buildDMASystem(t *testing.T, nMem int, task smapi.Task) (*config.System, *Engine) {
+	t.Helper()
+	sys, err := config.Build(config.SystemConfig{
+		Masters: 2, Memories: nMem, MemKind: config.MemWrapper,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddProcs(task); err != nil { // master 0: PE
+		t.Fatal(err)
+	}
+	eng := New(sys.Kernel, "dma0", sys.MasterLinks[1]) // master 1: DMA
+	return sys, eng
+}
+
+func TestDMACopyWithinOneMemory(t *testing.T) {
+	var src, dst uint32
+	var allocated, verified bool
+	var eng *Engine
+	task := func(ctx *smapi.Ctx) {
+		m := ctx.Mem(0)
+		var code bus.ErrCode
+		if src, code = m.Malloc(64, bus.U32); code != bus.OK {
+			panic(code)
+		}
+		if dst, code = m.Malloc(64, bus.U32); code != bus.OK {
+			panic(code)
+		}
+		for i := uint32(0); i < 64; i++ {
+			if code := m.Write(src+4*i, i^0xA5); code != bus.OK {
+				panic(code)
+			}
+		}
+		eng.Enqueue(Descriptor{SrcSM: 0, DstSM: 0, SrcVPtr: src, DstVPtr: dst, Elems: 64, DType: bus.U32, Chunk: 16})
+		allocated = true
+		for !eng.Idle() {
+			ctx.Sleep(10)
+		}
+		out, code := m.ReadArray(dst, 64)
+		if code != bus.OK {
+			panic(code)
+		}
+		for i, v := range out {
+			if v != uint32(i)^0xA5 {
+				panic("copy corrupted")
+			}
+		}
+		verified = true
+	}
+	sys, e := buildDMASystem(t, 1, task)
+	eng = e
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !allocated || !verified {
+		t.Fatal("task did not complete")
+	}
+	st := eng.Stats()
+	if st.Descriptors != 1 || st.ElemsMoved != 64 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(eng.Done()) != 1 || eng.Done()[0].Err != bus.OK || eng.Done()[0].Moved != 64 {
+		t.Errorf("done = %+v", eng.Done())
+	}
+}
+
+func TestDMACopyAcrossMemories(t *testing.T) {
+	// Source in sm0, destination in sm1: two distinct virtual address
+	// spaces, bridged only by the engine's sm_addr routing.
+	var eng *Engine
+	var ok bool
+	task := func(ctx *smapi.Ctx) {
+		m0, m1 := ctx.Mem(0), ctx.Mem(1)
+		src, code := m0.Malloc(40, bus.I16)
+		if code != bus.OK {
+			panic(code)
+		}
+		dst, code := m1.Malloc(40, bus.I16)
+		if code != bus.OK {
+			panic(code)
+		}
+		pcm := make([]uint32, 40)
+		for i := range pcm {
+			pcm[i] = uint32(uint16(int16(-100 * i)))
+		}
+		if code := m0.WriteArray(src, pcm); code != bus.OK {
+			panic(code)
+		}
+		eng.Enqueue(Descriptor{SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst, Elems: 40, DType: bus.I16, Chunk: 13})
+		for !eng.Idle() {
+			ctx.Sleep(10)
+		}
+		out, code := m1.ReadArray(dst, 40)
+		if code != bus.OK {
+			panic(code)
+		}
+		for i, v := range out {
+			if int16(uint16(v)) != int16(-100*i) {
+				panic("cross-memory copy corrupted")
+			}
+		}
+		ok = true
+	}
+	sys, e := buildDMASystem(t, 2, task)
+	eng = e
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("verification did not run")
+	}
+}
+
+func TestDMAErrorPropagation(t *testing.T) {
+	// A descriptor with a dangling source reports the in-band error and
+	// the engine moves on to the next descriptor.
+	var eng *Engine
+	task := func(ctx *smapi.Ctx) {
+		m := ctx.Mem(0)
+		good, code := m.Malloc(8, bus.U32)
+		if code != bus.OK {
+			panic(code)
+		}
+		dst, code := m.Malloc(8, bus.U32)
+		if code != bus.OK {
+			panic(code)
+		}
+		eng.Enqueue(Descriptor{SrcVPtr: 0xDEAD00, DstVPtr: dst, Elems: 8, DType: bus.U32})
+		eng.Enqueue(Descriptor{SrcVPtr: good, DstVPtr: dst, Elems: 8, DType: bus.U32})
+		for !eng.Idle() {
+			ctx.Sleep(10)
+		}
+	}
+	sys, e := buildDMASystem(t, 1, task)
+	eng = e
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	done := eng.Done()
+	if len(done) != 2 {
+		t.Fatalf("done = %d descriptors", len(done))
+	}
+	if done[0].Err != bus.ErrBadVPtr || done[0].Moved != 0 {
+		t.Errorf("bad descriptor: %+v", done[0])
+	}
+	if done[1].Err != bus.OK || done[1].Moved != 8 {
+		t.Errorf("good descriptor after failure: %+v", done[1])
+	}
+	if eng.Stats().Errors != 1 {
+		t.Errorf("Errors = %d", eng.Stats().Errors)
+	}
+}
+
+func TestDMAChunkingOddSizes(t *testing.T) {
+	// 100 elements in chunks of 32 → 32+32+32+4.
+	var eng *Engine
+	var ok bool
+	task := func(ctx *smapi.Ctx) {
+		m := ctx.Mem(0)
+		src, _ := m.Malloc(100, bus.U8)
+		dst, _ := m.Malloc(100, bus.U8)
+		data := make([]uint32, 100)
+		for i := range data {
+			data[i] = uint32(i % 251)
+		}
+		if code := m.WriteArray(src, data); code != bus.OK {
+			panic(code)
+		}
+		eng.Enqueue(Descriptor{SrcVPtr: src, DstVPtr: dst, Elems: 100, DType: bus.U8})
+		for !eng.Idle() {
+			ctx.Sleep(10)
+		}
+		out, code := m.ReadArray(dst, 100)
+		if code != bus.OK {
+			panic(code)
+		}
+		for i, v := range out {
+			if v != uint32(i%251) {
+				panic("chunked copy corrupted")
+			}
+		}
+		ok = true
+	}
+	sys, e := buildDMASystem(t, 1, task)
+	eng = e
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("verification did not run")
+	}
+	if got := eng.Done()[0].Moved; got != 100 {
+		t.Errorf("Moved = %d, want 100", got)
+	}
+}
+
+func TestDMADeterministicCompletion(t *testing.T) {
+	run := func() uint64 {
+		var eng *Engine
+		task := func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			src, _ := m.Malloc(64, bus.U32)
+			dst, _ := m.Malloc(64, bus.U32)
+			eng.Enqueue(Descriptor{SrcVPtr: src, DstVPtr: dst, Elems: 64, DType: bus.U32})
+			for !eng.Idle() {
+				ctx.Sleep(5)
+			}
+		}
+		sys, e := buildDMASystem(t, 1, task)
+		eng = e
+		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Done()[0].DoneCycle
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("completion cycles differ: %d vs %d", a, b)
+	}
+}

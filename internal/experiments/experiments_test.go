@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+
+	"repro/internal/bus"
+)
+
+var quick = Options{Quick: true}
+
+func TestE1ShapeHolds(t *testing.T) {
+	// The multi-memory configuration must simulate slower per cycle (the
+	// paper's degradation) while the simulated cycle counts stay close.
+	one, err := RunGSMISS(4, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunGSMISS(4, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cycles == 0 || four.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	// With 4 memories contention drops, so 4-mem needs no MORE simulated
+	// cycles than 1-mem.
+	if four.Cycles > one.Cycles {
+		t.Errorf("4-mem simulated cycles (%d) exceed 1-mem (%d)", four.Cycles, one.Cycles)
+	}
+	tbl, err := E1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "degradation") {
+		t.Error("table malformed")
+	}
+}
+
+func TestE2WrapperOverheadBounded(t *testing.T) {
+	tbl, err := E2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE3HeapsimSlower(t *testing.T) {
+	events := 1000
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 31, Events: events, Slots: 32, NumSM: 1,
+		MinDim: 8, MaxDim: 128, DType: bus.U32,
+		Mix: trace.Mix{Alloc: 30, Free: 28, Read: 21, Write: 21},
+	})
+	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heap.Cycles <= wrap.Cycles {
+		t.Errorf("heapsim %d cycles not slower than wrapper %d", heap.Cycles, wrap.Cycles)
+	}
+	if _, err := E3(quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE4Deterministic(t *testing.T) {
+	tabs, err := E4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tabs[0].String(), "DIVERGED") {
+		t.Errorf("determinism broken:\n%s", tabs[0])
+	}
+}
+
+func TestE1bPipelineRuns(t *testing.T) {
+	tbl, err := E1b(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE5E6E7E8RunClean(t *testing.T) {
+	if _, err := E5(quick); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := E6(quick); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := E7(quick); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := E8(quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestA1CrossbarNoSlowerInSimTime(t *testing.T) {
+	tbl, err := A1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestA2BinaryFewerProbes(t *testing.T) {
+	tbl, err := A2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 10000 allocations the binary search must probe far less than
+	// linear. Probe columns are 3 (linear) and 4 (binary).
+	last := tbl.Rows[len(tbl.Rows)-1]
+	var lin, bin float64
+	if _, err := fmtSscan(last[3], &lin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(last[4], &bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin*10 > lin {
+		t.Errorf("binary probes %.1f not ≪ linear %.1f", bin, lin)
+	}
+}
+
+// fmtSscan wraps fmt.Sscan for float cells.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,323 @@
+package gsm
+
+// Frame geometry of GSM 06.10 full rate.
+const (
+	// FrameSamples is the number of 8 kHz PCM samples per frame (20 ms).
+	FrameSamples = 160
+	// SubSamples is the number of samples per subframe.
+	SubSamples = 40
+	// Subframes is the number of subframes per frame.
+	Subframes = 4
+	// RPESamples is the number of decimated RPE samples per subframe.
+	RPESamples = 13
+	// FrameBits is the encoded size: 36 LAR bits + 4×(7+2+2+6+13×3).
+	FrameBits = 260
+	// FrameBytes is the packed size including the signature nibble.
+	FrameBytes = 33
+	// MinLag and MaxLag bound the long-term predictor lag.
+	MinLag, MaxLag = 40, 120
+)
+
+// Params is one encoded frame before bit packing: every field honours
+// the standard's range.
+type Params struct {
+	LAR  [8]int                     // quantized log-area ratios: 6,6,5,5,4,4,3,3 bits
+	Lag  [Subframes]int             // LTP lag, 7 bits (40..120)
+	Gain [Subframes]int             // LTP gain index, 2 bits
+	Grid [Subframes]int             // RPE grid position, 2 bits
+	Xmax [Subframes]int             // block maximum index, 6 bits
+	X    [Subframes][RPESamples]int // RPE pulses, 3 bits each
+}
+
+// larBits are the per-coefficient quantizer widths from the standard.
+var larBits = [8]int{6, 6, 5, 5, 4, 4, 3, 3}
+
+// larMin is the minimum quantizer index (two's-complement range).
+func larMin(i int) int { return -(1 << (larBits[i] - 1)) }
+
+// larMax is the maximum quantizer index.
+func larMax(i int) int { return 1<<(larBits[i]-1) - 1 }
+
+// Encoder carries the inter-frame state of the analysis side.
+type Encoder struct {
+	// preprocessing state
+	z1, l2 float64 // offset-compensation state
+	mp     float64 // pre-emphasis memory
+
+	// short-term analysis filter state
+	u [8]float64
+
+	// prevLAR holds the previous frame's decoded LARs for the standard's
+	// four-zone interpolation (§4.2.9); zero for the first frame.
+	prevLAR [8]float64
+
+	// reconstructed short-term residual history for the LTP
+	dp [MaxLag + SubSamples]float64
+}
+
+// NewEncoder returns an encoder with cleared state.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Decoder carries the inter-frame state of the synthesis side.
+type Decoder struct {
+	drp     [MaxLag + SubSamples]float64 // reconstructed residual history
+	v       [9]float64                   // synthesis lattice state
+	msr     float64                      // de-emphasis memory
+	prevLAR [8]float64                   // previous frame's decoded LARs
+}
+
+// larZones computes the four interpolation zones of GSM 06.10 §4.2.9:
+// the frame's first 13, next 14, next 13 samples use mixes of the
+// previous and current decoded LARs (¾–¼, ½–½, ¼–¾), the remaining 120
+// use the current ones. Returned as reflection-coefficient sets per
+// zone, plus the per-sample zone index bounds.
+func larZones(prev, cur [8]float64) (rp [4][8]float64) {
+	weights := [4][2]float64{{0.75, 0.25}, {0.5, 0.5}, {0.25, 0.75}, {0, 1}}
+	for z, w := range weights {
+		for i := 0; i < 8; i++ {
+			rp[z][i] = larToRefl(w[0]*prev[i] + w[1]*cur[i])
+		}
+	}
+	return rp
+}
+
+// zoneOf maps a sample index to its interpolation zone.
+func zoneOf(k int) int {
+	switch {
+	case k < 13:
+		return 0
+	case k < 27:
+		return 1
+	case k < 40:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// NewDecoder returns a decoder with cleared state.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Encode analyses one 160-sample frame. It panics if the input length is
+// not FrameSamples (programming error, not data error).
+func (e *Encoder) Encode(pcm []int16) Params {
+	if len(pcm) != FrameSamples {
+		panic("gsm: Encode needs exactly 160 samples")
+	}
+	var p Params
+
+	// --- preprocessing: offset compensation + pre-emphasis ---
+	var s [FrameSamples]float64
+	const alpha = 32735.0 / 32768.0
+	const beta = 28180.0 / 32768.0
+	for k := 0; k < FrameSamples; k++ {
+		so := float64(pcm[k])
+		// offset compensation (one-pole high-pass)
+		sof := so - e.z1 + alpha*e.l2
+		e.z1 = so
+		e.l2 = sof
+		// pre-emphasis
+		s[k] = sof - beta*e.mp
+		e.mp = sof
+	}
+
+	// --- LPC analysis: autocorrelation + Schur + LAR quantization ---
+	acf := autocorrelate(s[:], 9)
+	refl := schur(acf)
+	lar := reflToLAR(refl)
+	for i := 0; i < 8; i++ {
+		p.LAR[i] = quantizeLAR(i, lar[i])
+	}
+	// Decode (as the decoder will) for the analysis filter, and build
+	// the four LAR-interpolation zones against the previous frame.
+	declar := decodeLARs(p.LAR)
+	rpz := larZones(e.prevLAR, declar)
+	e.prevLAR = declar
+
+	// --- short-term analysis filtering over the four zones ---
+	var d [FrameSamples]float64
+	for k := 0; k < FrameSamples; k++ {
+		d[k] = e.analysisLattice(s[k], rpz[zoneOf(k)])
+	}
+
+	// --- per-subframe LTP + RPE ---
+	for sf := 0; sf < Subframes; sf++ {
+		sub := d[sf*SubSamples : (sf+1)*SubSamples]
+
+		lag, gainIdx := e.ltpSearch(sub)
+		p.Lag[sf] = lag
+		p.Gain[sf] = gainIdx
+		b := qlb[gainIdx]
+
+		// Snapshot the lagged reconstructed-residual segment dp'(k−lag)
+		// before this subframe's samples enter the history: both the
+		// residual and the local reconstruction must see the same
+		// prediction, exactly as in the standard.
+		var lagged [SubSamples]float64
+		for k := 0; k < SubSamples; k++ {
+			lagged[k] = e.dpRel(k - lag)
+		}
+
+		// LTP residual e(k) = d(k) − b·dp'(k−lag)
+		var res [SubSamples]float64
+		for k := 0; k < SubSamples; k++ {
+			res[k] = sub[k] - b*lagged[k]
+		}
+
+		// RPE analysis: weighting filter, grid selection, APCM.
+		grid, xmaxIdx, xmcs, xdec := rpeEncode(res[:])
+		p.Grid[sf] = grid
+		p.Xmax[sf] = xmaxIdx
+		p.X[sf] = xmcs
+
+		// Local reconstruction updates the dp history exactly like the
+		// decoder, keeping both predictors in lockstep.
+		var ep [SubSamples]float64
+		rpeUpsample(&ep, grid, xdec)
+		var recon [SubSamples]float64
+		for k := 0; k < SubSamples; k++ {
+			recon[k] = ep[k] + b*lagged[k]
+		}
+		e.pushDP(recon[:])
+	}
+	return p
+}
+
+// dpRel reads the reconstructed residual j samples before the current
+// subframe's start (j is negative: −lag ≤ j < 0 reaches history).
+func (e *Encoder) dpRel(j int) float64 {
+	return e.dp[len(e.dp)+j]
+}
+
+// pushDP appends one subframe of reconstructed residual, sliding the
+// history window left by SubSamples.
+func (e *Encoder) pushDP(sub []float64) {
+	copy(e.dp[:], e.dp[SubSamples:])
+	copy(e.dp[len(e.dp)-SubSamples:], sub)
+}
+
+// analysisLattice runs one sample through the 8th-order analysis lattice.
+func (e *Encoder) analysisLattice(in float64, rp [8]float64) float64 {
+	di := in
+	sav := di
+	for i := 0; i < 8; i++ {
+		ui := e.u[i]
+		temp := ui + rp[i]*di
+		di += rp[i] * ui
+		e.u[i] = sav
+		sav = temp
+	}
+	return di
+}
+
+// ltpSearch finds the lag maximizing the cross-correlation between the
+// current subframe and the reconstructed residual history, and the
+// quantized gain index against the DLB thresholds.
+func (e *Encoder) ltpSearch(sub []float64) (lag, gainIdx int) {
+	best, bestLag := 0.0, MinLag
+	for n := MinLag; n <= MaxLag; n++ {
+		var corr float64
+		for k := 0; k < SubSamples; k++ {
+			corr += sub[k] * e.dpRel(k-n)
+		}
+		if corr > best {
+			best = corr
+			bestLag = n
+		}
+	}
+	var energy float64
+	for k := 0; k < SubSamples; k++ {
+		v := e.dpRel(k - bestLag)
+		energy += v * v
+	}
+	var b float64
+	if energy > 0 {
+		b = best / energy
+	}
+	if b < 0 {
+		b = 0
+	}
+	// Quantize against DLB thresholds.
+	idx := 3
+	for i, th := range dlb {
+		if b < th {
+			idx = i
+			break
+		}
+	}
+	return bestLag, idx
+}
+
+// dlb are the LTP gain decision thresholds; qlb the reconstruction
+// levels (GSM 06.10 tables 4.3a/4.3b, in linear form).
+var dlb = [3]float64{0.2, 0.5, 0.8}
+var qlb = [4]float64{0.10, 0.35, 0.65, 1.00}
+
+// Decode synthesizes one frame of 160 PCM samples from parameters.
+func (d *Decoder) Decode(p Params) []int16 {
+	declar := decodeLARs(p.LAR)
+	rpz := larZones(d.prevLAR, declar)
+	d.prevLAR = declar
+
+	var dsum [FrameSamples]float64
+	for sf := 0; sf < Subframes; sf++ {
+		b := qlb[clampInt(p.Gain[sf], 0, 3)]
+		lag := clampInt(p.Lag[sf], MinLag, MaxLag)
+		xdec := apcmDecode(p.Xmax[sf], p.X[sf])
+		var ep [SubSamples]float64
+		rpeUpsample(&ep, clampInt(p.Grid[sf], 0, 3), xdec)
+		// Same snapshot discipline as the encoder's local reconstruction.
+		var lagged [SubSamples]float64
+		for k := 0; k < SubSamples; k++ {
+			lagged[k] = d.drp[len(d.drp)+k-lag]
+		}
+		var recon [SubSamples]float64
+		for k := 0; k < SubSamples; k++ {
+			recon[k] = ep[k] + b*lagged[k]
+			dsum[sf*SubSamples+k] = recon[k]
+		}
+		copy(d.drp[:], d.drp[SubSamples:])
+		copy(d.drp[len(d.drp)-SubSamples:], recon[:])
+	}
+
+	// Short-term synthesis (inverse lattice) + de-emphasis, using the
+	// same zone interpolation as the analysis side.
+	out := make([]int16, FrameSamples)
+	const beta = 28180.0 / 32768.0
+	for k := 0; k < FrameSamples; k++ {
+		rp := rpz[zoneOf(k)]
+		sri := dsum[k]
+		for i := 7; i >= 0; i-- {
+			sri -= rp[i] * d.v[i]
+			d.v[i+1] = d.v[i] + rp[i]*sri
+		}
+		d.v[0] = sri
+		// de-emphasis
+		s := sri + beta*d.msr
+		d.msr = s
+		out[k] = sat16(s)
+	}
+	return out
+}
+
+// sat16 saturates a float to the int16 range.
+func sat16(v float64) int16 {
+	switch {
+	case v > 32767:
+		return 32767
+	case v < -32768:
+		return -32768
+	default:
+		return int16(v)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,26 @@
+// Package gsm implements a GSM 06.10 full-rate (RPE-LTP) speech codec —
+// the application the paper's evaluation simulates on its 4-ISS system.
+//
+// The codec follows the standard's structure exactly:
+//
+//   - Preprocessing: DC offset compensation and pre-emphasis.
+//   - LPC analysis per 160-sample frame: autocorrelation, Schur
+//     recursion to 8 reflection coefficients, log-area-ratio (LAR)
+//     transform, and quantization to the standard's 36 bits.
+//   - Short-term analysis filtering (lattice) with the decoded
+//     coefficients, interpolated over four zones per frame.
+//   - Per 40-sample subframe: long-term prediction (lag 40..120, 7 bits;
+//     gain quantized to 2 bits against the DLB thresholds), RPE grid
+//     decimation (4 candidate grids, 2 bits) and APCM quantization
+//     (6-bit block maximum, thirteen 3-bit samples).
+//   - 260 bits per frame, packed into the standard 33-byte frame with
+//     the 0xD signature nibble.
+//
+// Internal arithmetic uses float64 where the standard prescribes specific
+// fixed-point roundings; the encoded bitstream honours every field width,
+// so frame sizes, parameter ranges and codec state behaviour match the
+// standard. Bit-exactness against the ETSI test vectors is out of scope
+// (no vectors available offline); the tests verify structure, determinism
+// and reconstruction quality instead. This matches the workload's role in
+// the paper: generating realistic compute and dynamic-memory traffic.
+package gsm

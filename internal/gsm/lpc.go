@@ -1,0 +1,121 @@
+package gsm
+
+import "math"
+
+// autocorrelate computes R[0..n-1] with R[j] = Σ s[k]·s[k−j].
+func autocorrelate(s []float64, n int) []float64 {
+	r := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var acc float64
+		for k := j; k < len(s); k++ {
+			acc += s[k] * s[k-j]
+		}
+		r[j] = acc
+	}
+	return r
+}
+
+// schur derives the eight reflection coefficients from the
+// autocorrelation sequence (Levinson-Durbin form; identical output to
+// the standard's Schur recursion). The returned coefficients use the
+// sign convention of the analysis lattice in codec.go (d' = d + r·u),
+// i.e. the negated PARCORs.
+func schur(acf []float64) [8]float64 {
+	var refl [8]float64
+	if acf[0] <= 0 {
+		return refl
+	}
+	e := acf[0]
+	var a [9]float64
+	for i := 1; i <= 8; i++ {
+		acc := acf[i]
+		for j := 1; j < i; j++ {
+			acc -= a[j] * acf[i-j]
+		}
+		k := acc / e
+		if math.Abs(k) >= 1 {
+			// Ill-conditioned frame: stop the recursion, zeroing the
+			// remaining coefficients (the standard clamps similarly).
+			break
+		}
+		a[i] = k
+		for j := 1; j <= i/2; j++ {
+			tmp := a[j] - k*a[i-j]
+			a[i-j] -= k * a[j]
+			a[j] = tmp
+		}
+		e *= 1 - k*k
+		refl[i-1] = -k
+		if e <= 0 {
+			break
+		}
+	}
+	return refl
+}
+
+// reflToLAR applies the standard's piecewise-linear log-area-ratio
+// approximation to each reflection coefficient.
+func reflToLAR(refl [8]float64) [8]float64 {
+	var lar [8]float64
+	for i, r := range refl {
+		a := math.Abs(r)
+		var v float64
+		switch {
+		case a < 0.675:
+			v = a
+		case a < 0.950:
+			v = 2*a - 0.675
+		default:
+			v = 8*a - 6.375
+		}
+		if r < 0 {
+			v = -v
+		}
+		lar[i] = v
+	}
+	return lar
+}
+
+// larToRefl inverts reflToLAR.
+func larToRefl(lar float64) float64 {
+	a := math.Abs(lar)
+	var v float64
+	switch {
+	case a < 0.675:
+		v = a
+	case a < 1.225:
+		v = 0.5*a + 0.3375
+	default:
+		v = (a + 6.375) / 8
+	}
+	if v > 0.9999 {
+		v = 0.9999
+	}
+	if lar < 0 {
+		v = -v
+	}
+	return v
+}
+
+// larScale and larOffset are the standard's per-coefficient affine
+// quantizer parameters (tables A and B of GSM 06.10, normalized to the
+// float LAR domain used here).
+var larScale = [8]float64{20.0, 20.0, 20.0, 20.0, 13.637, 15.0, 8.334, 8.824}
+var larOffset = [8]float64{0, 0, 4.0, -5.0, 0.184, -3.5, -0.666, -2.235}
+
+// quantizeLAR maps a LAR value to its quantizer index, honouring the
+// standard's per-coefficient bit widths.
+func quantizeLAR(i int, lar float64) int {
+	idx := int(math.Round(larScale[i]*lar + larOffset[i]))
+	return clampInt(idx, larMin(i), larMax(i))
+}
+
+// decodeLARs reconstructs LAR values from quantizer indices.
+func decodeLARs(idx [8]int) [8]float64 {
+	var out [8]float64
+	for i, q := range idx {
+		q = clampInt(q, larMin(i), larMax(i))
+		out[i] = (float64(q) - larOffset[i]) / larScale[i]
+	}
+	return out
+}

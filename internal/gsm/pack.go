@@ -1,0 +1,90 @@
+package gsm
+
+import "fmt"
+
+// Signature is the 4-bit magic carried in the first nibble of every
+// packed frame, as in the standard's file format.
+const Signature = 0xD
+
+// bitWriter packs MSB-first into a fixed frame.
+type bitWriter struct {
+	buf [FrameBytes]byte
+	pos int
+}
+
+func (w *bitWriter) put(v, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		if v>>uint(i)&1 == 1 {
+			w.buf[w.pos/8] |= 1 << uint(7-w.pos%8)
+		}
+		w.pos++
+	}
+}
+
+// bitReader unpacks MSB-first.
+type bitReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *bitReader) get(bits int) int {
+	v := 0
+	for i := 0; i < bits; i++ {
+		v <<= 1
+		if r.buf[r.pos/8]>>uint(7-r.pos%8)&1 == 1 {
+			v |= 1
+		}
+		r.pos++
+	}
+	return v
+}
+
+// Pack serializes the frame parameters into the standard 33-byte frame:
+// the 0xD signature nibble, 36 bits of LARs, then four subframes of
+// lag(7) gain(2) grid(2) xmax(6) and thirteen 3-bit pulses. Out-of-range
+// parameters are clamped, never truncated bit-wise.
+func Pack(p Params) [FrameBytes]byte {
+	var w bitWriter
+	w.put(Signature, 4)
+	for i, q := range p.LAR {
+		q = clampInt(q, larMin(i), larMax(i))
+		w.put(q-larMin(i), larBits[i]) // offset-binary
+	}
+	for sf := 0; sf < Subframes; sf++ {
+		w.put(clampInt(p.Lag[sf], MinLag, MaxLag), 7)
+		w.put(clampInt(p.Gain[sf], 0, 3), 2)
+		w.put(clampInt(p.Grid[sf], 0, 3), 2)
+		w.put(clampInt(p.Xmax[sf], 0, 63), 6)
+		for _, q := range p.X[sf] {
+			w.put(clampInt(q, -4, 3)+4, 3) // offset-binary
+		}
+	}
+	return w.buf
+}
+
+// Unpack deserializes a 33-byte frame. It returns an error when the
+// signature nibble is wrong or the buffer is short; parameter fields are
+// range-checked by construction of the bit widths.
+func Unpack(buf []byte) (Params, error) {
+	var p Params
+	if len(buf) < FrameBytes {
+		return p, fmt.Errorf("gsm: frame too short: %d bytes", len(buf))
+	}
+	r := bitReader{buf: buf}
+	if sig := r.get(4); sig != Signature {
+		return p, fmt.Errorf("gsm: bad frame signature %#x", sig)
+	}
+	for i := range p.LAR {
+		p.LAR[i] = r.get(larBits[i]) + larMin(i)
+	}
+	for sf := 0; sf < Subframes; sf++ {
+		p.Lag[sf] = r.get(7)
+		p.Gain[sf] = r.get(2)
+		p.Grid[sf] = r.get(2)
+		p.Xmax[sf] = r.get(6)
+		for i := range p.X[sf] {
+			p.X[sf][i] = r.get(3) - 4
+		}
+	}
+	return p, nil
+}

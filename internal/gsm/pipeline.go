@@ -1,0 +1,307 @@
+package gsm
+
+import (
+	"repro/internal/bus"
+	"repro/internal/smapi"
+)
+
+// PipelineConfig parameterizes the four-PE GSM transcoding pipeline:
+// source → encoder → decoder → sink, every hand-off through dynamic
+// shared memory. This is the paper's application scenario: an MPSoC
+// running a GSM workload whose frames are dynamic data in shared
+// memories.
+type PipelineConfig struct {
+	// Frames is the number of 160-sample frames to push through.
+	Frames int
+	// Seed selects the synthetic utterance.
+	Seed uint64
+	// NumSM spreads channel control blocks and frame buffers across
+	// this many shared memory modules (≥1).
+	NumSM int
+	// EncodeCycles and DecodeCycles model the per-frame computation
+	// time of the codec stages on their PEs (the memory traffic is
+	// simulated cycle-true regardless). Defaults: 60000 and 25000,
+	// roughly a full-rate codec's budget on a ~100 MHz embedded core.
+	EncodeCycles, DecodeCycles uint64
+	// Backoff is the reservation retry interval in cycles (default 10).
+	Backoff uint64
+}
+
+// PipelineResult collects the sink's output.
+type PipelineResult struct {
+	// Out is the decoded PCM, FrameSamples per processed frame.
+	Out []int16
+	// Frames counts frames that reached the sink.
+	Frames int
+}
+
+// sentinel marks end-of-stream in a channel's payload word.
+const sentinel = 0xFFFFFFFF
+
+// pipe is one inter-stage channel: a four-word control block in shared
+// memory (state, payload vptr, payload length, payload sm) plus
+// host-side plumbing to communicate the control block's address from
+// producer to consumer at setup time (tasks are serialized by the
+// kernel, so the flag needs no host synchronization).
+type pipe struct {
+	sm    int
+	cb    uint32
+	ready bool
+}
+
+// open allocates the control block; the producer calls this once.
+func (p *pipe) open(ctx *smapi.Ctx) {
+	m := ctx.Mem(p.sm)
+	cb, code := m.Malloc(4, bus.U32)
+	if code != bus.OK {
+		panic("pipe: control block allocation failed: " + code.String())
+	}
+	p.cb = cb
+	p.ready = true
+}
+
+// await spins (in simulated time) until the producer has opened the pipe.
+func (p *pipe) await(ctx *smapi.Ctx, backoff uint64) {
+	for !p.ready {
+		ctx.Sleep(backoff)
+	}
+}
+
+// send publishes a payload into the channel, blocking while it is full.
+// The reservation bit serializes channel updates between the two PEs.
+func (p *pipe) send(ctx *smapi.Ctx, backoff uint64, payload uint32, n uint32, paySM int) {
+	m := ctx.Mem(p.sm)
+	for {
+		if code := m.Acquire(p.cb, backoff); code != bus.OK {
+			panic("pipe: acquire: " + code.String())
+		}
+		st, code := m.Read(p.cb)
+		if code != bus.OK {
+			panic("pipe: read state: " + code.String())
+		}
+		if st == 0 {
+			break // empty and reserved by us
+		}
+		if code := m.Release(p.cb); code != bus.OK {
+			panic("pipe: release: " + code.String())
+		}
+		ctx.Sleep(backoff)
+	}
+	m.Write(p.cb+4, payload)
+	m.Write(p.cb+8, n)
+	m.Write(p.cb+12, uint32(paySM))
+	m.Write(p.cb, 1)
+	if code := m.Release(p.cb); code != bus.OK {
+		panic("pipe: release: " + code.String())
+	}
+}
+
+// recv blocks until a payload is available and returns it, marking the
+// channel empty again.
+func (p *pipe) recv(ctx *smapi.Ctx, backoff uint64) (payload, n uint32, paySM int) {
+	m := ctx.Mem(p.sm)
+	for {
+		if code := m.Acquire(p.cb, backoff); code != bus.OK {
+			panic("pipe: acquire: " + code.String())
+		}
+		st, code := m.Read(p.cb)
+		if code != bus.OK {
+			panic("pipe: read state: " + code.String())
+		}
+		if st == 1 {
+			break
+		}
+		if code := m.Release(p.cb); code != bus.OK {
+			panic("pipe: release: " + code.String())
+		}
+		ctx.Sleep(backoff)
+	}
+	payload, _ = m.Read(p.cb + 4)
+	n, _ = m.Read(p.cb + 8)
+	sm, _ := m.Read(p.cb + 12)
+	m.Write(p.cb, 0)
+	if code := m.Release(p.cb); code != bus.OK {
+		panic("pipe: release: " + code.String())
+	}
+	return payload, n, int(sm)
+}
+
+// BuildPipeline returns the four stage tasks (source, encoder, decoder,
+// sink, in master order) and the result sink. Attach them to a system
+// with at least four masters and cfg.NumSM memories.
+func BuildPipeline(cfg PipelineConfig) ([]smapi.Task, *PipelineResult) {
+	if cfg.NumSM <= 0 {
+		cfg.NumSM = 1
+	}
+	if cfg.EncodeCycles == 0 {
+		cfg.EncodeCycles = 60000
+	}
+	if cfg.DecodeCycles == 0 {
+		cfg.DecodeCycles = 25000
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 10
+	}
+	res := &PipelineResult{}
+
+	// Channels: src→enc on SM 0, enc→dec on SM 1 (mod NumSM), dec→sink
+	// on SM 2 (mod NumSM). Frame payloads rotate across all modules.
+	chSrcEnc := &pipe{sm: 0 % cfg.NumSM}
+	chEncDec := &pipe{sm: 1 % cfg.NumSM}
+	chDecSink := &pipe{sm: 2 % cfg.NumSM}
+	paySM := func(f int) int { return f % cfg.NumSM }
+
+	pcm := Synth(cfg.Frames*FrameSamples, cfg.Seed)
+
+	source := func(ctx *smapi.Ctx) {
+		chSrcEnc.open(ctx)
+		for f := 0; f < cfg.Frames; f++ {
+			sm := paySM(f)
+			m := ctx.Mem(sm)
+			v, code := m.Malloc(FrameSamples, bus.I16)
+			if code != bus.OK {
+				panic("source: malloc: " + code.String())
+			}
+			buf := make([]uint32, FrameSamples)
+			for i := 0; i < FrameSamples; i++ {
+				buf[i] = uint32(uint16(pcm[f*FrameSamples+i]))
+			}
+			if code := m.WriteArray(v, buf); code != bus.OK {
+				panic("source: write: " + code.String())
+			}
+			chSrcEnc.send(ctx, cfg.Backoff, v, FrameSamples, sm)
+		}
+		chSrcEnc.send(ctx, cfg.Backoff, sentinel, 0, 0)
+	}
+
+	encoder := func(ctx *smapi.Ctx) {
+		chEncDec.open(ctx)
+		chSrcEnc.await(ctx, cfg.Backoff)
+		enc := NewEncoder()
+		for {
+			v, n, sm := chSrcEnc.recv(ctx, cfg.Backoff)
+			if v == sentinel {
+				chEncDec.send(ctx, cfg.Backoff, sentinel, 0, 0)
+				return
+			}
+			m := ctx.Mem(sm)
+			wire, code := m.ReadArray(v, n)
+			if code != bus.OK {
+				panic("encoder: read: " + code.String())
+			}
+			if code := m.Free(v); code != bus.OK {
+				panic("encoder: free: " + code.String())
+			}
+			frame := make([]int16, n)
+			for i, w := range wire {
+				frame[i] = int16(uint16(w))
+			}
+			ctx.Sleep(cfg.EncodeCycles) // codec computation
+			packed := Pack(enc.Encode(frame))
+
+			osm := sm
+			om := ctx.Mem(osm)
+			ov, code := om.Malloc(FrameBytes, bus.U8)
+			if code != bus.OK {
+				panic("encoder: malloc: " + code.String())
+			}
+			obuf := make([]uint32, FrameBytes)
+			for i, b := range packed {
+				obuf[i] = uint32(b)
+			}
+			if code := om.WriteArray(ov, obuf); code != bus.OK {
+				panic("encoder: write: " + code.String())
+			}
+			chEncDec.send(ctx, cfg.Backoff, ov, FrameBytes, osm)
+		}
+	}
+
+	decoder := func(ctx *smapi.Ctx) {
+		chDecSink.open(ctx)
+		chEncDec.await(ctx, cfg.Backoff)
+		dec := NewDecoder()
+		for {
+			v, n, sm := chEncDec.recv(ctx, cfg.Backoff)
+			if v == sentinel {
+				chDecSink.send(ctx, cfg.Backoff, sentinel, 0, 0)
+				return
+			}
+			m := ctx.Mem(sm)
+			wire, code := m.ReadArray(v, n)
+			if code != bus.OK {
+				panic("decoder: read: " + code.String())
+			}
+			if code := m.Free(v); code != bus.OK {
+				panic("decoder: free: " + code.String())
+			}
+			packed := make([]byte, n)
+			for i, w := range wire {
+				packed[i] = byte(w)
+			}
+			params, err := Unpack(packed)
+			if err != nil {
+				panic("decoder: " + err.Error())
+			}
+			ctx.Sleep(cfg.DecodeCycles)
+			out := dec.Decode(params)
+
+			om := ctx.Mem(sm)
+			ov, code := om.Malloc(FrameSamples, bus.I16)
+			if code != bus.OK {
+				panic("decoder: malloc: " + code.String())
+			}
+			obuf := make([]uint32, FrameSamples)
+			for i, s := range out {
+				obuf[i] = uint32(uint16(s))
+			}
+			if code := om.WriteArray(ov, obuf); code != bus.OK {
+				panic("decoder: write: " + code.String())
+			}
+			chDecSink.send(ctx, cfg.Backoff, ov, FrameSamples, sm)
+		}
+	}
+
+	sink := func(ctx *smapi.Ctx) {
+		chDecSink.await(ctx, cfg.Backoff)
+		for {
+			v, n, sm := chDecSink.recv(ctx, cfg.Backoff)
+			if v == sentinel {
+				return
+			}
+			m := ctx.Mem(sm)
+			wire, code := m.ReadArray(v, n)
+			if code != bus.OK {
+				panic("sink: read: " + code.String())
+			}
+			if code := m.Free(v); code != bus.OK {
+				panic("sink: free: " + code.String())
+			}
+			for _, w := range wire {
+				res.Out = append(res.Out, int16(uint16(w)))
+			}
+			res.Frames++
+		}
+	}
+
+	return []smapi.Task{source, encoder, decoder, sink}, res
+}
+
+// ReferenceTranscode runs the pure-software codec over the same input
+// the pipeline uses, for bit-exact comparison in tests.
+func ReferenceTranscode(frames int, seed uint64) []int16 {
+	pcm := Synth(frames*FrameSamples, seed)
+	enc := NewEncoder()
+	dec := NewDecoder()
+	out := make([]int16, 0, len(pcm))
+	for f := 0; f < frames; f++ {
+		p := enc.Encode(pcm[f*FrameSamples : (f+1)*FrameSamples])
+		// Pack/unpack round trip matches the pipeline's wire format.
+		buf := Pack(p)
+		q, err := Unpack(buf[:])
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, dec.Decode(q)...)
+	}
+	return out
+}

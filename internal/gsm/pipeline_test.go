@@ -1,0 +1,86 @@
+package gsm_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/gsm"
+)
+
+// runPipeline executes the 4-PE pipeline on a built system and returns
+// the result and total simulated cycles.
+func runPipeline(t *testing.T, frames, numSM int) (*gsm.PipelineResult, uint64) {
+	t.Helper()
+	tasks, res := gsm.BuildPipeline(gsm.PipelineConfig{
+		Frames: frames,
+		Seed:   42,
+		NumSM:  numSM,
+		// Small compute budgets keep the test quick; correctness is
+		// unaffected.
+		EncodeCycles: 500,
+		DecodeCycles: 200,
+	})
+	sys, err := config.Build(config.SystemConfig{
+		Masters:  4,
+		Memories: numSM,
+		MemKind:  config.MemWrapper,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddProcs(tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 100_000_000); err != nil {
+		t.Fatalf("pipeline did not finish: %v", err)
+	}
+	// Every frame buffer freed: no leaks in any wrapper except the three
+	// channel control blocks.
+	live := 0
+	for _, w := range sys.Wrappers {
+		live += w.Table().Len()
+	}
+	if live != 3 {
+		t.Errorf("live allocations = %d, want 3 channel control blocks", live)
+	}
+	return res, sys.Kernel.Cycle()
+}
+
+func TestPipelineMatchesReferenceCodec(t *testing.T) {
+	const frames = 6
+	res, _ := runPipeline(t, frames, 1)
+	if res.Frames != frames {
+		t.Fatalf("sink saw %d frames, want %d", res.Frames, frames)
+	}
+	want := gsm.ReferenceTranscode(frames, 42)
+	if len(res.Out) != len(want) {
+		t.Fatalf("output length %d, want %d", len(res.Out), len(want))
+	}
+	for i := range want {
+		if res.Out[i] != want[i] {
+			t.Fatalf("sample %d: pipeline %d, reference %d — shared-memory transport must be bit-exact", i, res.Out[i], want[i])
+		}
+	}
+}
+
+func TestPipelineAcrossFourMemories(t *testing.T) {
+	const frames = 6
+	res, _ := runPipeline(t, frames, 4)
+	if res.Frames != frames {
+		t.Fatalf("sink saw %d frames, want %d", res.Frames, frames)
+	}
+	want := gsm.ReferenceTranscode(frames, 42)
+	for i := range want {
+		if res.Out[i] != want[i] {
+			t.Fatalf("sample %d differs with 4 memories", i)
+		}
+	}
+}
+
+func TestPipelineDeterministicCycles(t *testing.T) {
+	_, a := runPipeline(t, 4, 2)
+	_, b := runPipeline(t, 4, 2)
+	if a != b {
+		t.Errorf("pipeline cycles differ across runs: %d vs %d", a, b)
+	}
+}

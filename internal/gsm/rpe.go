@@ -1,0 +1,120 @@
+package gsm
+
+import "math"
+
+// weightH is the RPE weighting filter of the standard (H in Q13,
+// normalized here), an 11-tap low-pass matched to the ×3 decimation.
+var weightH = [11]float64{
+	-134.0 / 8192, -374.0 / 8192, 0, 2054.0 / 8192, 5741.0 / 8192,
+	8192.0 / 8192, 5741.0 / 8192, 2054.0 / 8192, 0, -374.0 / 8192, -134.0 / 8192,
+}
+
+// rpeEncode analyses one 40-sample LTP residual: weighting filter, grid
+// (sub-sampling phase) selection by energy, and APCM quantization.
+// It returns the selected grid, the block-maximum index, the 13
+// quantized pulse indices, and the locally decoded pulses (for the
+// encoder's reconstruction path).
+func rpeEncode(res []float64) (grid, xmaxIdx int, xq [RPESamples]int, xdec [RPESamples]float64) {
+	// Weighting filter, zero-padded convolution centred on each sample.
+	var x [SubSamples]float64
+	for k := 0; k < SubSamples; k++ {
+		var acc float64
+		for i := 0; i < 11; i++ {
+			j := k + 5 - i
+			if j >= 0 && j < SubSamples {
+				acc += weightH[i] * res[j]
+			}
+		}
+		x[k] = acc
+	}
+	// Grid selection: the phase m ∈ {0..3} whose 13 decimated samples
+	// carry the most energy.
+	bestE := -1.0
+	for m := 0; m < 4; m++ {
+		var e float64
+		for i := 0; i < RPESamples; i++ {
+			v := x[m+3*i]
+			e += v * v
+		}
+		if e > bestE {
+			bestE = e
+			grid = m
+		}
+	}
+	var sel [RPESamples]float64
+	for i := 0; i < RPESamples; i++ {
+		sel[i] = x[grid+3*i]
+	}
+	// APCM: quantize the block maximum logarithmically (6 bits:
+	// 4-level mantissa per binary exponent), then the samples uniformly
+	// to 3 bits relative to the decoded maximum.
+	xmax := 0.0
+	for _, v := range sel {
+		if a := math.Abs(v); a > xmax {
+			xmax = a
+		}
+	}
+	xmaxIdx = quantizeXmax(xmax)
+	xmaxDec := decodeXmax(xmaxIdx)
+	for i, v := range sel {
+		q := 0
+		if xmaxDec > 0 {
+			q = int(math.Floor(v / xmaxDec * 4))
+		}
+		q = clampInt(q, -4, 3)
+		xq[i] = q
+		xdec[i] = pulseDecode(q, xmaxDec)
+	}
+	return grid, xmaxIdx, xq, xdec
+}
+
+// quantizeXmax maps a block maximum to its 6-bit logarithmic index:
+// 3 exponent-ish bits × 4 mantissa levels covering [1, 2^16).
+func quantizeXmax(xmax float64) int {
+	if xmax < 1 {
+		return 0
+	}
+	exp := int(math.Floor(math.Log2(xmax)))
+	if exp > 15 {
+		exp = 15
+	}
+	mant := int((xmax/math.Pow(2, float64(exp)) - 1) * 4)
+	mant = clampInt(mant, 0, 3)
+	return exp*4 + mant
+}
+
+// decodeXmax reconstructs the block maximum from its index. Index 0 is
+// the smallest level (≈1.1), not zero: near-silent blocks decode to
+// sub-LSB pulses, as in the standard's logarithmic table.
+func decodeXmax(idx int) float64 {
+	idx = clampInt(idx, 0, 63)
+	exp := idx / 4
+	mant := idx % 4
+	return (1 + (float64(mant)+0.5)/4) * math.Pow(2, float64(exp))
+}
+
+// pulseDecode reconstructs one pulse from its 3-bit index.
+func pulseDecode(q int, xmaxDec float64) float64 {
+	return (float64(q) + 0.5) / 4 * xmaxDec
+}
+
+// apcmDecode reconstructs the 13 pulses of one subframe.
+func apcmDecode(xmaxIdx int, xq [RPESamples]int) [RPESamples]float64 {
+	var out [RPESamples]float64
+	xm := decodeXmax(xmaxIdx)
+	for i, q := range xq {
+		out[i] = pulseDecode(clampInt(q, -4, 3), xm)
+	}
+	return out
+}
+
+// rpeUpsample places the 13 decoded pulses back on their grid positions
+// within a zeroed 40-sample excitation.
+func rpeUpsample(ep *[SubSamples]float64, grid int, xdec [RPESamples]float64) {
+	for i := range ep {
+		ep[i] = 0
+	}
+	for i, v := range xdec {
+		ep[grid+3*i] = v
+	}
+}

@@ -1,0 +1,256 @@
+package heapsim
+
+import (
+	"encoding/binary"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a HeapMem module.
+type Config struct {
+	// Name labels the module.
+	Name string
+	// ArenaSize is the simulated heap size in bytes.
+	ArenaSize uint32
+	// WordLatency is the simulated cycles charged per 32-bit allocator
+	// access (free-list walk steps, header updates, zeroing). Defaults
+	// to 1 when zero. This is the knob that makes the detailed model
+	// "slow but accurate": the latency of malloc/free emerges from the
+	// data structure traffic instead of a flat parameter.
+	WordLatency uint32
+	// Decode is the per-transaction decode time, matching the wrapper's.
+	Decode uint32
+	// Read and Write are the scalar data access latencies.
+	Read, Write uint32
+	// BurstBase and BurstPerElem time burst transfers.
+	BurstBase, BurstPerElem uint32
+	// NoZero disables calloc-style zeroing of allocations. The default
+	// (false) zeroes, matching the wrapper's calloc semantics.
+	NoZero bool
+}
+
+// Stats counts module activity.
+type Stats struct {
+	Ops           [bus.NumOps]uint64
+	Errors        [bus.NumOps]uint64
+	BusyCycles    uint64
+	MgrAccesses   uint64 // allocator metadata accesses (from Heap)
+	MgrCycles     uint64 // cycles spent on allocator traffic
+	BurstElems    uint64
+	AllocFailures uint64
+}
+
+type hmState uint8
+
+const (
+	hmIdle hmState = iota
+	hmBusy
+)
+
+// HeapMem is the detailed dynamic-memory module: the same bus protocol as
+// the wrapper, but alloc and free are executed by the in-arena free-list
+// allocator and charged per metadata access. Reads and writes address the
+// arena directly (VPtr is an arena offset, as returned by OpAlloc).
+// Reservations are not modelled (ErrBadOp), as the conventional models
+// the paper displaces did not have them either.
+type HeapMem struct {
+	cfg  Config
+	link *bus.Link
+	heap *Heap
+
+	state hmState
+	wait  uint32
+	resp  bus.Response
+	curOp bus.Op
+
+	// in holds the input registers sampled every cycle; like the other
+	// memory modules, HeapMem is a cycle-true module evaluated
+	// unconditionally each clock (see core.Wrapper's ioRegs note).
+	in struct {
+		pending bool
+		op      bus.Op
+		vptr    uint32
+		data    uint32
+		dim     uint32
+		dtype   bus.DataType
+	}
+
+	stats Stats
+}
+
+// NewHeapMem creates the module and registers it with the kernel.
+func NewHeapMem(k *sim.Kernel, cfg Config, link *bus.Link) *HeapMem {
+	if cfg.Name == "" {
+		cfg.Name = "heapsim"
+	}
+	if cfg.WordLatency == 0 {
+		cfg.WordLatency = 1
+	}
+	m := &HeapMem{cfg: cfg, link: link, heap: NewHeap(cfg.ArenaSize)}
+	k.Add(m)
+	return m
+}
+
+// Name implements sim.Module.
+func (m *HeapMem) Name() string { return m.cfg.Name }
+
+// Heap exposes the allocator for white-box tests and experiments.
+func (m *HeapMem) Heap() *Heap { return m.heap }
+
+// Stats returns a snapshot of the counters.
+func (m *HeapMem) Stats() Stats { return m.stats }
+
+// Tick implements sim.Module: latch, execute eagerly while recording the
+// allocator traffic, then hold the response until the derived delay has
+// been charged. Functional effects are invisible to other masters until
+// the response is published, so eager execution is indistinguishable
+// from end-of-delay execution.
+func (m *HeapMem) Tick(cycle uint64) {
+	if m.link.Pending() {
+		q := m.link.PeekRequest()
+		m.in.pending = true
+		m.in.op, m.in.vptr, m.in.data, m.in.dim, m.in.dtype = q.Op, q.VPtr, q.Data, q.Dim, q.DType
+	} else {
+		m.in.pending = false
+		m.in.op, m.in.vptr, m.in.data, m.in.dim, m.in.dtype = 0, 0, 0, 0, 0
+	}
+	switch m.state {
+	case hmIdle:
+		req, ok := m.link.TakeRequest()
+		if !ok {
+			return
+		}
+		m.stats.BusyCycles++
+		before := m.heap.Accesses
+		resp, dataCycles := m.execute(req)
+		mgr := uint32(m.heap.Accesses - before)
+		m.stats.MgrAccesses += uint64(mgr)
+		mgrCycles := mgr * m.cfg.WordLatency
+		m.stats.MgrCycles += uint64(mgrCycles)
+		m.resp = resp
+		m.curOp = req.Op
+		m.wait = m.cfg.Decode + mgrCycles + dataCycles
+		if m.wait == 0 {
+			m.finish()
+		} else {
+			m.state = hmBusy
+		}
+	case hmBusy:
+		m.stats.BusyCycles++
+		m.wait--
+		if m.wait == 0 {
+			m.finish()
+		}
+	}
+}
+
+func (m *HeapMem) finish() {
+	if op := int(m.curOp); op < bus.NumOps {
+		m.stats.Ops[op]++
+		if m.resp.Err != bus.OK {
+			m.stats.Errors[op]++
+		}
+	}
+	m.link.Complete(m.resp)
+	m.resp = bus.Response{}
+	m.state = hmIdle
+}
+
+// execute performs the functional operation, returning the response and
+// the data-path cycles to charge (allocator cycles are derived from the
+// access counter by the caller).
+func (m *HeapMem) execute(req bus.Request) (bus.Response, uint32) {
+	es := req.DType.Size()
+	switch req.Op {
+	case bus.OpAlloc:
+		bytes := uint64(req.Dim) * uint64(es)
+		if req.Dim == 0 || bytes > uint64(m.heap.Size()) {
+			m.stats.AllocFailures++
+			return bus.Response{Err: bus.ErrCapacity}, 0
+		}
+		addr, ok := m.heap.Alloc(uint32(bytes), !m.cfg.NoZero)
+		if !ok {
+			m.stats.AllocFailures++
+			return bus.Response{Err: bus.ErrCapacity}, 0
+		}
+		return bus.Response{VPtr: addr}, 0
+
+	case bus.OpFree:
+		if !m.heap.Free(req.VPtr) {
+			return bus.Response{Err: bus.ErrBadVPtr}, 0
+		}
+		return bus.Response{}, 0
+
+	case bus.OpRead:
+		if !m.inBounds(req.VPtr, es) {
+			return bus.Response{Err: bus.ErrBounds}, m.cfg.Read
+		}
+		return bus.Response{Data: m.readElem(req.VPtr, req.DType)}, m.cfg.Read
+
+	case bus.OpWrite:
+		if !m.inBounds(req.VPtr, es) {
+			return bus.Response{Err: bus.ErrBounds}, m.cfg.Write
+		}
+		m.writeElem(req.VPtr, req.DType, req.Data)
+		return bus.Response{}, m.cfg.Write
+
+	case bus.OpReadBurst:
+		n := req.Dim
+		cyc := m.cfg.BurstBase + m.cfg.BurstPerElem*n
+		if !m.inBounds(req.VPtr, es*n) {
+			return bus.Response{Err: bus.ErrBounds}, cyc
+		}
+		out := make([]uint32, n)
+		for i := uint32(0); i < n; i++ {
+			out[i] = m.readElem(req.VPtr+i*es, req.DType)
+		}
+		m.stats.BurstElems += uint64(n)
+		return bus.Response{Burst: out}, cyc
+
+	case bus.OpWriteBurst:
+		n := uint32(len(req.Burst))
+		cyc := m.cfg.BurstBase + m.cfg.BurstPerElem*n
+		if !m.inBounds(req.VPtr, es*n) {
+			return bus.Response{Err: bus.ErrBounds}, cyc
+		}
+		for i, v := range req.Burst {
+			m.writeElem(req.VPtr+uint32(i)*es, req.DType, v)
+		}
+		m.stats.BurstElems += uint64(n)
+		return bus.Response{}, cyc
+
+	default:
+		return bus.Response{Err: bus.ErrBadOp}, 0
+	}
+}
+
+func (m *HeapMem) inBounds(addr, n uint32) bool {
+	return uint64(addr)+uint64(n) <= uint64(m.heap.Size())
+}
+
+func (m *HeapMem) readElem(addr uint32, dt bus.DataType) uint32 {
+	a := m.heap.Arena()
+	switch dt {
+	case bus.U8:
+		return uint32(a[addr])
+	case bus.U16:
+		return uint32(binary.LittleEndian.Uint16(a[addr:]))
+	case bus.I16:
+		return uint32(int32(int16(binary.LittleEndian.Uint16(a[addr:]))))
+	default:
+		return binary.LittleEndian.Uint32(a[addr:])
+	}
+}
+
+func (m *HeapMem) writeElem(addr uint32, dt bus.DataType, val uint32) {
+	a := m.heap.Arena()
+	switch dt {
+	case bus.U8:
+		a[addr] = byte(val)
+	case bus.U16, bus.I16:
+		binary.LittleEndian.PutUint16(a[addr:], uint16(val))
+	default:
+		binary.LittleEndian.PutUint32(a[addr:], val)
+	}
+}

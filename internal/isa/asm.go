@@ -1,0 +1,724 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: a little-endian memory image
+// meant to be loaded at address 0 of an ISS's local memory, plus the
+// symbol table for diagnostics and tests.
+type Program struct {
+	Code    []byte
+	Symbols map[string]uint32
+}
+
+// Assemble translates armlet assembly source into a Program. The syntax
+// is line-oriented:
+//
+//	; comment  @ comment  // comment
+//	label:  mov r0, #42
+//	        li  r1, 0x12345678      ; pseudo: movw+movt
+//	        ldr r2, [r1, #8]
+//	loop:   cmp r0, #0
+//	        bne loop
+//	        ret                     ; pseudo: bx lr
+//	.equ   CHUNK, 64
+//	.org   0x100
+//	table: .word 1, 2, table, CHUNK+1
+//	msg:   .asciz "hello"
+//	       .align 4
+//	buf:   .space 32
+//
+// Errors are reported with line numbers; all lines are checked before
+// returning, so one Assemble call surfaces every error in the file.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: map[string]uint32{}}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: sizes and symbols.
+	a.pass = 1
+	a.run(lines)
+	// Pass 2: encoding with resolved symbols.
+	if len(a.errs) == 0 {
+		a.pass = 2
+		a.lc = 0
+		a.out = nil
+		a.run(lines)
+	}
+	if len(a.errs) > 0 {
+		return nil, errors.Join(a.errs...)
+	}
+	return &Program{Code: a.out, Symbols: a.symbols}, nil
+}
+
+type assembler struct {
+	pass    int
+	lc      uint32 // location counter
+	out     []byte
+	symbols map[string]uint32
+	errs    []error
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, fmt.Errorf("line %d: "+format, append([]any{line}, args...)...))
+}
+
+func (a *assembler) run(lines []string) {
+	for i, raw := range lines {
+		a.line(i+1, raw)
+		if len(a.errs) > 32 {
+			a.errs = append(a.errs, errors.New("too many errors; giving up"))
+			return
+		}
+	}
+}
+
+// stripComment removes ;, @ and // comments, respecting string literals.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			inStr = !inStr
+		case inStr:
+		case s[i] == ';' || s[i] == '@':
+			return s[:i]
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) line(n int, raw string) {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return
+	}
+	// Labels (possibly several) terminated by ':'.
+	for {
+		idx := strings.Index(s, ":")
+		if idx < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:idx])
+		if !isIdent(label) {
+			break // not a label; maybe an operand with ':'? none exist, but be safe
+		}
+		if a.pass == 1 {
+			if _, dup := a.symbols[label]; dup {
+				a.errorf(n, "duplicate label %q", label)
+			}
+			a.symbols[label] = a.lc
+		}
+		s = strings.TrimSpace(s[idx+1:])
+		if s == "" {
+			return
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		a.directive(n, s)
+		return
+	}
+	a.instruction(n, s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// emit appends little-endian bytes in pass 2 and advances the location
+// counter in both passes.
+func (a *assembler) emit(b ...byte) {
+	if a.pass == 2 {
+		a.out = append(a.out, b...)
+	}
+	a.lc += uint32(len(b))
+}
+
+func (a *assembler) emitWord(w uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w)
+	a.emit(b[:]...)
+}
+
+// splitOperands splits on commas that are not inside brackets or quotes.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" || len(out) > 0 {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func (a *assembler) directive(n int, s string) {
+	fields := strings.SplitN(s, " ", 2)
+	name := strings.ToLower(strings.TrimSpace(fields[0]))
+	arg := ""
+	if len(fields) > 1 {
+		arg = strings.TrimSpace(fields[1])
+	}
+	switch name {
+	case ".org":
+		v, err := a.eval(n, arg)
+		if err != nil {
+			return
+		}
+		if v < a.lc {
+			a.errorf(n, ".org %#x moves backwards (lc=%#x)", v, a.lc)
+			return
+		}
+		for a.lc < v {
+			a.emit(0)
+		}
+	case ".align":
+		v, err := a.eval(n, arg)
+		if err != nil {
+			return
+		}
+		if v == 0 || v&(v-1) != 0 {
+			a.errorf(n, ".align needs a power of two, got %d", v)
+			return
+		}
+		for a.lc%v != 0 {
+			a.emit(0)
+		}
+	case ".word":
+		for _, op := range splitOperands(arg) {
+			v, err := a.eval(n, op)
+			if err != nil {
+				return
+			}
+			a.emitWord(v)
+		}
+	case ".half":
+		for _, op := range splitOperands(arg) {
+			v, err := a.eval(n, op)
+			if err != nil {
+				return
+			}
+			a.emit(byte(v), byte(v>>8))
+		}
+	case ".byte":
+		for _, op := range splitOperands(arg) {
+			v, err := a.eval(n, op)
+			if err != nil {
+				return
+			}
+			a.emit(byte(v))
+		}
+	case ".space":
+		v, err := a.eval(n, arg)
+		if err != nil {
+			return
+		}
+		for i := uint32(0); i < v; i++ {
+			a.emit(0)
+		}
+	case ".ascii", ".asciz":
+		str, err := parseString(arg)
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		a.emit([]byte(str)...)
+		if name == ".asciz" {
+			a.emit(0)
+		}
+	case ".equ":
+		ops := splitOperands(arg)
+		if len(ops) != 2 {
+			a.errorf(n, ".equ needs name, value")
+			return
+		}
+		if !isIdent(ops[0]) {
+			a.errorf(n, ".equ: bad name %q", ops[0])
+			return
+		}
+		v, err := a.eval(n, ops[1])
+		if err != nil {
+			return
+		}
+		if a.pass == 1 {
+			if _, dup := a.symbols[ops[0]]; dup {
+				a.errorf(n, "duplicate symbol %q", ops[0])
+				return
+			}
+			a.symbols[ops[0]] = v
+		}
+	default:
+		a.errorf(n, "unknown directive %s", name)
+	}
+}
+
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	return strconv.Unquote(s)
+}
+
+// eval computes an expression: term (('+'|'-') term)*, where a term is a
+// number (decimal, 0x, 0b, octal via 0o), a character literal, or a
+// symbol. In pass 1 unresolved symbols evaluate to 0 (sizes never depend
+// on symbol values); in pass 2 they are errors.
+func (a *assembler) eval(n int, expr string) (uint32, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		err := fmt.Errorf("empty expression")
+		a.errorf(n, "%v", err)
+		return 0, err
+	}
+	// Tokenize into terms and operators, honouring a leading sign.
+	var total int64
+	sign := int64(1)
+	i := 0
+	first := true
+	for i < len(expr) {
+		switch expr[i] {
+		case '+':
+			sign = 1
+			i++
+			continue
+		case '-':
+			sign = -1
+			i++
+			continue
+		case ' ', '\t':
+			i++
+			continue
+		}
+		j := i
+		if expr[i] == '\'' {
+			j = i + 1
+			for j < len(expr) && expr[j] != '\'' {
+				if expr[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(expr) {
+				j++
+			}
+		} else {
+			for j < len(expr) && expr[j] != '+' && expr[j] != '-' && expr[j] != ' ' && expr[j] != '\t' {
+				j++
+			}
+		}
+		term := expr[i:j]
+		v, err := a.term(n, term)
+		if err != nil {
+			return 0, err
+		}
+		_ = first
+		total += sign * int64(v)
+		sign = 1
+		first = false
+		i = j
+	}
+	return uint32(total), nil
+}
+
+func (a *assembler) term(n int, t string) (uint32, error) {
+	if t == "" {
+		err := fmt.Errorf("empty term")
+		a.errorf(n, "%v", err)
+		return 0, err
+	}
+	if t[0] == '\'' {
+		u, err := strconv.Unquote(t)
+		if err != nil || len(u) != 1 {
+			err := fmt.Errorf("bad character literal %s", t)
+			a.errorf(n, "%v", err)
+			return 0, err
+		}
+		return uint32(u[0]), nil
+	}
+	if t[0] >= '0' && t[0] <= '9' {
+		v, err := strconv.ParseUint(t, 0, 32)
+		if err != nil {
+			a.errorf(n, "bad number %q", t)
+			return 0, err
+		}
+		return uint32(v), nil
+	}
+	if v, ok := a.symbols[t]; ok {
+		return v, nil
+	}
+	if a.pass == 1 {
+		return 0, nil // forward reference; resolved in pass 2
+	}
+	err := fmt.Errorf("undefined symbol %q", t)
+	a.errorf(n, "%v", err)
+	return 0, err
+}
+
+// parseReg parses r0..r15, sp, lr.
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return RegSP, nil
+	case "lr":
+		return RegLR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 15 {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// branch mnemonics → (op, cond)
+var branchTable = map[string]struct {
+	br   BrOp
+	cond Cond
+}{
+	"b": {B, AL}, "bal": {B, AL}, "beq": {B, EQ}, "bne": {B, NE},
+	"blt": {B, LT}, "bge": {B, GE}, "ble": {B, LE}, "bgt": {B, GT},
+	"bcs": {B, CS}, "bcc": {B, CC}, "bmi": {B, MI}, "bpl": {B, PL},
+	"bvs": {B, VS}, "bvc": {B, VC},
+	"bl": {BL, AL}, "bx": {BX, AL},
+}
+
+var dpTable = map[string]DPOp{
+	"mov": MOV, "mvn": MVN, "add": ADD, "sub": SUB, "rsb": RSB,
+	"and": AND, "orr": ORR, "eor": EOR, "bic": BIC,
+	"cmp": CMP, "cmn": CMN, "tst": TST,
+	"lsl": LSL, "lsr": LSR, "asr": ASR,
+}
+
+var memTable = map[string]MemOp{
+	"ldr": LDR, "str": STR, "ldrb": LDRB, "strb": STRB, "ldrh": LDRH, "strh": STRH,
+}
+
+func (a *assembler) instruction(n int, s string) {
+	fields := strings.SplitN(s, " ", 2)
+	mn := strings.ToLower(strings.TrimSpace(fields[0]))
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	ops := splitOperands(rest)
+
+	encode := func(in Instr) {
+		w, err := Encode(in)
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		a.emitWord(w)
+	}
+
+	switch {
+	case mn == "nop":
+		encode(Instr{Class: ClassSys, Sys: NOP})
+	case mn == "hlt":
+		encode(Instr{Class: ClassSys, Sys: HLT})
+	case mn == "ret":
+		encode(Instr{Class: ClassBranch, Br: BX, Rm: RegLR})
+	case mn == "swi":
+		if len(ops) != 1 || !strings.HasPrefix(ops[0], "#") {
+			a.errorf(n, "swi needs #imm")
+			return
+		}
+		v, err := a.eval(n, ops[0][1:])
+		if err != nil {
+			return
+		}
+		encode(Instr{Class: ClassSWI, Imm: v})
+	case mn == "li":
+		// Pseudo: load 32-bit immediate via movw+movt. Always two words
+		// so pass-1 sizing is stable.
+		if len(ops) != 2 {
+			a.errorf(n, "li needs rd, imm32")
+			return
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		arg := strings.TrimPrefix(ops[1], "#")
+		v, err := a.eval(n, arg)
+		if err != nil {
+			return
+		}
+		encode(Instr{Class: ClassMovW, Rd: rd, Imm: v & 0xFFFF})
+		encode(Instr{Class: ClassMovW, Rd: rd, Imm: v >> 16, High: true})
+	case mn == "push" || mn == "pop":
+		// Pseudo: full-descending stack on sp. "push r0, r4, lr" expands
+		// to a sp adjustment plus one store per register; "pop" restores
+		// in the same order, so pop'ing the push list round-trips.
+		if len(ops) == 0 {
+			a.errorf(n, "%s needs at least one register", mn)
+			return
+		}
+		regs := make([]uint8, len(ops))
+		for i, op := range ops {
+			r, err := parseReg(op)
+			if err != nil {
+				a.errorf(n, "%v", err)
+				return
+			}
+			regs[i] = r
+		}
+		if mn == "push" {
+			encode(Instr{Class: ClassDPImm, DP: SUB, Rd: RegSP, Rn: RegSP, Imm: uint32(4 * len(regs))})
+			for i, r := range regs {
+				encode(Instr{Class: ClassMem, Mem: STR, Rd: r, Rn: RegSP, Off: int32(4 * i)})
+			}
+		} else {
+			for i, r := range regs {
+				encode(Instr{Class: ClassMem, Mem: LDR, Rd: r, Rn: RegSP, Off: int32(4 * i)})
+			}
+			encode(Instr{Class: ClassDPImm, DP: ADD, Rd: RegSP, Rn: RegSP, Imm: uint32(4 * len(regs))})
+		}
+	case mn == "movw" || mn == "movt":
+		if len(ops) != 2 {
+			a.errorf(n, "%s needs rd, #imm16", mn)
+			return
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		arg := strings.TrimPrefix(ops[1], "#")
+		v, err := a.eval(n, arg)
+		if err != nil {
+			return
+		}
+		if v > maxImm16 {
+			a.errorf(n, "%s immediate %#x exceeds 16 bits", mn, v)
+			return
+		}
+		encode(Instr{Class: ClassMovW, Rd: rd, Imm: v, High: mn == "movt"})
+	case mn == "mul" || mn == "mla":
+		want := 3
+		if mn == "mla" {
+			want = 4
+		}
+		if len(ops) != want {
+			a.errorf(n, "%s needs %d operands", mn, want)
+			return
+		}
+		var regs [4]uint8
+		for i, op := range ops {
+			r, err := parseReg(op)
+			if err != nil {
+				a.errorf(n, "%v", err)
+				return
+			}
+			regs[i] = r
+		}
+		in := Instr{Class: ClassMul, Rd: regs[0], Rn: regs[1], Rm: regs[2]}
+		if mn == "mla" {
+			in.Mul = MLA
+			in.Ra = regs[3]
+		}
+		encode(in)
+	default:
+		if br, ok := branchTable[mn]; ok {
+			a.branch(n, br.br, br.cond, ops, encode)
+			return
+		}
+		if dp, ok := dpTable[mn]; ok {
+			a.dataProcessing(n, dp, ops, encode)
+			return
+		}
+		if m, ok := memTable[mn]; ok {
+			a.loadStore(n, m, ops, encode)
+			return
+		}
+		a.errorf(n, "unknown mnemonic %q", mn)
+	}
+}
+
+func (a *assembler) branch(n int, br BrOp, cond Cond, ops []string, encode func(Instr)) {
+	if len(ops) != 1 {
+		a.errorf(n, "branch needs one operand")
+		return
+	}
+	if br == BX {
+		rm, err := parseReg(ops[0])
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		encode(Instr{Cond: cond, Class: ClassBranch, Br: BX, Rm: rm})
+		return
+	}
+	target, err := a.eval(n, ops[0])
+	if err != nil {
+		return
+	}
+	var off int32
+	if a.pass == 2 {
+		delta := int64(target) - int64(a.lc) - 4
+		if delta%4 != 0 {
+			a.errorf(n, "branch target %#x not word-aligned relative to pc", target)
+			return
+		}
+		off = int32(delta / 4)
+	}
+	encode(Instr{Cond: cond, Class: ClassBranch, Br: br, Off: off})
+}
+
+func (a *assembler) dataProcessing(n int, op DPOp, ops []string, encode func(Instr)) {
+	in := Instr{Class: ClassDPReg, DP: op}
+	idx := 0
+	if op.hasRd() {
+		if len(ops) <= idx {
+			a.errorf(n, "%s: missing destination", op)
+			return
+		}
+		rd, err := parseReg(ops[idx])
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		in.Rd = rd
+		idx++
+	}
+	if op.hasRn() {
+		if len(ops) <= idx {
+			a.errorf(n, "%s: missing first operand", op)
+			return
+		}
+		rn, err := parseReg(ops[idx])
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		in.Rn = rn
+		idx++
+	} else if !op.hasRd() {
+		// CMP/CMN/TST read rn as their first operand.
+		if len(ops) <= idx {
+			a.errorf(n, "%s: missing first operand", op)
+			return
+		}
+		rn, err := parseReg(ops[idx])
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		in.Rn = rn
+		idx++
+	}
+	if len(ops) != idx+1 {
+		a.errorf(n, "%s: wrong operand count", op)
+		return
+	}
+	last := ops[idx]
+	if strings.HasPrefix(last, "#") {
+		v, err := a.eval(n, last[1:])
+		if err != nil {
+			return
+		}
+		if v > maxImm12 {
+			a.errorf(n, "%s: immediate %d exceeds 12 bits (use li)", op, v)
+			return
+		}
+		in.Class = ClassDPImm
+		in.Imm = v
+	} else {
+		rm, err := parseReg(last)
+		if err != nil {
+			a.errorf(n, "%v", err)
+			return
+		}
+		in.Rm = rm
+	}
+	encode(in)
+}
+
+// loadStore parses "op rd, [rn]" or "op rd, [rn, #off]".
+func (a *assembler) loadStore(n int, op MemOp, ops []string, encode func(Instr)) {
+	if len(ops) != 2 {
+		a.errorf(n, "%s needs rd, [rn(, #off)]", op)
+		return
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		a.errorf(n, "%v", err)
+		return
+	}
+	addr := strings.TrimSpace(ops[1])
+	if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+		a.errorf(n, "%s: bad address %q", op, addr)
+		return
+	}
+	inner := splitOperands(addr[1 : len(addr)-1])
+	if len(inner) < 1 || len(inner) > 2 {
+		a.errorf(n, "%s: bad address %q", op, addr)
+		return
+	}
+	rn, err := parseReg(inner[0])
+	if err != nil {
+		a.errorf(n, "%v", err)
+		return
+	}
+	var off int32
+	if len(inner) == 2 {
+		o := strings.TrimSpace(inner[1])
+		if !strings.HasPrefix(o, "#") {
+			a.errorf(n, "%s: offset must be #imm", op)
+			return
+		}
+		v, err := a.eval(n, o[1:])
+		if err != nil {
+			return
+		}
+		off = int32(v)
+		if off < memOffMin || off > memOffMax {
+			a.errorf(n, "%s: offset %d out of range", op, off)
+			return
+		}
+	}
+	encode(Instr{Class: ClassMem, Mem: op, Rd: rd, Rn: rn, Off: off})
+}

@@ -1,0 +1,367 @@
+package isa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// word extracts the n-th little-endian word of the program image.
+func word(p *Program, n int) uint32 {
+	return binary.LittleEndian.Uint32(p.Code[n*4:])
+}
+
+// decodeAt decodes the n-th instruction word.
+func decodeAt(t *testing.T, p *Program, n int) Instr {
+	t.Helper()
+	in, err := Decode(word(p, n))
+	if err != nil {
+		t.Fatalf("decode word %d (%#08x): %v", n, word(p, n), err)
+	}
+	return in
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p, err := Assemble(`
+		; a tiny program
+		start:
+			mov r0, #42        @ the answer
+			add r1, r0, #1     // and one more
+			add r2, r0, r1
+			hlt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 16 {
+		t.Fatalf("code size = %d, want 16", len(p.Code))
+	}
+	if in := decodeAt(t, p, 0); in.Class != ClassDPImm || in.DP != MOV || in.Rd != 0 || in.Imm != 42 {
+		t.Errorf("instr 0 = %+v", in)
+	}
+	if in := decodeAt(t, p, 2); in.Class != ClassDPReg || in.DP != ADD || in.Rm != 1 {
+		t.Errorf("instr 2 = %+v", in)
+	}
+	if got := p.Symbols["start"]; got != 0 {
+		t.Errorf("start = %d, want 0", got)
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	p, err := Assemble(`
+		loop:
+			sub r0, r0, #1
+			cmp r0, #0
+			bne loop
+			b   end
+			nop
+		end:
+			hlt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bne loop: at address 8, target 0 → off = (0-12)/4 = -3
+	if in := decodeAt(t, p, 2); in.Class != ClassBranch || in.Cond != NE || in.Off != -3 {
+		t.Errorf("bne = %+v, want off -3", in)
+	}
+	// b end: at address 12, target 20 → off = (20-16)/4 = 1
+	if in := decodeAt(t, p, 3); in.Off != 1 {
+		t.Errorf("b end = %+v, want off 1", in)
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	p, err := Assemble(`
+			b skip
+			.word 0xDEADBEEF
+		skip:	hlt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, p, 0); in.Off != 1 {
+		t.Errorf("forward branch off = %d, want 1", in.Off)
+	}
+	if w := word(p, 1); w != 0xDEADBEEF {
+		t.Errorf("data word = %#x", w)
+	}
+}
+
+func TestAssembleLoadStoreForms(t *testing.T) {
+	p, err := Assemble(`
+		ldr  r1, [r2]
+		ldr  r1, [r2, #8]
+		str  r3, [sp, #-4]
+		ldrb r4, [r0, #1]
+		strh r5, [lr, #2]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, p, 0); in.Mem != LDR || in.Off != 0 {
+		t.Errorf("ldr [r2] = %+v", in)
+	}
+	if in := decodeAt(t, p, 2); in.Mem != STR || in.Rn != RegSP || in.Off != -4 {
+		t.Errorf("str [sp,-4] = %+v", in)
+	}
+	if in := decodeAt(t, p, 4); in.Mem != STRH || in.Rn != RegLR || in.Off != 2 {
+		t.Errorf("strh = %+v", in)
+	}
+}
+
+func TestAssembleLiPseudo(t *testing.T) {
+	p, err := Assemble(`li r7, 0xDEADBEEF`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 8 {
+		t.Fatalf("li must expand to 2 instructions, got %d bytes", len(p.Code))
+	}
+	lo := decodeAt(t, p, 0)
+	hi := decodeAt(t, p, 1)
+	if lo.Class != ClassMovW || lo.High || lo.Imm != 0xBEEF || lo.Rd != 7 {
+		t.Errorf("movw = %+v", lo)
+	}
+	if !hi.High || hi.Imm != 0xDEAD {
+		t.Errorf("movt = %+v", hi)
+	}
+}
+
+func TestAssembleLiWithLabel(t *testing.T) {
+	p, err := Assemble(`
+			li r0, table
+			hlt
+		table:	.word 1, 2, 3
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo := decodeAt(t, p, 0); lo.Imm != 12 {
+		t.Errorf("li low = %#x, want table address 12", lo.Imm)
+	}
+}
+
+func TestAssembleRetPseudo(t *testing.T) {
+	p, err := Assemble(`ret`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, p, 0); in.Br != BX || in.Rm != RegLR {
+		t.Errorf("ret = %+v, want bx lr", in)
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	p, err := Assemble(`
+		.equ MAGIC, 0x55
+		.org 8
+		data:
+		.word MAGIC, MAGIC+1, data
+		.half 0x1234, 0x5678
+		.byte 1, 2, 3
+		.align 4
+		.ascii "AB"
+		.asciz "C"
+		.space 3
+		end:
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word(p, 2) != 0x55 || word(p, 3) != 0x56 || word(p, 4) != 8 {
+		t.Errorf("words = %#x %#x %#x", word(p, 2), word(p, 3), word(p, 4))
+	}
+	if p.Code[20] != 0x34 || p.Code[21] != 0x12 {
+		t.Errorf(".half layout wrong: % x", p.Code[20:24])
+	}
+	if p.Code[24] != 1 || p.Code[26] != 3 {
+		t.Errorf(".byte layout wrong")
+	}
+	// .align 4 pads 27 → 28; ascii at 28.
+	if p.Code[28] != 'A' || p.Code[29] != 'B' || p.Code[30] != 'C' || p.Code[31] != 0 {
+		t.Errorf("strings wrong: % x", p.Code[28:32])
+	}
+	if got := p.Symbols["end"]; got != 35 {
+		t.Errorf("end = %d, want 35", got)
+	}
+}
+
+func TestAssembleCharLiteralAndExpr(t *testing.T) {
+	p, err := Assemble(`
+		mov r0, #'A'
+		mov r1, #'A'+1
+		.equ BASE, 100
+		mov r2, #BASE-90
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, p, 0); in.Imm != 'A' {
+		t.Errorf("char imm = %d", in.Imm)
+	}
+	if in := decodeAt(t, p, 1); in.Imm != 'B' {
+		t.Errorf("char+1 imm = %d", in.Imm)
+	}
+	if in := decodeAt(t, p, 2); in.Imm != 10 {
+		t.Errorf("expr imm = %d", in.Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frob r0", "unknown mnemonic"},
+		{"bad register", "mov r16, #0", "bad register"},
+		{"imm too large", "mov r0, #5000", "exceeds 12 bits"},
+		{"undefined label", "b nowhere", "undefined symbol"},
+		{"duplicate label", "x:\nx:", "duplicate label"},
+		{"bad directive", ".frobnicate 3", "unknown directive"},
+		{"org backwards", ".org 8\n.org 4", "moves backwards"},
+		{"branch operand count", "b a, b", "one operand"},
+		{"mem offset range", "ldr r0, [r1, #5000]", "out of range"},
+		{"bad address", "ldr r0, r1", "bad address"},
+		{"swi form", "swi 3", "needs #imm"},
+		{"bad align", ".align 3", "power of two"},
+		{"equ dup", ".equ a, 1\n.equ a, 2", "duplicate symbol"},
+		{"bad string", ".ascii abc", "quoted string"},
+		{"wrong operand count", "add r0, r1", "wrong operand count"},
+		{"movt range", "movt r0, #0x10000", "exceeds 16 bits"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatal("assembled successfully, want error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestAssembleReportsAllErrors(t *testing.T) {
+	_, err := Assemble("frob r0\nmov r77, #0\nldr r0, r1")
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"line 1", "line 2", "line 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestDisassembleRoundTripThroughAssembler(t *testing.T) {
+	// Disassembling an assembled program and re-assembling it yields the
+	// identical image (for programs without data or pseudo-ops).
+	src := `
+		mov r0, #1
+		mvn r1, r0
+		add r2, r0, #100
+		sub r3, r2, r0
+		rsb r4, r3, #7
+		and r5, r4, r3
+		orr r6, r5, #15
+		eor r7, r6, r5
+		bic r8, r7, #3
+		cmp r8, r0
+		cmn r8, #1
+		tst r8, r1
+		lsl r9, r8, #4
+		lsr r10, r9, r0
+		asr r11, r10, #2
+		mul r12, r11, r0
+		mla r12, r11, r0, r2
+		movw r1, #0xBEEF
+		movt r1, #0xDEAD
+		ldr r2, [r1, #4]
+		strb r2, [sp, #-1]
+		swi #3
+		nop
+		hlt
+	`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for i := 0; i*4 < len(p1.Code); i++ {
+		lines = append(lines, DisassembleWord(word(p1, i), uint32(i*4)))
+	}
+	p2, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("size mismatch %d vs %d", len(p1.Code), len(p2.Code))
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Fatalf("byte %d differs: %#x vs %#x\ndisasm: %s",
+				i, p1.Code[i], p2.Code[i], lines[i/4])
+		}
+	}
+}
+
+func TestDisassembleBranches(t *testing.T) {
+	p, err := Assemble(`
+		start: b start
+		beq start
+		bl start
+		bx lr
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DisassembleWord(word(p, 0), 0); got != "b 0x0" {
+		t.Errorf("disasm = %q", got)
+	}
+	if got := DisassembleWord(word(p, 1), 4); got != "beq 0x0" {
+		t.Errorf("disasm = %q", got)
+	}
+	if got := DisassembleWord(word(p, 2), 8); got != "bl 0x0" {
+		t.Errorf("disasm = %q", got)
+	}
+	if got := DisassembleWord(word(p, 3), 12); got != "bx r14" {
+		t.Errorf("disasm = %q", got)
+	}
+}
+
+func TestDisassembleUndecodable(t *testing.T) {
+	if got := DisassembleWord(0xF0000000, 0); !strings.HasPrefix(got, ".word") {
+		t.Errorf("got %q, want .word fallback", got)
+	}
+}
+
+func TestAssemblePushPopPseudo(t *testing.T) {
+	p, err := Assemble(`
+		push r0, r4, lr
+		pop  r0, r4, lr
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// push: sub sp + 3 stores; pop: 3 loads + add sp → 8 instructions.
+	if len(p.Code) != 32 {
+		t.Fatalf("code = %d bytes, want 32", len(p.Code))
+	}
+	if in := decodeAt(t, p, 0); in.DP != SUB || in.Rd != RegSP || in.Imm != 12 {
+		t.Errorf("push prologue = %+v", in)
+	}
+	if in := decodeAt(t, p, 2); in.Mem != STR || in.Rd != 4 || in.Off != 4 {
+		t.Errorf("push[1] = %+v", in)
+	}
+	if in := decodeAt(t, p, 7); in.DP != ADD || in.Rd != RegSP || in.Imm != 12 {
+		t.Errorf("pop epilogue = %+v", in)
+	}
+	if _, err := Assemble("push"); err == nil {
+		t.Error("bare push accepted")
+	}
+	if _, err := Assemble("pop r99"); err == nil {
+		t.Error("pop of bad register accepted")
+	}
+}

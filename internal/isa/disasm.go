@@ -1,0 +1,72 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders one decoded instruction as assembler syntax. The
+// pc argument is the instruction's own address, used to render branch
+// targets as absolute addresses (matching what Assemble accepts).
+func Disassemble(in Instr, pc uint32) string {
+	switch in.Class {
+	case ClassDPReg, ClassDPImm:
+		op2 := fmt.Sprintf("r%d", in.Rm)
+		if in.Class == ClassDPImm {
+			op2 = fmt.Sprintf("#%d", in.Imm)
+		}
+		switch {
+		case !in.DP.hasRd():
+			return fmt.Sprintf("%s r%d, %s", in.DP, in.Rn, op2)
+		case !in.DP.hasRn():
+			return fmt.Sprintf("%s r%d, %s", in.DP, in.Rd, op2)
+		default:
+			return fmt.Sprintf("%s r%d, r%d, %s", in.DP, in.Rd, in.Rn, op2)
+		}
+	case ClassMem:
+		if in.Off == 0 {
+			return fmt.Sprintf("%s r%d, [r%d]", in.Mem, in.Rd, in.Rn)
+		}
+		return fmt.Sprintf("%s r%d, [r%d, #%d]", in.Mem, in.Rd, in.Rn, in.Off)
+	case ClassBranch:
+		switch in.Br {
+		case BX:
+			return fmt.Sprintf("bx r%d", in.Rm)
+		case BL:
+			return fmt.Sprintf("bl 0x%x", branchTarget(pc, in.Off))
+		default:
+			return fmt.Sprintf("b%s 0x%x", in.Cond, branchTarget(pc, in.Off))
+		}
+	case ClassMul:
+		if in.Mul == MLA {
+			return fmt.Sprintf("mla r%d, r%d, r%d, r%d", in.Rd, in.Rn, in.Rm, in.Ra)
+		}
+		return fmt.Sprintf("mul r%d, r%d, r%d", in.Rd, in.Rn, in.Rm)
+	case ClassSWI:
+		return fmt.Sprintf("swi #%d", in.Imm)
+	case ClassMovW:
+		if in.High {
+			return fmt.Sprintf("movt r%d, #0x%x", in.Rd, in.Imm)
+		}
+		return fmt.Sprintf("movw r%d, #0x%x", in.Rd, in.Imm)
+	case ClassSys:
+		if in.Sys == HLT {
+			return "hlt"
+		}
+		return "nop"
+	default:
+		return fmt.Sprintf(".word <unencodable %+v>", in)
+	}
+}
+
+// branchTarget computes the absolute target of a relative branch at pc.
+func branchTarget(pc uint32, off int32) uint32 {
+	return uint32(int64(pc) + 4 + int64(off)*4)
+}
+
+// DisassembleWord decodes and renders a raw instruction word, falling
+// back to a .word directive for undecodable values.
+func DisassembleWord(w uint32, pc uint32) string {
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+	return Disassemble(in, pc)
+}

@@ -1,0 +1,31 @@
+// Package isa defines "armlet", the 32-bit ARM-flavoured instruction set
+// executed by the framework's instruction-set simulators, together with a
+// two-pass assembler and a disassembler.
+//
+// The original system used SimIT-ARM simulators running cross-compiled
+// binaries. ARM's real encodings are irrelevant to the experiments — what
+// matters is that independently clocked ISS masters execute software that
+// drives the shared-memory wrapper through a memory-mapped interface. So
+// armlet is a deliberate clean-room teaching ISA with ARM's flavour
+// (16 registers, NZCV flags, condition codes, link-register calls) and
+// none of its baggage.
+//
+// Architecture summary:
+//
+//   - 16 general registers r0..r15 (aliases: sp=r13, lr=r14). The program
+//     counter is separate; r15 is an ordinary register.
+//   - NZCV flags, set only by CMP, CMN and TST; conditional execution is
+//     encoded for every instruction but the assembler exposes it on
+//     branches (beq, bne, blt, bge, ble, bgt, bcs, bcc, bmi, bpl).
+//   - Fixed 32-bit little-endian encodings in eight classes: register
+//     data-processing, immediate data-processing, load/store, branch
+//     (b/bl/bx), multiply (mul/mla), software interrupt (swi), wide moves
+//     (movw/movt) and system (nop/hlt).
+//   - BL writes the return address to lr; "ret" assembles to "bx lr";
+//     "li rd, imm32" expands to movw+movt.
+//
+// The assembler accepts labels, .org/.word/.space/.ascii/.asciz/.align
+// and .equ directives, character literals, and label±offset expressions;
+// see Assemble. Encode and Decode round-trip every legal instruction, a
+// property the tests check exhaustively by fuzzing.
+package isa

@@ -1,0 +1,391 @@
+package isa
+
+import "fmt"
+
+// Cond is a condition code selecting whether an instruction executes,
+// evaluated against the NZCV flags.
+type Cond uint8
+
+// Condition codes. AL (always) is the default.
+const (
+	AL      Cond = iota
+	EQ           // Z
+	NE           // !Z
+	LT           // N != V (signed less)
+	GE           // N == V
+	LE           // Z or N != V
+	GT           // !Z and N == V
+	CS           // C (unsigned ≥)
+	CC           // !C (unsigned <)
+	MI           // N
+	PL           // !N
+	VS           // V
+	VC           // !V
+	numCond = iota
+)
+
+var condNames = [...]string{"", "eq", "ne", "lt", "ge", "le", "gt", "cs", "cc", "mi", "pl", "vs", "vc"}
+
+// String returns the assembler suffix ("" for AL).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// Holds reports whether the condition is satisfied by the given flags.
+func (c Cond) Holds(n, z, cf, v bool) bool {
+	switch c {
+	case AL:
+		return true
+	case EQ:
+		return z
+	case NE:
+		return !z
+	case LT:
+		return n != v
+	case GE:
+		return n == v
+	case LE:
+		return z || n != v
+	case GT:
+		return !z && n == v
+	case CS:
+		return cf
+	case CC:
+		return !cf
+	case MI:
+		return n
+	case PL:
+		return !n
+	case VS:
+		return v
+	case VC:
+		return !v
+	default:
+		return false
+	}
+}
+
+// Class is the major instruction format.
+type Class uint8
+
+// Instruction classes (bits 27:24 of the encoding).
+const (
+	ClassDPReg  Class = 0 // data processing, register operand
+	ClassDPImm  Class = 1 // data processing, 12-bit immediate
+	ClassMem    Class = 2 // load/store, base + signed 12-bit offset
+	ClassBranch Class = 3 // b / bl / bx
+	ClassMul    Class = 4 // mul / mla
+	ClassSWI    Class = 5 // software interrupt
+	ClassMovW   Class = 6 // movw / movt
+	ClassSys    Class = 7 // nop / hlt
+)
+
+// DPOp is a data-processing operation.
+type DPOp uint8
+
+// Data-processing operations. CMP, CMN and TST are the only flag-setting
+// instructions in the ISA.
+const (
+	MOV     DPOp = iota // rd = op2
+	MVN                 // rd = ^op2
+	ADD                 // rd = rn + op2
+	SUB                 // rd = rn - op2
+	RSB                 // rd = op2 - rn
+	AND                 // rd = rn & op2
+	ORR                 // rd = rn | op2
+	EOR                 // rd = rn ^ op2
+	BIC                 // rd = rn &^ op2
+	CMP                 // flags(rn - op2)
+	CMN                 // flags(rn + op2)
+	TST                 // flags(rn & op2), N and Z only
+	LSL                 // rd = rn << (op2 & 31)
+	LSR                 // rd = rn >> (op2 & 31), logical
+	ASR                 // rd = rn >> (op2 & 31), arithmetic
+	numDPOp = iota
+)
+
+var dpNames = [...]string{"mov", "mvn", "add", "sub", "rsb", "and", "orr", "eor", "bic", "cmp", "cmn", "tst", "lsl", "lsr", "asr"}
+
+// String returns the mnemonic.
+func (o DPOp) String() string {
+	if int(o) < len(dpNames) {
+		return dpNames[o]
+	}
+	return fmt.Sprintf("dp%d", uint8(o))
+}
+
+// hasRd reports whether the operation writes a destination register.
+func (o DPOp) hasRd() bool { return o != CMP && o != CMN && o != TST }
+
+// hasRn reports whether the operation reads a first source register.
+func (o DPOp) hasRn() bool { return o != MOV && o != MVN }
+
+// MemOp is a load/store operation.
+type MemOp uint8
+
+// Load/store operations with access width; halfword and byte loads
+// zero-extend (use data-processing to sign-extend when needed).
+const (
+	LDR MemOp = iota
+	STR
+	LDRB
+	STRB
+	LDRH
+	STRH
+	numMemOp = iota
+)
+
+var memNames = [...]string{"ldr", "str", "ldrb", "strb", "ldrh", "strh"}
+
+// String returns the mnemonic.
+func (o MemOp) String() string {
+	if int(o) < len(memNames) {
+		return memNames[o]
+	}
+	return fmt.Sprintf("mem%d", uint8(o))
+}
+
+// IsLoad reports whether the operation reads memory into rd.
+func (o MemOp) IsLoad() bool { return o == LDR || o == LDRB || o == LDRH }
+
+// Width returns the access width in bytes.
+func (o MemOp) Width() uint32 {
+	switch o {
+	case LDRB, STRB:
+		return 1
+	case LDRH, STRH:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// BrOp is a branch operation.
+type BrOp uint8
+
+// Branch operations. B and BL take a signed word offset relative to
+// pc+4; BL writes pc+4 to lr first. BX jumps to a register.
+const (
+	B BrOp = iota
+	BL
+	BX
+	numBrOp = iota
+)
+
+// MulOp is a multiply operation.
+type MulOp uint8
+
+// Multiply operations: MUL rd = rn*rm; MLA rd = rn*rm + ra.
+const (
+	MUL MulOp = iota
+	MLA
+	numMulOp = iota
+)
+
+// SysOp is a system operation.
+type SysOp uint8
+
+// System operations.
+const (
+	NOP SysOp = iota
+	HLT
+	numSysOp = iota
+)
+
+// SWI service numbers understood by the framework's ISS (the "SWs API"
+// layer of Figure 1). They are conventions of the runtime, not of the
+// hardware encoding, which accepts any 24-bit service number.
+const (
+	SWIExit   = 0 // halt; r0 is the exit code
+	SWIPutc   = 1 // write low byte of r0 to the console
+	SWIPutInt = 2 // write r0 as decimal + '\n' to the console
+	SWICycles = 3 // r0 = low 32 bits of the cycle counter
+)
+
+// Register aliases.
+const (
+	RegSP = 13
+	RegLR = 14
+)
+
+// Instr is one decoded instruction. Fields are meaningful per Class, as
+// documented on each class constant; unused fields are zero.
+type Instr struct {
+	Cond  Cond
+	Class Class
+
+	DP  DPOp  // ClassDPReg, ClassDPImm
+	Mem MemOp // ClassMem
+	Br  BrOp  // ClassBranch
+	Mul MulOp // ClassMul
+	Sys SysOp // ClassSys
+
+	Rd, Rn, Rm, Ra uint8
+
+	Imm  uint32 // DPImm imm12; MovW imm16; SWI imm24
+	Off  int32  // Mem byte offset (±2047); Branch word offset (±2^20)
+	High bool   // MovW: movt when set
+}
+
+// encoding field limits
+const (
+	maxImm12  = 1<<12 - 1
+	maxImm16  = 1<<16 - 1
+	maxImm24  = 1<<24 - 1
+	memOffMin = -(1 << 11)
+	memOffMax = 1<<11 - 1
+	brOffMin  = -(1 << 20)
+	brOffMax  = 1<<20 - 1
+)
+
+// Encode packs the instruction into its 32-bit representation. It
+// validates field ranges and returns a descriptive error for anything
+// unencodable.
+func Encode(in Instr) (uint32, error) {
+	if in.Cond >= numCond {
+		return 0, fmt.Errorf("isa: bad condition %d", in.Cond)
+	}
+	if in.Rd > 15 || in.Rn > 15 || in.Rm > 15 || in.Ra > 15 {
+		return 0, fmt.Errorf("isa: register out of range in %+v", in)
+	}
+	w := uint32(in.Cond)<<28 | uint32(in.Class)<<24
+	switch in.Class {
+	case ClassDPReg:
+		if in.DP >= numDPOp {
+			return 0, fmt.Errorf("isa: bad dp op %d", in.DP)
+		}
+		w |= uint32(in.DP)<<20 | uint32(in.Rd)<<16 | uint32(in.Rn)<<12 | uint32(in.Rm)<<8
+	case ClassDPImm:
+		if in.DP >= numDPOp {
+			return 0, fmt.Errorf("isa: bad dp op %d", in.DP)
+		}
+		if in.Imm > maxImm12 {
+			return 0, fmt.Errorf("isa: immediate %d exceeds 12 bits", in.Imm)
+		}
+		w |= uint32(in.DP)<<20 | uint32(in.Rd)<<16 | uint32(in.Rn)<<12 | in.Imm
+	case ClassMem:
+		if in.Mem >= numMemOp {
+			return 0, fmt.Errorf("isa: bad mem op %d", in.Mem)
+		}
+		if in.Off < memOffMin || in.Off > memOffMax {
+			return 0, fmt.Errorf("isa: memory offset %d out of range", in.Off)
+		}
+		w |= uint32(in.Mem)<<20 | uint32(in.Rd)<<16 | uint32(in.Rn)<<12 | uint32(in.Off)&0xFFF
+	case ClassBranch:
+		if in.Br >= numBrOp {
+			return 0, fmt.Errorf("isa: bad branch op %d", in.Br)
+		}
+		w |= uint32(in.Br) << 21
+		if in.Br == BX {
+			w |= uint32(in.Rm)
+		} else {
+			if in.Off < brOffMin || in.Off > brOffMax {
+				return 0, fmt.Errorf("isa: branch offset %d out of range", in.Off)
+			}
+			w |= uint32(in.Off) & 0x1FFFFF
+		}
+	case ClassMul:
+		if in.Mul >= numMulOp {
+			return 0, fmt.Errorf("isa: bad mul op %d", in.Mul)
+		}
+		w |= uint32(in.Mul)<<20 | uint32(in.Rd)<<16 | uint32(in.Rn)<<12 | uint32(in.Rm)<<8 | uint32(in.Ra)<<4
+	case ClassSWI:
+		if in.Imm > maxImm24 {
+			return 0, fmt.Errorf("isa: swi number %d exceeds 24 bits", in.Imm)
+		}
+		w |= in.Imm
+	case ClassMovW:
+		if in.Imm > maxImm16 {
+			return 0, fmt.Errorf("isa: wide immediate %d exceeds 16 bits", in.Imm)
+		}
+		if in.High {
+			w |= 1 << 20
+		}
+		w |= uint32(in.Rd)<<16 | in.Imm
+	case ClassSys:
+		if in.Sys >= numSysOp {
+			return 0, fmt.Errorf("isa: bad sys op %d", in.Sys)
+		}
+		w |= uint32(in.Sys) << 20
+	default:
+		return 0, fmt.Errorf("isa: bad class %d", in.Class)
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word into an Instr. It rejects encodings whose
+// fields fall outside the defined operations.
+func Decode(w uint32) (Instr, error) {
+	in := Instr{
+		Cond:  Cond(w >> 28),
+		Class: Class(w >> 24 & 0xF),
+	}
+	if in.Cond >= numCond {
+		return in, fmt.Errorf("isa: undefined condition %d in %#08x", in.Cond, w)
+	}
+	switch in.Class {
+	case ClassDPReg:
+		in.DP = DPOp(w >> 20 & 0xF)
+		if in.DP >= numDPOp {
+			return in, fmt.Errorf("isa: undefined dp op in %#08x", w)
+		}
+		in.Rd = uint8(w >> 16 & 0xF)
+		in.Rn = uint8(w >> 12 & 0xF)
+		in.Rm = uint8(w >> 8 & 0xF)
+	case ClassDPImm:
+		in.DP = DPOp(w >> 20 & 0xF)
+		if in.DP >= numDPOp {
+			return in, fmt.Errorf("isa: undefined dp op in %#08x", w)
+		}
+		in.Rd = uint8(w >> 16 & 0xF)
+		in.Rn = uint8(w >> 12 & 0xF)
+		in.Imm = w & 0xFFF
+	case ClassMem:
+		in.Mem = MemOp(w >> 20 & 0xF)
+		if in.Mem >= numMemOp {
+			return in, fmt.Errorf("isa: undefined mem op in %#08x", w)
+		}
+		in.Rd = uint8(w >> 16 & 0xF)
+		in.Rn = uint8(w >> 12 & 0xF)
+		in.Off = int32(w&0xFFF) << 20 >> 20 // sign-extend 12 bits
+	case ClassBranch:
+		in.Br = BrOp(w >> 21 & 0x7)
+		if in.Br >= numBrOp {
+			return in, fmt.Errorf("isa: undefined branch op in %#08x", w)
+		}
+		if in.Br == BX {
+			in.Rm = uint8(w & 0xF)
+		} else {
+			in.Off = int32(w&0x1FFFFF) << 11 >> 11 // sign-extend 21 bits
+		}
+	case ClassMul:
+		in.Mul = MulOp(w >> 20 & 0xF)
+		if in.Mul >= numMulOp {
+			return in, fmt.Errorf("isa: undefined mul op in %#08x", w)
+		}
+		in.Rd = uint8(w >> 16 & 0xF)
+		in.Rn = uint8(w >> 12 & 0xF)
+		in.Rm = uint8(w >> 8 & 0xF)
+		in.Ra = uint8(w >> 4 & 0xF)
+	case ClassSWI:
+		in.Imm = w & 0xFFFFFF
+	case ClassMovW:
+		in.High = w>>20&0xF == 1
+		if s := w >> 20 & 0xF; s > 1 {
+			return in, fmt.Errorf("isa: undefined movw form in %#08x", w)
+		}
+		in.Rd = uint8(w >> 16 & 0xF)
+		in.Imm = w & 0xFFFF
+	case ClassSys:
+		in.Sys = SysOp(w >> 20 & 0xF)
+		if in.Sys >= numSysOp {
+			return in, fmt.Errorf("isa: undefined sys op in %#08x", w)
+		}
+	default:
+		return in, fmt.Errorf("isa: undefined class %d in %#08x", in.Class, w)
+	}
+	return in, nil
+}

@@ -1,0 +1,199 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTripAllClasses(t *testing.T) {
+	cases := []Instr{
+		{Class: ClassDPReg, DP: ADD, Rd: 1, Rn: 2, Rm: 3},
+		{Class: ClassDPReg, DP: MOV, Rd: 15, Rm: 0},
+		{Cond: EQ, Class: ClassDPImm, DP: SUB, Rd: 4, Rn: 4, Imm: 4095},
+		{Class: ClassDPImm, DP: CMP, Rn: 7, Imm: 0},
+		{Class: ClassMem, Mem: LDR, Rd: 0, Rn: 13, Off: -2048},
+		{Class: ClassMem, Mem: STRH, Rd: 9, Rn: 1, Off: 2047},
+		{Class: ClassBranch, Br: B, Off: -1},
+		{Cond: NE, Class: ClassBranch, Br: B, Off: brOffMax},
+		{Class: ClassBranch, Br: BL, Off: brOffMin},
+		{Class: ClassBranch, Br: BX, Rm: 14},
+		{Class: ClassMul, Mul: MUL, Rd: 1, Rn: 2, Rm: 3},
+		{Class: ClassMul, Mul: MLA, Rd: 1, Rn: 2, Rm: 3, Ra: 4},
+		{Class: ClassSWI, Imm: 0xABCDEF},
+		{Class: ClassMovW, Rd: 5, Imm: 0xFFFF},
+		{Class: ClassMovW, Rd: 5, Imm: 0x1234, High: true},
+		{Class: ClassSys, Sys: NOP},
+		{Class: ClassSys, Sys: HLT},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != in {
+			t.Errorf("round trip: %+v → %#08x → %+v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripFuzz(t *testing.T) {
+	// Randomly generated legal instructions must round-trip exactly.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		in := Instr{Cond: Cond(rng.Intn(int(numCond)))}
+		switch rng.Intn(8) {
+		case 0:
+			in.Class = ClassDPReg
+			in.DP = DPOp(rng.Intn(int(numDPOp)))
+			in.Rd, in.Rn, in.Rm = uint8(rng.Intn(16)), uint8(rng.Intn(16)), uint8(rng.Intn(16))
+		case 1:
+			in.Class = ClassDPImm
+			in.DP = DPOp(rng.Intn(int(numDPOp)))
+			in.Rd, in.Rn = uint8(rng.Intn(16)), uint8(rng.Intn(16))
+			in.Imm = uint32(rng.Intn(maxImm12 + 1))
+		case 2:
+			in.Class = ClassMem
+			in.Mem = MemOp(rng.Intn(int(numMemOp)))
+			in.Rd, in.Rn = uint8(rng.Intn(16)), uint8(rng.Intn(16))
+			in.Off = int32(rng.Intn(memOffMax-memOffMin+1) + memOffMin)
+		case 3:
+			in.Class = ClassBranch
+			in.Br = BrOp(rng.Intn(int(numBrOp)))
+			if in.Br == BX {
+				in.Rm = uint8(rng.Intn(16))
+			} else {
+				in.Off = int32(rng.Intn(brOffMax-brOffMin+1) + brOffMin)
+			}
+		case 4:
+			in.Class = ClassMul
+			in.Mul = MulOp(rng.Intn(int(numMulOp)))
+			in.Rd, in.Rn, in.Rm = uint8(rng.Intn(16)), uint8(rng.Intn(16)), uint8(rng.Intn(16))
+			if in.Mul == MLA {
+				in.Ra = uint8(rng.Intn(16))
+			}
+		case 5:
+			in.Class = ClassSWI
+			in.Imm = uint32(rng.Intn(maxImm24 + 1))
+		case 6:
+			in.Class = ClassMovW
+			in.Rd = uint8(rng.Intn(16))
+			in.Imm = uint32(rng.Intn(maxImm16 + 1))
+			in.High = rng.Intn(2) == 1
+		case 7:
+			in.Class = ClassSys
+			in.Sys = SysOp(rng.Intn(int(numSysOp)))
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v (from %+v)", w, err, in)
+		}
+		if got != in {
+			t.Fatalf("round trip: %+v → %#08x → %+v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	cases := []Instr{
+		{Class: ClassDPImm, DP: MOV, Rd: 1, Imm: maxImm12 + 1},
+		{Class: ClassDPReg, DP: numDPOp},
+		{Class: ClassMem, Mem: LDR, Off: memOffMax + 1},
+		{Class: ClassMem, Mem: LDR, Off: memOffMin - 1},
+		{Class: ClassMem, Mem: numMemOp},
+		{Class: ClassBranch, Br: B, Off: brOffMax + 1},
+		{Class: ClassBranch, Br: numBrOp},
+		{Class: ClassSWI, Imm: maxImm24 + 1},
+		{Class: ClassMovW, Imm: maxImm16 + 1},
+		{Class: ClassSys, Sys: numSysOp},
+		{Class: ClassDPReg, DP: ADD, Rd: 16},
+		{Cond: numCond, Class: ClassSys},
+		{Class: Class(9)},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsUndefined(t *testing.T) {
+	bad := []uint32{
+		0xF0000000,                        // condition 15
+		uint32(ClassDPReg)<<24 | 0xF<<20,  // dp op 15
+		uint32(ClassMem)<<24 | 0xF<<20,    // mem op 15
+		uint32(ClassBranch)<<24 | 0x7<<21, // branch op 7
+		uint32(ClassMul)<<24 | 0xF<<20,    // mul op 15
+		uint32(ClassMovW)<<24 | 0x5<<20,   // movw form 5
+		uint32(ClassSys)<<24 | 0xF<<20,    // sys op 15
+		uint32(8) << 24,                   // class 8
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	// flags: n, z, c, v
+	cases := []struct {
+		c           Cond
+		n, z, cf, v bool
+		want        bool
+	}{
+		{AL, false, false, false, false, true},
+		{EQ, false, true, false, false, true},
+		{EQ, false, false, false, false, false},
+		{NE, false, false, false, false, true},
+		{LT, true, false, false, false, true},  // N!=V
+		{LT, true, false, false, true, false},  // N==V
+		{GE, false, false, false, false, true}, // N==V
+		{LE, false, true, false, false, true},
+		{GT, false, false, false, false, true},
+		{GT, false, true, false, false, false},
+		{CS, false, false, true, false, true},
+		{CC, false, false, true, false, false},
+		{MI, true, false, false, false, true},
+		{PL, true, false, false, false, false},
+		{VS, false, false, false, true, true},
+		{VC, false, false, false, true, false},
+		{Cond(200), false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Holds(c.n, c.z, c.cf, c.v); got != c.want {
+			t.Errorf("%v.Holds(%v,%v,%v,%v) = %v, want %v", c.c, c.n, c.z, c.cf, c.v, got, c.want)
+		}
+	}
+}
+
+func TestMemOpProperties(t *testing.T) {
+	if !LDR.IsLoad() || !LDRB.IsLoad() || !LDRH.IsLoad() {
+		t.Error("loads misclassified")
+	}
+	if STR.IsLoad() || STRB.IsLoad() || STRH.IsLoad() {
+		t.Error("stores misclassified")
+	}
+	if LDR.Width() != 4 || LDRH.Width() != 2 || STRB.Width() != 1 {
+		t.Error("widths wrong")
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	if AL.String() != "" || EQ.String() != "eq" {
+		t.Error("Cond strings wrong")
+	}
+	if ADD.String() != "add" || DPOp(99).String() == "" {
+		t.Error("DPOp strings wrong")
+	}
+	if LDRB.String() != "ldrb" || MemOp(99).String() == "" {
+		t.Error("MemOp strings wrong")
+	}
+}

@@ -1,0 +1,25 @@
+// Package iss implements the instruction-set simulator: a cycle-true CPU
+// model executing armlet programs (see internal/isa) with a memory-mapped
+// bridge to the shared-memory interconnect.
+//
+// The original framework integrates SimIT-ARM simulators with the
+// simulation kernel; software running on each ISS reaches the dynamic
+// shared memories through high-level APIs that the wrapper turns into
+// handshake transactions. This package reproduces that integration:
+//
+//   - CPU is a sim.Module retiring one instruction per cycle out of a
+//     private local memory (code + data, von Neumann, little-endian).
+//   - Loads and stores inside the MMIO window (default 0xFFFF0000) access
+//     the shared-memory bridge registers instead: the program fills in
+//     operation, sm_addr and operands, then writes the GO register, which
+//     issues the bus transaction and stalls the CPU until the wrapper's
+//     response returns — exactly the blocking ISS↔wrapper coupling the
+//     paper describes ("operations ... are implemented as communications
+//     between the ISS and the shared memory's wrapper").
+//   - Indexed (burst) transfers stage data in the bridge's I/O array,
+//     reproducing the paper's "I/O registers are substituted by I/O
+//     arrays" mechanism from the software side.
+//   - SWI services provide exit, console output and cycle readback; the
+//     assembly-level API in internal/smapi/smasm.go wraps the bridge in
+//     call-and-return routines with a C-like signature convention.
+package iss

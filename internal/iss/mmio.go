@@ -1,0 +1,50 @@
+package iss
+
+// MMIO register offsets within the shared-memory bridge window. All
+// bridge registers are 32-bit and must be accessed with word loads and
+// stores (ldr/str).
+const (
+	// MMIOBase is the default base address of the bridge window.
+	MMIOBase = 0xFFFF0000
+
+	// RegOp selects the operation (a bus.Op value).
+	RegOp = 0x00
+	// RegSM selects the target shared-memory module (sm_addr).
+	RegSM = 0x04
+	// RegVPtr is the virtual-pointer operand.
+	RegVPtr = 0x08
+	// RegData is the scalar datum for writes.
+	RegData = 0x0C
+	// RegDim is the element count for allocations and bursts.
+	RegDim = 0x10
+	// RegDType is the element type for allocations (a bus.DataType).
+	RegDType = 0x14
+	// RegGo issues the transaction when written; reading it back yields
+	// the completion status: StatusOK, or StatusErrBase+ErrCode.
+	RegGo = 0x18
+	// RegResult holds the transaction result: the new virtual pointer
+	// after an allocation, the datum after a read, the element count
+	// after a burst read.
+	RegResult = 0x1C
+	// RegCycles reads the low 32 bits of the global cycle counter.
+	RegCycles = 0x20
+
+	// IOArray is the offset of the staging I/O array used by burst
+	// operations: burst writes take their payload from it, burst reads
+	// deposit their data into it, one 32-bit element per word.
+	IOArray = 0x100
+	// IOWords is the capacity of the I/O array in 32-bit elements.
+	IOWords = 256
+
+	// MMIOSize is the size of the bridge window in bytes.
+	MMIOSize = IOArray + 4*IOWords
+)
+
+// Status values read back from RegGo.
+const (
+	// StatusOK means the last transaction completed successfully.
+	StatusOK = 0
+	// StatusErrBase plus the bus.ErrCode encodes a failed transaction;
+	// e.g. capacity exhaustion reads back as StatusErrBase+ErrCapacity.
+	StatusErrBase = 2
+)

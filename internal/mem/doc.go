@@ -1,0 +1,13 @@
+// Package mem implements the traditional memory model the paper contrasts
+// against: a static table memory. The entire simulated address range is
+// backed by a fixed array allocated up front ("static memories implemented
+// as tables"), addresses are plain offsets, and dynamic operations
+// (alloc/free/reserve) do not exist at the hardware level — software that
+// needs dynamic data over a static memory must manage it itself.
+//
+// StaticRAM serves the same bus protocol as the dynamic wrapper so that
+// experiment E2 can replay identical traffic against both models and
+// measure the wrapper's overhead, and E6 can show where the static table
+// stops scaling (its capacity is paid in host memory at construction
+// time, whether used or not).
+package mem

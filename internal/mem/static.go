@@ -1,0 +1,249 @@
+package mem
+
+import (
+	"encoding/binary"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+// Delays are the static RAM's timing parameters, a subset of the
+// wrapper's: static memories have no allocation path.
+type Delays struct {
+	Decode       uint32
+	Read         uint32
+	Write        uint32
+	BurstBase    uint32
+	BurstPerElem uint32
+}
+
+// DefaultDelays matches the wrapper's default scalar timings so that E2
+// compares functional overhead, not configured latency.
+func DefaultDelays() Delays {
+	return Delays{Decode: 1, Read: 1, Write: 1, BurstBase: 1, BurstPerElem: 1}
+}
+
+// Config parameterizes a StaticRAM.
+type Config struct {
+	// Name labels the module.
+	Name string
+	// Size is the table size in bytes, allocated in full at construction
+	// (that is the point of the static model).
+	Size uint32
+	// Delays are the timing parameters; zero values mean minimum latency.
+	Delays Delays
+}
+
+// Stats counts memory activity.
+type Stats struct {
+	Ops        [bus.NumOps]uint64
+	Errors     [bus.NumOps]uint64
+	BusyCycles uint64
+	BurstElems uint64
+}
+
+type ramState uint8
+
+const (
+	ramIdle ramState = iota
+	ramDecode
+	ramExec
+)
+
+// StaticRAM is a table memory module: a fixed little-endian byte array
+// addressed directly by VPtr. Dynamic operations answer ErrBadOp.
+type StaticRAM struct {
+	cfg  Config
+	link *bus.Link
+	data []byte
+
+	state ramState
+	wait  uint32
+	cur   bus.Request
+
+	// in holds the input registers sampled every cycle; like the
+	// wrapper, the static RAM is a cycle-true module evaluated
+	// unconditionally each clock (see core.Wrapper's ioRegs note).
+	in struct {
+		pending bool
+		op      bus.Op
+		vptr    uint32
+		data    uint32
+		dim     uint32
+		dtype   bus.DataType
+	}
+
+	stats Stats
+}
+
+// NewStaticRAM creates the module, allocates its full table, and
+// registers it with the kernel.
+func NewStaticRAM(k *sim.Kernel, cfg Config, link *bus.Link) *StaticRAM {
+	if cfg.Name == "" {
+		cfg.Name = "sram"
+	}
+	r := &StaticRAM{cfg: cfg, link: link, data: make([]byte, cfg.Size)}
+	k.Add(r)
+	return r
+}
+
+// Name implements sim.Module.
+func (r *StaticRAM) Name() string { return r.cfg.Name }
+
+// Stats returns a snapshot of the counters.
+func (r *StaticRAM) Stats() Stats { return r.stats }
+
+// Size returns the configured table size in bytes.
+func (r *StaticRAM) Size() uint32 { return r.cfg.Size }
+
+// Peek returns the byte at addr for white-box tests.
+func (r *StaticRAM) Peek(addr uint32) byte { return r.data[addr] }
+
+func (r *StaticRAM) opCycles(req bus.Request) uint32 {
+	d := r.cfg.Delays
+	switch req.Op {
+	case bus.OpRead:
+		return d.Read
+	case bus.OpWrite:
+		return d.Write
+	case bus.OpReadBurst:
+		return d.BurstBase + d.BurstPerElem*req.Dim
+	case bus.OpWriteBurst:
+		return d.BurstBase + d.BurstPerElem*uint32(len(req.Burst))
+	default:
+		return 0
+	}
+}
+
+// Tick implements sim.Module with the same three-state engine as the
+// wrapper, so the two models differ only functionally.
+func (r *StaticRAM) Tick(cycle uint64) {
+	if r.link.Pending() {
+		q := r.link.PeekRequest()
+		r.in.pending = true
+		r.in.op, r.in.vptr, r.in.data, r.in.dim, r.in.dtype = q.Op, q.VPtr, q.Data, q.Dim, q.DType
+	} else {
+		r.in.pending = false
+		r.in.op, r.in.vptr, r.in.data, r.in.dim, r.in.dtype = 0, 0, 0, 0, 0
+	}
+	switch r.state {
+	case ramIdle:
+		req, ok := r.link.TakeRequest()
+		if !ok {
+			return
+		}
+		r.cur = req
+		r.stats.BusyCycles++
+		r.wait = r.cfg.Delays.Decode
+		r.state = ramDecode
+		if r.wait == 0 {
+			r.enterExec()
+			r.maybeFinish()
+		}
+	case ramDecode:
+		r.stats.BusyCycles++
+		r.wait--
+		if r.wait == 0 {
+			r.enterExec()
+			r.maybeFinish()
+		}
+	case ramExec:
+		r.stats.BusyCycles++
+		r.wait--
+		r.maybeFinish()
+	}
+}
+
+func (r *StaticRAM) enterExec() {
+	r.wait = r.opCycles(r.cur)
+	r.state = ramExec
+}
+
+func (r *StaticRAM) maybeFinish() {
+	if r.state != ramExec || r.wait > 0 {
+		return
+	}
+	resp := r.execute(r.cur)
+	if op := int(r.cur.Op); op < bus.NumOps {
+		r.stats.Ops[op]++
+		if resp.Err != bus.OK {
+			r.stats.Errors[op]++
+		}
+	}
+	r.link.Complete(resp)
+	r.cur = bus.Request{}
+	r.state = ramIdle
+}
+
+// inBounds checks an n-byte access at addr.
+func (r *StaticRAM) inBounds(addr, n uint32) bool {
+	return uint64(addr)+uint64(n) <= uint64(len(r.data))
+}
+
+func (r *StaticRAM) execute(req bus.Request) bus.Response {
+	es := req.DType.Size()
+	switch req.Op {
+	case bus.OpRead:
+		if !r.inBounds(req.VPtr, es) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		return bus.Response{Data: r.readElem(req.VPtr, req.DType)}
+
+	case bus.OpWrite:
+		if !r.inBounds(req.VPtr, es) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		r.writeElem(req.VPtr, req.DType, req.Data)
+		return bus.Response{}
+
+	case bus.OpReadBurst:
+		if !r.inBounds(req.VPtr, es*req.Dim) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		out := make([]uint32, req.Dim)
+		for i := uint32(0); i < req.Dim; i++ {
+			out[i] = r.readElem(req.VPtr+i*es, req.DType)
+		}
+		r.stats.BurstElems += uint64(req.Dim)
+		return bus.Response{Burst: out}
+
+	case bus.OpWriteBurst:
+		n := uint32(len(req.Burst))
+		if !r.inBounds(req.VPtr, es*n) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		for i, v := range req.Burst {
+			r.writeElem(req.VPtr+uint32(i)*es, req.DType, v)
+		}
+		r.stats.BurstElems += uint64(n)
+		return bus.Response{}
+
+	default:
+		// Static tables have no dynamic operations.
+		return bus.Response{Err: bus.ErrBadOp}
+	}
+}
+
+func (r *StaticRAM) readElem(addr uint32, dt bus.DataType) uint32 {
+	switch dt {
+	case bus.U8:
+		return uint32(r.data[addr])
+	case bus.U16:
+		return uint32(binary.LittleEndian.Uint16(r.data[addr:]))
+	case bus.I16:
+		return uint32(int32(int16(binary.LittleEndian.Uint16(r.data[addr:]))))
+	default:
+		return binary.LittleEndian.Uint32(r.data[addr:])
+	}
+}
+
+func (r *StaticRAM) writeElem(addr uint32, dt bus.DataType, val uint32) {
+	switch dt {
+	case bus.U8:
+		r.data[addr] = byte(val)
+	case bus.U16, bus.I16:
+		binary.LittleEndian.PutUint16(r.data[addr:], uint16(val))
+	default:
+		binary.LittleEndian.PutUint32(r.data[addr:], val)
+	}
+}

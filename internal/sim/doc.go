@@ -1,0 +1,24 @@
+// Package sim implements the cycle-true simulation kernel underlying the
+// co-simulation framework.
+//
+// The kernel plays the role GEZEL / SystemC play in the original DATE'05
+// system: it owns a single synchronous clock domain, a set of hardware
+// modules, and the signals connecting them. Simulation is strictly
+// two-phase:
+//
+//   - During a cycle every registered Module has its Tick method invoked
+//     exactly once. Modules read the *current* value of signals and write
+//     *next* values.
+//   - After all modules have ticked, the kernel commits every written
+//     signal, making the new values visible to the following cycle.
+//
+// Because reads always observe the pre-cycle state, the order in which
+// modules tick is unobservable: simulation is deterministic and race-free
+// by construction, mirroring the registered (cycle-by-cycle) communication
+// the paper prescribes for the memory-wrapper handshake.
+//
+// The kernel also provides run control (Run, RunUntil, RunUntilQuiescent),
+// per-cycle hooks for instrumentation, a fault channel through which any
+// module can abort simulation with an error, and value-change-dump (VCD)
+// tracing for waveform inspection.
+package sim

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Module is a synchronous hardware block. Tick is called exactly once per
+// simulated clock cycle; implementations read current signal values and
+// write next values. Tick must not retain references into the kernel's
+// internal state across cycles other than through signals.
+type Module interface {
+	// Name identifies the module in diagnostics, stats and VCD scopes.
+	Name() string
+	// Tick advances the module by one clock cycle. cycle is the index of
+	// the cycle being simulated, starting at 0.
+	Tick(cycle uint64)
+}
+
+// ErrLimit is returned by the RunUntil family when the cycle budget is
+// exhausted before the stop condition holds.
+var ErrLimit = errors.New("sim: cycle limit reached")
+
+// Kernel owns the clock, the modules and the signals of one simulated
+// system. The zero value is not usable; construct with New.
+type Kernel struct {
+	modules []Module
+	signals []committer
+	dirty   []committer
+	cycle   uint64
+
+	// anyChange records whether the last committed cycle changed at least
+	// one signal value; used by RunUntilQuiescent.
+	anyChange bool
+
+	fault error
+
+	afterCycle []func(cycle uint64)
+
+	// profiling state; nil unless EnableProfiling was called.
+	profTime  []time.Duration
+	profTicks []uint64
+}
+
+// New returns an empty kernel at cycle 0.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Add registers a module. Modules tick in registration order, but because
+// signal reads observe pre-cycle state only, the order is unobservable to
+// the simulated hardware.
+func (k *Kernel) Add(m Module) {
+	k.modules = append(k.modules, m)
+}
+
+// Modules returns the registered modules in registration order.
+func (k *Kernel) Modules() []Module { return k.modules }
+
+// AfterCycle registers fn to run after each cycle's signal commit. Hooks
+// are instrumentation: they must not write signals.
+func (k *Kernel) AfterCycle(fn func(cycle uint64)) {
+	k.afterCycle = append(k.afterCycle, fn)
+}
+
+// Fault aborts the simulation at the end of the current cycle with err.
+// The first fault wins. Modules use this for conditions that have no
+// hardware representation (internal invariant violations), not for
+// modelled error responses.
+func (k *Kernel) Fault(err error) {
+	if k.fault == nil && err != nil {
+		k.fault = fmt.Errorf("cycle %d: %w", k.cycle, err)
+	}
+}
+
+// Err returns the pending fault, if any.
+func (k *Kernel) Err() error { return k.fault }
+
+// Cycle returns the number of fully simulated cycles.
+func (k *Kernel) Cycle() uint64 { return k.cycle }
+
+func (k *Kernel) addSignal(s committer) {
+	k.signals = append(k.signals, s)
+}
+
+func (k *Kernel) markDirty(s committer) {
+	k.dirty = append(k.dirty, s)
+}
+
+// Step simulates exactly one clock cycle. It returns the first module
+// fault raised during the cycle, if any.
+func (k *Kernel) Step() error {
+	if k.fault != nil {
+		return k.fault
+	}
+	c := k.cycle
+	if k.profTime != nil {
+		k.profiledTick(c)
+	} else {
+		for _, m := range k.modules {
+			m.Tick(c)
+		}
+	}
+	changed := false
+	for _, s := range k.dirty {
+		if s.commit() {
+			changed = true
+		}
+	}
+	k.dirty = k.dirty[:0]
+	k.anyChange = changed
+	k.cycle++
+	for _, fn := range k.afterCycle {
+		fn(c)
+	}
+	return k.fault
+}
+
+// Run simulates n cycles or stops early on a fault.
+func (k *Kernel) Run(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if err := k.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil steps the kernel until pred returns true (checked after each
+// cycle), a fault occurs, or limit cycles have elapsed, in which case it
+// returns ErrLimit. It returns the number of cycles stepped by this call.
+func (k *Kernel) RunUntil(pred func() bool, limit uint64) (uint64, error) {
+	for n := uint64(0); n < limit; n++ {
+		if err := k.Step(); err != nil {
+			return n + 1, err
+		}
+		if pred() {
+			return n + 1, nil
+		}
+	}
+	return limit, ErrLimit
+}
+
+// RunUntilQuiescent steps the kernel until idle consecutive cycles commit
+// no signal change, or limit cycles elapse (returning ErrLimit). A system
+// whose signals have stopped changing has reached a fixed point: no module
+// can observe anything new. Useful for draining pipelines in tests.
+func (k *Kernel) RunUntilQuiescent(idle, limit uint64) (uint64, error) {
+	quiet := uint64(0)
+	for n := uint64(0); n < limit; n++ {
+		if err := k.Step(); err != nil {
+			return n + 1, err
+		}
+		if k.anyChange {
+			quiet = 0
+		} else {
+			quiet++
+			if quiet >= idle {
+				return n + 1, nil
+			}
+		}
+	}
+	return limit, ErrLimit
+}

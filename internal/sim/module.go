@@ -1,0 +1,17 @@
+package sim
+
+// FuncModule adapts a closure into a Module. Useful for test fixtures,
+// stimulus generators and small glue blocks that do not warrant a named
+// type.
+type FuncModule struct {
+	// Nm is the module name reported to diagnostics.
+	Nm string
+	// Fn is invoked once per cycle.
+	Fn func(cycle uint64)
+}
+
+// Name implements Module.
+func (m *FuncModule) Name() string { return m.Nm }
+
+// Tick implements Module.
+func (m *FuncModule) Tick(cycle uint64) { m.Fn(cycle) }

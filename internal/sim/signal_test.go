@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// nopModule ticks without touching signals.
+type nopModule struct{ name string }
+
+func (m *nopModule) Name() string      { return m.name }
+func (m *nopModule) Tick(cycle uint64) {}
+
+func TestSignalReadsPreviousCycleValue(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 0)
+	var seen []int
+	k.Add(&FuncModule{"writer", func(cycle uint64) {
+		seen = append(seen, s.Get())
+		s.Set(int(cycle) + 100)
+	}})
+	if err := k.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0 sees init 0; cycle 1 sees value written in cycle 0; etc.
+	want := []int{0, 100, 101}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Errorf("cycle %d: Get() = %d, want %d", i, seen[i], w)
+		}
+	}
+}
+
+func TestSignalHoldsValueWhenNotWritten(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 7)
+	k.Add(&nopModule{"idle"})
+	if err := k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(); got != 7 {
+		t.Errorf("Get() = %d, want held value 7", got)
+	}
+}
+
+func TestSignalLastWriteWins(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 0)
+	k.Add(&FuncModule{"w", func(cycle uint64) {
+		s.Set(1)
+		s.Set(2)
+		s.Set(3)
+	}})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(); got != 3 {
+		t.Errorf("Get() = %d, want 3 (last write wins)", got)
+	}
+}
+
+func TestSignalPending(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 1)
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending() before write = %d, want 1", got)
+	}
+	k.Add(&FuncModule{"w", func(cycle uint64) {
+		s.Set(9)
+		if got := s.Pending(); got != 9 {
+			t.Errorf("Pending() mid-cycle = %d, want 9", got)
+		}
+		if got := s.Get(); got != 1 {
+			t.Errorf("Get() mid-cycle = %d, want 1", got)
+		}
+	}})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(); got != 9 {
+		t.Errorf("Get() after commit = %d, want 9", got)
+	}
+}
+
+func TestSignalWriteVisibleExactlyOneCycleLater(t *testing.T) {
+	// Property: for any sequence of written values, the reader observes the
+	// same sequence delayed by exactly one cycle.
+	prop := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		k := New()
+		s := NewSignal(k, "s", uint32(0))
+		var got []uint32
+		i := 0
+		k.Add(&FuncModule{"w", func(cycle uint64) {
+			if i < len(vals) {
+				s.Set(vals[i])
+				i++
+			}
+		}})
+		k.Add(&FuncModule{"r", func(cycle uint64) {
+			got = append(got, s.Get())
+		}})
+		if err := k.Run(uint64(len(vals) + 1)); err != nil {
+			return false
+		}
+		if got[0] != 0 {
+			return false
+		}
+		for j, v := range vals {
+			if got[j+1] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "ack", true)
+	if got, want := s.String(), "ack=true"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := s.Name(), "ack"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+}

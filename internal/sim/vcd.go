@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// VCD emits value-change-dump waveforms for a set of probed values, one
+// sample per simulated cycle. It is deliberately probe-based rather than
+// signal-based: any value a closure can reach (a Signal, a register inside
+// a module, a derived expression) can be traced without coupling modules
+// to the tracer.
+//
+// Typical use:
+//
+//	vcd := sim.NewVCD(f, "1ns")
+//	vcd.AddVar("bus", "req_valid", 1, sim.ProbeBool(reqValid))
+//	vcd.AddVar("bus", "addr", 32, sim.ProbeU32(addr))
+//	k.AfterCycle(vcd.Sample)
+//	defer vcd.Flush()
+type VCD struct {
+	w      *bufio.Writer
+	ts     string
+	vars   []vcdVar
+	wrote  bool
+	nextID int
+}
+
+type vcdVar struct {
+	scope string
+	name  string
+	width int
+	probe func() uint64
+	id    string
+	last  uint64
+	init  bool
+}
+
+// NewVCD creates a VCD tracer writing to w with the given timescale
+// (for example "1ns"); one simulated cycle advances one timescale unit.
+func NewVCD(w io.Writer, timescale string) *VCD {
+	return &VCD{w: bufio.NewWriter(w), ts: timescale}
+}
+
+// AddVar registers a variable of the given bit width under a scope. Must
+// be called before the first Sample. Probe is invoked once per sample.
+func (v *VCD) AddVar(scope, name string, width int, probe func() uint64) {
+	if v.wrote {
+		panic("sim: VCD.AddVar after first Sample")
+	}
+	v.vars = append(v.vars, vcdVar{
+		scope: scope,
+		name:  name,
+		width: width,
+		probe: probe,
+		id:    vcdID(v.nextID),
+	})
+	v.nextID++
+}
+
+// vcdID maps an index to the VCD identifier alphabet (ASCII 33..126).
+func vcdID(n int) string {
+	const lo, hi = 33, 127
+	if n < hi-lo {
+		return string(rune(lo + n))
+	}
+	return vcdID(n/(hi-lo)-1) + string(rune(lo+n%(hi-lo)))
+}
+
+func (v *VCD) header() {
+	fmt.Fprintf(v.w, "$version repro mpsoc-cosim $end\n$timescale %s $end\n", v.ts)
+	// Group variables by scope, preserving insertion order of scopes.
+	order := []string{}
+	byScope := map[string][]int{}
+	for i, vr := range v.vars {
+		if _, ok := byScope[vr.scope]; !ok {
+			order = append(order, vr.scope)
+		}
+		byScope[vr.scope] = append(byScope[vr.scope], i)
+	}
+	for _, sc := range order {
+		fmt.Fprintf(v.w, "$scope module %s $end\n", sc)
+		for _, i := range byScope[sc] {
+			vr := &v.vars[i]
+			fmt.Fprintf(v.w, "$var wire %d %s %s $end\n", vr.width, vr.id, vr.name)
+		}
+		fmt.Fprintf(v.w, "$upscope $end\n")
+	}
+	fmt.Fprintf(v.w, "$enddefinitions $end\n")
+}
+
+// Sample records the current value of every probe at the given cycle,
+// emitting changes only. Suitable for Kernel.AfterCycle.
+func (v *VCD) Sample(cycle uint64) {
+	if !v.wrote {
+		v.header()
+		v.wrote = true
+	}
+	stamped := false
+	for i := range v.vars {
+		vr := &v.vars[i]
+		val := vr.probe()
+		if vr.init && val == vr.last {
+			continue
+		}
+		if !stamped {
+			fmt.Fprintf(v.w, "#%d\n", cycle)
+			stamped = true
+		}
+		vr.last = val
+		vr.init = true
+		if vr.width == 1 {
+			fmt.Fprintf(v.w, "%d%s\n", val&1, vr.id)
+		} else {
+			fmt.Fprintf(v.w, "b%s %s\n", strconv.FormatUint(val, 2), vr.id)
+		}
+	}
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (v *VCD) Flush() error { return v.w.Flush() }
+
+// ProbeBool adapts a bool signal into a VCD probe.
+func ProbeBool(s *Signal[bool]) func() uint64 {
+	return func() uint64 {
+		if s.Get() {
+			return 1
+		}
+		return 0
+	}
+}
+
+// ProbeU32 adapts a uint32 signal into a VCD probe.
+func ProbeU32(s *Signal[uint32]) func() uint64 {
+	return func() uint64 { return uint64(s.Get()) }
+}
+
+// ProbeU64 adapts a uint64 signal into a VCD probe.
+func ProbeU64(s *Signal[uint64]) func() uint64 {
+	return func() uint64 { return s.Get() }
+}
+
+// ProbeInt adapts an int signal into a VCD probe.
+func ProbeInt(s *Signal[int]) func() uint64 {
+	return func() uint64 { return uint64(int64(s.Get())) }
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDHeaderAndChanges(t *testing.T) {
+	var sb strings.Builder
+	k := New()
+	b := NewSignal(k, "b", false)
+	w := NewSignal(k, "w", uint32(0))
+	vcd := NewVCD(&sb, "1ns")
+	vcd.AddVar("top", "valid", 1, ProbeBool(b))
+	vcd.AddVar("top", "data", 32, ProbeU32(w))
+	k.Add(&FuncModule{"drv", func(cycle uint64) {
+		if cycle == 1 {
+			b.Set(true)
+			w.Set(0x5)
+		}
+	}})
+	k.AfterCycle(vcd.Sample)
+	if err := k.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := vcd.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module top $end",
+		"$var wire 1 ! valid $end",
+		"$var wire 32 \" data $end",
+		"$enddefinitions $end",
+		"#0\n0!\nb0 \"",
+		"#1\n1!\nb101 \"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD output missing %q\n---\n%s", want, out)
+		}
+	}
+	// No change after cycle 1: timestamps #2/#3 must be absent.
+	if strings.Contains(out, "#2") || strings.Contains(out, "#3") {
+		t.Errorf("VCD emitted timestamps for unchanged cycles\n---\n%s", out)
+	}
+}
+
+func TestVCDIDAllocation(t *testing.T) {
+	// 94 single-char ids, then two-char ids; all distinct.
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+	if got := vcdID(0); got != "!" {
+		t.Errorf("vcdID(0) = %q, want !", got)
+	}
+	if got := vcdID(93); got != "~" {
+		t.Errorf("vcdID(93) = %q, want ~", got)
+	}
+	if got := vcdID(94); len(got) != 2 {
+		t.Errorf("vcdID(94) = %q, want two chars", got)
+	}
+}
+
+func TestVCDAddVarAfterSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddVar after Sample did not panic")
+		}
+	}()
+	var sb strings.Builder
+	vcd := NewVCD(&sb, "1ns")
+	vcd.AddVar("s", "x", 1, func() uint64 { return 0 })
+	vcd.Sample(0)
+	vcd.AddVar("s", "y", 1, func() uint64 { return 0 })
+}
+
+func TestVCDProbes(t *testing.T) {
+	k := New()
+	u64 := NewSignal(k, "u64", uint64(9))
+	i := NewSignal(k, "i", -1)
+	if got := ProbeU64(u64)(); got != 9 {
+		t.Errorf("ProbeU64 = %d, want 9", got)
+	}
+	if got := ProbeInt(i)(); got != uint64(0xFFFFFFFFFFFFFFFF) {
+		t.Errorf("ProbeInt(-1) = %#x, want all-ones", got)
+	}
+}

@@ -1,0 +1,176 @@
+package smapi
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+// Task is the software body of a processing element. It runs as a
+// coroutine against the simulation: every Ctx or Mem method that
+// consumes simulated time suspends the task and lets the kernel advance.
+type Task func(ctx *Ctx)
+
+type procState uint8
+
+const (
+	procRunning procState = iota
+	procWaitResp
+	procSleeping
+	procDone
+)
+
+// Proc is a processing element executing a native software task. It is
+// the native-code counterpart of an ISS: computation happens at host
+// speed, while every shared-memory operation becomes a cycle-true bus
+// transaction on its master link.
+type Proc struct {
+	name string
+	id   int
+	link *bus.Link
+	task Task
+
+	state   procState
+	started bool
+	wakeAt  uint64
+	resp    bus.Response
+
+	step chan uint64
+	done chan struct{}
+
+	cycle uint64
+
+	// Stats
+	OpsIssued    uint64
+	ActiveWakes  uint64
+	WaitCycles   uint64
+	SleepCycles  uint64
+	RetiredTasks uint64
+
+	panicErr error
+	k        *sim.Kernel
+}
+
+// NewProc creates a processing element named name with master link link,
+// running task. id is the master identity stamped on reservations (use
+// the PE's index on the interconnect).
+func NewProc(k *sim.Kernel, name string, id int, link *bus.Link, task Task) *Proc {
+	p := &Proc{
+		name: name,
+		id:   id,
+		link: link,
+		task: task,
+		step: make(chan uint64),
+		done: make(chan struct{}),
+		k:    k,
+	}
+	k.Add(p)
+	return p
+}
+
+// Name implements sim.Module.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the task function has returned.
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// Tick implements sim.Module. The coroutine handoff is fully synchronous
+// (unbuffered channels, one resume per cycle at most), so execution stays
+// deterministic.
+func (p *Proc) Tick(cycle uint64) {
+	switch p.state {
+	case procDone:
+		return
+	case procWaitResp:
+		p.WaitCycles++
+		resp, ok := p.link.Response()
+		if !ok {
+			return
+		}
+		p.resp = resp
+		p.state = procRunning
+		p.wake(cycle)
+	case procSleeping:
+		p.SleepCycles++
+		if cycle < p.wakeAt {
+			return
+		}
+		p.state = procRunning
+		p.wake(cycle)
+	case procRunning:
+		if !p.started {
+			p.started = true
+			go p.run()
+		}
+		p.wake(cycle)
+	}
+}
+
+// run is the coroutine body.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicErr = fmt.Errorf("%s: task panic: %v", p.name, r)
+		}
+		p.state = procDone
+		p.RetiredTasks++
+		p.done <- struct{}{}
+	}()
+	cycle := <-p.step
+	ctx := &Ctx{p: p}
+	p.cycle = cycle
+	p.task(ctx)
+}
+
+// wake resumes the coroutine for the current cycle and blocks until it
+// suspends again (or finishes).
+func (p *Proc) wake(cycle uint64) {
+	p.ActiveWakes++
+	p.step <- cycle
+	<-p.done
+	if p.panicErr != nil {
+		p.k.Fault(p.panicErr)
+		p.panicErr = nil
+	}
+}
+
+// yield suspends the coroutine; the next wake delivers the then-current
+// cycle. Called only from the task goroutine.
+func (p *Proc) yield() {
+	p.done <- struct{}{}
+	p.cycle = <-p.step
+}
+
+// transact issues req on the PE's link and blocks (in simulated time)
+// until the response arrives.
+func (p *Proc) transact(req bus.Request) bus.Response {
+	req.Master = p.id
+	p.OpsIssued++
+	p.link.Issue(req)
+	p.state = procWaitResp
+	p.yield()
+	return p.resp
+}
+
+// Ctx is the task-side handle to simulated time and the shared memories.
+type Ctx struct {
+	p *Proc
+}
+
+// Cycle returns the current simulated cycle.
+func (c *Ctx) Cycle() uint64 { return c.p.cycle }
+
+// Sleep advances simulated time by n cycles, modelling computation that
+// takes that long on the PE. Sleep(0) yields for exactly one cycle.
+func (c *Ctx) Sleep(n uint64) {
+	p := c.p
+	p.wakeAt = p.cycle + n
+	p.state = procSleeping
+	p.yield()
+}
+
+// Mem returns the C-formalism API bound to shared memory module sm.
+func (c *Ctx) Mem(sm int) *Mem {
+	return &Mem{p: c.p, sm: sm}
+}

@@ -1,0 +1,129 @@
+package smapi
+
+// Runtime is the armlet assembly implementation of the shared-memory API
+// for programs running on the ISS. Append it to a program's source and
+// call the routines with bl.
+//
+// Calling convention (C formalism, registers instead of a stack):
+//
+//	sm_malloc   r0=dim  r1=dtype r2=sm        → r0=vptr,  r1=status
+//	sm_free     r0=vptr r2=sm                 → r1=status
+//	sm_read     r0=vptr r2=sm                 → r0=data,  r1=status
+//	sm_write    r0=vptr r1=data r2=sm         → r1=status
+//	sm_readn    r0=vptr r1=n    r2=sm         → r1=status (data in I/O array)
+//	sm_writen   r0=vptr r1=n    r2=sm         → r1=status (data from I/O array)
+//	sm_reserve  r0=vptr r2=sm                 → r1=status
+//	sm_release  r0=vptr r2=sm                 → r1=status
+//
+// status is 0 on success, 2+ErrCode on failure (see iss.StatusErrBase).
+// r12 is clobbered. The I/O array lives at MMIO+0x100 and holds up to
+// 256 words; see iss.IOArray.
+const Runtime = `
+; ---- shared-memory runtime (smapi) -------------------------------------
+.equ SM_MMIO,   0xFFFF0000
+.equ SM_OP,     0x00
+.equ SM_SM,     0x04
+.equ SM_VPTR,   0x08
+.equ SM_DATA,   0x0C
+.equ SM_DIM,    0x10
+.equ SM_DTYPE,  0x14
+.equ SM_GO,     0x18
+.equ SM_RESULT, 0x1C
+.equ SM_IOBUF,  0x100
+
+.equ SM_OP_READ,    0
+.equ SM_OP_WRITE,   1
+.equ SM_OP_ALLOC,   2
+.equ SM_OP_FREE,    3
+.equ SM_OP_READN,   4
+.equ SM_OP_WRITEN,  5
+.equ SM_OP_RESERVE, 6
+.equ SM_OP_RELEASE, 7
+
+sm_malloc:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_DIM]
+	str  r1, [r12, #SM_DTYPE]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_ALLOC
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ldr  r0, [r12, #SM_RESULT]
+	ret
+
+sm_free:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_VPTR]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_FREE
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ret
+
+sm_read:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_VPTR]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_READ
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ldr  r0, [r12, #SM_RESULT]
+	ret
+
+sm_write:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_VPTR]
+	str  r1, [r12, #SM_DATA]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_WRITE
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ret
+
+sm_readn:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_VPTR]
+	str  r1, [r12, #SM_DIM]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_READN
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ret
+
+sm_writen:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_VPTR]
+	str  r1, [r12, #SM_DIM]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_WRITEN
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ret
+
+sm_reserve:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_VPTR]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_RESERVE
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ret
+
+sm_release:
+	li   r12, SM_MMIO
+	str  r0, [r12, #SM_VPTR]
+	str  r2, [r12, #SM_SM]
+	mov  r0, #SM_OP_RELEASE
+	str  r0, [r12, #SM_OP]
+	str  r0, [r12, #SM_GO]
+	ldr  r1, [r12, #SM_GO]
+	ret
+; ---- end shared-memory runtime ------------------------------------------
+`

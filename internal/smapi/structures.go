@@ -1,0 +1,255 @@
+package smapi
+
+import (
+	"repro/internal/bus"
+)
+
+// This file implements the paper's deferred feature — "methods to manage
+// general data structures are work in progress" — on top of the wrapper:
+// pointer-linked structures whose nodes are individual dynamic
+// allocations and whose links are *virtual* pointers, traversed entirely
+// through simulated transactions. Nothing here bypasses the bus: the
+// host never follows a Vptr directly.
+
+// nilVPtr marks the end of a virtual-pointer chain. The wrapper's
+// address space starts at 0 and capacity checks prevent it from ever
+// reaching 2^32−1, so the value cannot collide with a real allocation.
+const nilVPtr = 0xFFFFFFFF
+
+// List is a singly linked list in one shared memory module. Node layout:
+// two u32 elements, [next, value]. The list object itself is a one-cell
+// head block, so the structure is fully addressable by any master that
+// knows the head's Vptr — lists built by one PE can be walked by another.
+type List struct {
+	m    *Mem
+	head uint32 // Vptr of the head cell (holding the first node's Vptr)
+}
+
+// NewList allocates the head cell of an empty list.
+func NewList(m *Mem) (*List, bus.ErrCode) {
+	head, code := m.Malloc(1, bus.U32)
+	if code != bus.OK {
+		return nil, code
+	}
+	if code := m.Write(head, nilVPtr); code != bus.OK {
+		return nil, code
+	}
+	return &List{m: m, head: head}, bus.OK
+}
+
+// AttachList binds to an existing list by its head Vptr (for example one
+// published through a mailbox by another PE).
+func AttachList(m *Mem, head uint32) *List {
+	return &List{m: m, head: head}
+}
+
+// Head returns the list's head-cell Vptr, for sharing with other PEs.
+func (l *List) Head() uint32 { return l.head }
+
+// Push prepends a value (O(1): one node allocation, two writes, one
+// head update — each a simulated transaction).
+func (l *List) Push(v uint32) bus.ErrCode {
+	node, code := l.m.Malloc(2, bus.U32)
+	if code != bus.OK {
+		return code
+	}
+	first, code := l.m.Read(l.head)
+	if code != bus.OK {
+		return code
+	}
+	if code := l.m.Write(node, first); code != bus.OK {
+		return code
+	}
+	if code := l.m.Write(node+4, v); code != bus.OK {
+		return code
+	}
+	return l.m.Write(l.head, node)
+}
+
+// Pop removes and returns the first value. ok is false on an empty list.
+func (l *List) Pop() (v uint32, ok bool, code bus.ErrCode) {
+	first, code := l.m.Read(l.head)
+	if code != bus.OK {
+		return 0, false, code
+	}
+	if first == nilVPtr {
+		return 0, false, bus.OK
+	}
+	next, code := l.m.Read(first)
+	if code != bus.OK {
+		return 0, false, code
+	}
+	v, code = l.m.Read(first + 4)
+	if code != bus.OK {
+		return 0, false, code
+	}
+	if code := l.m.Write(l.head, next); code != bus.OK {
+		return 0, false, code
+	}
+	if code := l.m.Free(first); code != bus.OK {
+		return 0, false, code
+	}
+	return v, true, bus.OK
+}
+
+// Walk visits every value front to back, stopping early if fn returns
+// false. The traversal is pure simulated reads, so any master may walk a
+// list concurrently with readers.
+func (l *List) Walk(fn func(v uint32) bool) bus.ErrCode {
+	cur, code := l.m.Read(l.head)
+	if code != bus.OK {
+		return code
+	}
+	for cur != nilVPtr {
+		v, code := l.m.Read(cur + 4)
+		if code != bus.OK {
+			return code
+		}
+		if !fn(v) {
+			return bus.OK
+		}
+		cur, code = l.m.Read(cur)
+		if code != bus.OK {
+			return code
+		}
+	}
+	return bus.OK
+}
+
+// Len counts the nodes (a full walk).
+func (l *List) Len() (int, bus.ErrCode) {
+	n := 0
+	code := l.Walk(func(uint32) bool { n++; return true })
+	return n, code
+}
+
+// Destroy frees every node and the head cell.
+func (l *List) Destroy() bus.ErrCode {
+	for {
+		_, ok, code := l.Pop()
+		if code != bus.OK {
+			return code
+		}
+		if !ok {
+			break
+		}
+	}
+	return l.m.Free(l.head)
+}
+
+// Ring is a bounded single-producer/single-consumer queue in shared
+// memory, safe across two PEs when updates are guarded by the
+// reservation bit. Layout: [head, tail, cap, data...]. Head and tail are
+// monotone counters; the slot of counter c is c mod cap.
+type Ring struct {
+	m  *Mem
+	cb uint32 // control+storage block
+}
+
+// NewRing allocates a ring with capacity slots.
+func NewRing(m *Mem, capacity uint32) (*Ring, bus.ErrCode) {
+	if capacity == 0 {
+		return nil, bus.ErrBadOp
+	}
+	cb, code := m.Malloc(3+capacity, bus.U32)
+	if code != bus.OK {
+		return nil, code
+	}
+	if code := m.Write(cb+8, capacity); code != bus.OK {
+		return nil, code
+	}
+	return &Ring{m: m, cb: cb}, bus.OK
+}
+
+// AttachRing binds to an existing ring by its block Vptr.
+func AttachRing(m *Mem, cb uint32) *Ring { return &Ring{m: m, cb: cb} }
+
+// Base returns the ring's block Vptr for sharing with other PEs.
+func (r *Ring) Base() uint32 { return r.cb }
+
+// TryPut appends v if the ring is not full. It acquires the ring's
+// reservation for the duration of the update.
+func (r *Ring) TryPut(ctx *Ctx, v uint32) (ok bool, code bus.ErrCode) {
+	if code := r.m.Acquire(r.cb, 3); code != bus.OK {
+		return false, code
+	}
+	defer r.m.Release(r.cb)
+	head, code := r.m.Read(r.cb)
+	if code != bus.OK {
+		return false, code
+	}
+	tail, code := r.m.Read(r.cb + 4)
+	if code != bus.OK {
+		return false, code
+	}
+	capacity, code := r.m.Read(r.cb + 8)
+	if code != bus.OK {
+		return false, code
+	}
+	if head-tail >= capacity {
+		return false, bus.OK // full
+	}
+	if code := r.m.Write(r.cb+12+4*(head%capacity), v); code != bus.OK {
+		return false, code
+	}
+	return true, r.m.Write(r.cb, head+1)
+}
+
+// TryGet removes the oldest value if the ring is not empty.
+func (r *Ring) TryGet(ctx *Ctx) (v uint32, ok bool, code bus.ErrCode) {
+	if code := r.m.Acquire(r.cb, 3); code != bus.OK {
+		return 0, false, code
+	}
+	defer r.m.Release(r.cb)
+	head, code := r.m.Read(r.cb)
+	if code != bus.OK {
+		return 0, false, code
+	}
+	tail, code := r.m.Read(r.cb + 4)
+	if code != bus.OK {
+		return 0, false, code
+	}
+	if head == tail {
+		return 0, false, bus.OK // empty
+	}
+	capacity, code := r.m.Read(r.cb + 8)
+	if code != bus.OK {
+		return 0, false, code
+	}
+	v, code = r.m.Read(r.cb + 12 + 4*(tail%capacity))
+	if code != bus.OK {
+		return 0, false, code
+	}
+	return v, true, r.m.Write(r.cb+4, tail+1)
+}
+
+// Put blocks (in simulated time) until the value is enqueued.
+func (r *Ring) Put(ctx *Ctx, v uint32, backoff uint64) bus.ErrCode {
+	if backoff == 0 {
+		backoff = 5
+	}
+	for {
+		ok, code := r.TryPut(ctx, v)
+		if code != bus.OK || ok {
+			return code
+		}
+		ctx.Sleep(backoff)
+	}
+}
+
+// Get blocks (in simulated time) until a value is available.
+func (r *Ring) Get(ctx *Ctx, backoff uint64) (uint32, bus.ErrCode) {
+	if backoff == 0 {
+		backoff = 5
+	}
+	for {
+		v, ok, code := r.TryGet(ctx)
+		if code != bus.OK {
+			return 0, code
+		}
+		if ok {
+			return v, bus.OK
+		}
+		ctx.Sleep(backoff)
+	}
+}

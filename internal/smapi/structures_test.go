@@ -1,0 +1,195 @@
+package smapi
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+)
+
+func TestListPushPopWalk(t *testing.T) {
+	var popped []uint32
+	var walked []uint32
+	var length int
+	task := func(ctx *Ctx) {
+		m := ctx.Mem(0)
+		l, code := NewList(m)
+		if code != bus.OK {
+			panic(code)
+		}
+		for i := uint32(1); i <= 5; i++ {
+			if code := l.Push(i * 10); code != bus.OK {
+				panic(code)
+			}
+		}
+		length, _ = l.Len()
+		if code := l.Walk(func(v uint32) bool {
+			walked = append(walked, v)
+			return true
+		}); code != bus.OK {
+			panic(code)
+		}
+		for {
+			v, ok, code := l.Pop()
+			if code != bus.OK {
+				panic(code)
+			}
+			if !ok {
+				break
+			}
+			popped = append(popped, v)
+		}
+		if code := l.Destroy(); code != bus.OK {
+			panic(code)
+		}
+	}
+	k, procs, w := buildSystem(t, []Task{task}, core.Config{Delays: core.DefaultDelays()})
+	runAll(t, k, procs, 1_000_000)
+	if length != 5 {
+		t.Errorf("Len = %d, want 5", length)
+	}
+	want := []uint32{50, 40, 30, 20, 10} // LIFO
+	for i, v := range want {
+		if walked[i] != v || popped[i] != v {
+			t.Errorf("order[%d]: walk %d pop %d, want %d", i, walked[i], popped[i], v)
+		}
+	}
+	if w.Table().Len() != 0 {
+		t.Errorf("leaked %d allocations after Destroy", w.Table().Len())
+	}
+}
+
+func TestListWalkEarlyStop(t *testing.T) {
+	var visited int
+	task := func(ctx *Ctx) {
+		m := ctx.Mem(0)
+		l, _ := NewList(m)
+		for i := 0; i < 10; i++ {
+			l.Push(uint32(i))
+		}
+		l.Walk(func(v uint32) bool {
+			visited++
+			return visited < 3
+		})
+	}
+	k, procs, _ := buildSystem(t, []Task{task}, core.Config{Delays: core.DefaultDelays()})
+	runAll(t, k, procs, 1_000_000)
+	if visited != 3 {
+		t.Errorf("visited = %d, want 3", visited)
+	}
+}
+
+func TestListSharedAcrossPEs(t *testing.T) {
+	// PE0 builds a list; PE1 attaches by head Vptr and sums it — general
+	// data structures exchanged by virtual pointer, the paper's deferred
+	// feature.
+	var head uint32
+	var ready, built bool
+	var sum uint32
+	builder := func(ctx *Ctx) {
+		m := ctx.Mem(0)
+		l, code := NewList(m)
+		if code != bus.OK {
+			panic(code)
+		}
+		head, ready = l.Head(), true
+		for i := uint32(1); i <= 4; i++ {
+			if code := l.Push(i); code != bus.OK {
+				panic(code)
+			}
+		}
+		built = true
+	}
+	reader := func(ctx *Ctx) {
+		m := ctx.Mem(0)
+		for !ready || !built {
+			ctx.Sleep(5)
+		}
+		l := AttachList(m, head)
+		if code := l.Walk(func(v uint32) bool {
+			sum += v
+			return true
+		}); code != bus.OK {
+			panic(code)
+		}
+	}
+	k, procs, _ := buildSystem(t, []Task{builder, reader}, core.Config{Delays: core.DefaultDelays()})
+	runAll(t, k, procs, 1_000_000)
+	if sum != 10 {
+		t.Errorf("sum = %d, want 10", sum)
+	}
+}
+
+func TestRingSPSC(t *testing.T) {
+	const n = 100
+	var ringBase uint32
+	var ready bool
+	var got []uint32
+	producer := func(ctx *Ctx) {
+		m := ctx.Mem(0)
+		r, code := NewRing(m, 4) // small capacity forces blocking
+		if code != bus.OK {
+			panic(code)
+		}
+		ringBase, ready = r.Base(), true
+		for i := uint32(0); i < n; i++ {
+			if code := r.Put(ctx, i*3, 5); code != bus.OK {
+				panic(code)
+			}
+		}
+	}
+	consumer := func(ctx *Ctx) {
+		m := ctx.Mem(0)
+		for !ready {
+			ctx.Sleep(5)
+		}
+		r := AttachRing(m, ringBase)
+		for len(got) < n {
+			v, code := r.Get(ctx, 5)
+			if code != bus.OK {
+				panic(code)
+			}
+			got = append(got, v)
+		}
+	}
+	k, procs, _ := buildSystem(t, []Task{producer, consumer}, core.Config{Delays: core.DefaultDelays()})
+	runAll(t, k, procs, 10_000_000)
+	if len(got) != n {
+		t.Fatalf("received %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint32(i*3) {
+			t.Fatalf("got[%d] = %d, want %d (FIFO order violated)", i, v, i*3)
+		}
+	}
+}
+
+func TestRingCapacityZero(t *testing.T) {
+	task := func(ctx *Ctx) {
+		if _, code := NewRing(ctx.Mem(0), 0); code != bus.ErrBadOp {
+			panic("zero-capacity ring accepted")
+		}
+	}
+	k, procs, _ := buildSystem(t, []Task{task}, core.Config{Delays: core.DefaultDelays()})
+	runAll(t, k, procs, 100000)
+}
+
+func TestRingTryOpsWhenFullAndEmpty(t *testing.T) {
+	task := func(ctx *Ctx) {
+		m := ctx.Mem(0)
+		r, _ := NewRing(m, 2)
+		if _, ok, _ := r.TryGet(ctx); ok {
+			panic("TryGet on empty succeeded")
+		}
+		for i := 0; i < 2; i++ {
+			if ok, _ := r.TryPut(ctx, 1); !ok {
+				panic("TryPut on non-full failed")
+			}
+		}
+		if ok, _ := r.TryPut(ctx, 9); ok {
+			panic("TryPut on full succeeded")
+		}
+	}
+	k, procs, _ := buildSystem(t, []Task{task}, core.Config{Delays: core.DefaultDelays()})
+	runAll(t, k, procs, 100000)
+}

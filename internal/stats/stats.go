@@ -1,0 +1,127 @@
+// Package stats provides run measurement and the aligned text tables the
+// experiment harness prints — the reporting layer shared by cmd/mpsim,
+// cmd/experiments and the benchmarks.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row of formatted cells; each cell is a (format, value)
+// application of fmt.Sprintf over one argument.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprint(c))
+	}
+	t.Add(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Rate returns simulated cycles per host second.
+func Rate(cycles uint64, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(cycles) / wall.Seconds()
+}
+
+// SI formats a value with an SI suffix (k, M, G) to three significant
+// digits, for cycles/s columns.
+func SI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Pct formats a ratio as a signed percentage ("+20.3%").
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", ratio*100)
+}
+
+// RunResult captures one measured simulation run.
+type RunResult struct {
+	Name   string
+	Cycles uint64
+	Wall   time.Duration
+}
+
+// CyclesPerSec returns the simulation speed of the run.
+func (r RunResult) CyclesPerSec() float64 { return Rate(r.Cycles, r.Wall) }
+
+// Degradation returns the relative simulation-speed loss of r versus a
+// baseline run: positive means r is slower (the paper's "degradation of
+// simulation speed of 20%" is 0.20 in this measure).
+func (r RunResult) Degradation(base RunResult) float64 {
+	b := base.CyclesPerSec()
+	if b == 0 {
+		return 0
+	}
+	return 1 - r.CyclesPerSec()/b
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Results", "config", "cycles/s", "degradation")
+	tb.Add("4 ISS / 1 mem", "1.23M", "-")
+	tb.Add("4 ISS / 4 mem", "0.98M", "+20.3%")
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	// Columns align: every data row has the separator at the same offset.
+	hdrIdx := strings.Index(lines[1], "cycles/s")
+	rowIdx := strings.Index(lines[3], "1.23M")
+	if hdrIdx != rowIdx {
+		t.Errorf("columns misaligned: %d vs %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "n", "v")
+	tb.Addf(42, 3.5)
+	if !strings.Contains(tb.String(), "42") || !strings.Contains(tb.String(), "3.5") {
+		t.Error("Addf lost cells")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1000, time.Second); got != 1000 {
+		t.Errorf("Rate = %v", got)
+	}
+	if got := Rate(1000, 0); got != 0 {
+		t.Errorf("Rate(0 wall) = %v", got)
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := map[float64]string{
+		999:    "999",
+		1500:   "1.50k",
+		2.5e6:  "2.50M",
+		3.25e9: "3.25G",
+		0:      "0",
+	}
+	for v, want := range cases {
+		if got := SI(v); got != want {
+			t.Errorf("SI(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.203); got != "+20.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	base := RunResult{Cycles: 1000, Wall: time.Second}             // 1000 c/s
+	slow := RunResult{Cycles: 1000, Wall: 1250 * time.Millisecond} // 800 c/s
+	got := slow.Degradation(base)
+	if got < 0.19 || got > 0.21 {
+		t.Errorf("Degradation = %v, want ≈0.20", got)
+	}
+	if base.Degradation(RunResult{}) != 0 {
+		t.Error("zero baseline must not divide by zero")
+	}
+	if base.CyclesPerSec() != 1000 {
+		t.Errorf("CyclesPerSec = %v", base.CyclesPerSec())
+	}
+}

@@ -1,0 +1,13 @@
+// Package trace generates and replays synthetic dynamic-memory
+// workloads: sequences of allocate / read / write / burst / free events
+// with configurable operation mix, allocation-size distribution and
+// pointer-arithmetic rate.
+//
+// Traces are valid by construction (the generator tracks live
+// allocations, so frees always target live buffers and accesses stay in
+// bounds) and fully deterministic for a given seed, which experiments E2
+// through E7 rely on: the *same* event sequence is replayed against the
+// dynamic wrapper, the static table memory (with software-managed slot
+// placement, as real static-memory systems must do) and the detailed
+// heapsim model, isolating the memory model as the only variable.
+package trace

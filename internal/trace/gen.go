@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/bus"
+)
+
+// Event is one workload step. Slot names an allocation (the replayer
+// maps slots to virtual pointers at run time); Offset is a byte offset
+// into the slot for pointer-arithmetic accesses.
+type Event struct {
+	Op     bus.Op
+	SM     int
+	Slot   int
+	Dim    uint32 // element count for allocs and bursts
+	Offset uint32 // byte offset within the slot (element-aligned)
+	Value  uint32 // datum for scalar writes
+}
+
+// Trace is a replayable workload.
+type Trace struct {
+	Events []Event
+	Slots  int
+	DType  bus.DataType
+	// MaxDim is the largest allocation in elements, used by the static
+	// replay mode to place slot regions.
+	MaxDim uint32
+}
+
+// Mix weights the operation types in a generated trace. Zero-valued
+// fields disable the operation.
+type Mix struct {
+	Alloc, Free, Read, Write, ReadBurst, WriteBurst, Reserve int
+}
+
+// DefaultMix is a read-mostly mix with steady allocation turnover,
+// shaped like a streaming media workload (the paper's motivating class).
+func DefaultMix() Mix {
+	return Mix{Alloc: 10, Free: 9, Read: 40, Write: 25, ReadBurst: 8, WriteBurst: 8}
+}
+
+// GenConfig parameterizes the generator.
+type GenConfig struct {
+	Seed   int64
+	Events int
+	// Slots bounds the number of simultaneously live allocations.
+	Slots int
+	// NumSM spreads slots round-robin across this many memory modules.
+	NumSM int
+	// MinDim and MaxDim bound allocation sizes in elements.
+	MinDim, MaxDim uint32
+	// DType is the element type of every allocation.
+	DType bus.DataType
+	// Mix weights the operations.
+	Mix Mix
+	// PtrArithPct is the percentage (0..100) of scalar accesses aimed at
+	// a random interior offset instead of the allocation start.
+	PtrArithPct int
+	// BurstLen bounds burst lengths in elements (default 16).
+	BurstLen uint32
+}
+
+// Generate builds a deterministic, valid-by-construction trace.
+func Generate(cfg GenConfig) *Trace {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 16
+	}
+	if cfg.NumSM <= 0 {
+		cfg.NumSM = 1
+	}
+	if cfg.MinDim == 0 {
+		cfg.MinDim = 1
+	}
+	if cfg.MaxDim < cfg.MinDim {
+		cfg.MaxDim = cfg.MinDim
+	}
+	if cfg.BurstLen == 0 {
+		cfg.BurstLen = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Slots: cfg.Slots, DType: cfg.DType, MaxDim: cfg.MaxDim}
+
+	type slotState struct {
+		live bool
+		dim  uint32
+	}
+	slots := make([]slotState, cfg.Slots)
+	var liveIdx []int
+
+	weights := []struct {
+		op bus.Op
+		w  int
+	}{
+		{bus.OpAlloc, cfg.Mix.Alloc},
+		{bus.OpFree, cfg.Mix.Free},
+		{bus.OpRead, cfg.Mix.Read},
+		{bus.OpWrite, cfg.Mix.Write},
+		{bus.OpReadBurst, cfg.Mix.ReadBurst},
+		{bus.OpWriteBurst, cfg.Mix.WriteBurst},
+		{bus.OpReserve, cfg.Mix.Reserve},
+	}
+	total := 0
+	for _, w := range weights {
+		total += w.w
+	}
+	if total == 0 {
+		return tr
+	}
+	pick := func() bus.Op {
+		n := rng.Intn(total)
+		for _, w := range weights {
+			if n < w.w {
+				return w.op
+			}
+			n -= w.w
+		}
+		return bus.OpRead
+	}
+	elem := cfg.DType.Size()
+
+	for len(tr.Events) < cfg.Events {
+		op := pick()
+		switch op {
+		case bus.OpAlloc:
+			free := -1
+			for i, s := range slots {
+				if !s.live {
+					free = i
+					break
+				}
+			}
+			if free < 0 {
+				continue // all slots live; try another op
+			}
+			dim := cfg.MinDim + uint32(rng.Int63n(int64(cfg.MaxDim-cfg.MinDim+1)))
+			slots[free] = slotState{live: true, dim: dim}
+			liveIdx = append(liveIdx, free)
+			tr.Events = append(tr.Events, Event{
+				Op: bus.OpAlloc, SM: free % cfg.NumSM, Slot: free, Dim: dim,
+			})
+		case bus.OpFree:
+			if len(liveIdx) == 0 {
+				continue
+			}
+			i := rng.Intn(len(liveIdx))
+			slot := liveIdx[i]
+			liveIdx = append(liveIdx[:i], liveIdx[i+1:]...)
+			slots[slot].live = false
+			tr.Events = append(tr.Events, Event{
+				Op: bus.OpFree, SM: slot % cfg.NumSM, Slot: slot,
+			})
+		default:
+			if len(liveIdx) == 0 {
+				continue
+			}
+			slot := liveIdx[rng.Intn(len(liveIdx))]
+			dim := slots[slot].dim
+			ev := Event{Op: op, SM: slot % cfg.NumSM, Slot: slot}
+			switch op {
+			case bus.OpRead, bus.OpWrite, bus.OpReserve:
+				if cfg.PtrArithPct > 0 && rng.Intn(100) < cfg.PtrArithPct {
+					ev.Offset = uint32(rng.Int63n(int64(dim))) * elem
+				}
+				ev.Value = rng.Uint32()
+			case bus.OpReadBurst, bus.OpWriteBurst:
+				maxN := dim
+				if maxN > cfg.BurstLen {
+					maxN = cfg.BurstLen
+				}
+				n := 1 + uint32(rng.Int63n(int64(maxN)))
+				start := uint32(0)
+				if dim > n {
+					start = uint32(rng.Int63n(int64(dim - n + 1)))
+				}
+				ev.Dim = n
+				ev.Offset = start * elem
+				ev.Value = rng.Uint32()
+			}
+			tr.Events = append(tr.Events, ev)
+		}
+	}
+	return tr
+}
+
+// Counts returns the number of events per operation, for reporting.
+func (t *Trace) Counts() [bus.NumOps]int {
+	var c [bus.NumOps]int
+	for _, e := range t.Events {
+		c[e.Op]++
+	}
+	return c
+}

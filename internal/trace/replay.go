@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/smapi"
+)
+
+// Mode selects how the replayer maps the trace onto the target memory.
+type Mode int
+
+const (
+	// ModeDynamic issues allocation and free events as bus transactions —
+	// the wrapper (or heapsim) manages placement.
+	ModeDynamic Mode = iota
+	// ModeStatic replays against a static table memory: there is no
+	// hardware allocation, so the replayer does what software on such a
+	// system must do — carve fixed per-slot regions out of the table and
+	// skip alloc/free/reserve transactions entirely.
+	ModeStatic
+)
+
+// ReplayStats is filled in by the replay task.
+type ReplayStats struct {
+	Executed int
+	Errors   int
+	LastErr  bus.ErrCode
+}
+
+// ReplayTask builds a smapi.Task that executes the trace in order.
+// stats may be nil. In ModeStatic the slot regions are placed at
+// slot × MaxDim × elemsize within each module's table.
+//
+// Replay fails the simulation (task panic → kernel fault) on any
+// unexpected in-band error, since generated traces are valid by
+// construction; ErrReserved on reserve events is tolerated (contention
+// is legal when several replayers share buffers).
+func ReplayTask(tr *Trace, mode Mode, stats *ReplayStats) smapi.Task {
+	return func(ctx *smapi.Ctx) {
+		elem := tr.DType.Size()
+		vptrs := make([]uint32, tr.Slots)
+		for _, ev := range tr.Events {
+			m := ctx.Mem(ev.SM)
+			var code bus.ErrCode
+			switch ev.Op {
+			case bus.OpAlloc:
+				if mode == ModeStatic {
+					vptrs[ev.Slot] = uint32(ev.Slot) * tr.MaxDim * elem
+				} else {
+					var v uint32
+					v, code = m.Malloc(ev.Dim, tr.DType)
+					if code == bus.OK {
+						vptrs[ev.Slot] = v
+					}
+				}
+			case bus.OpFree:
+				if mode == ModeDynamic {
+					code = m.Free(vptrs[ev.Slot])
+				}
+			case bus.OpRead:
+				_, code = m.Read(vptrs[ev.Slot] + ev.Offset)
+			case bus.OpWrite:
+				code = m.Write(vptrs[ev.Slot]+ev.Offset, ev.Value)
+			case bus.OpReadBurst:
+				_, code = m.ReadArray(vptrs[ev.Slot]+ev.Offset, ev.Dim)
+			case bus.OpWriteBurst:
+				buf := make([]uint32, ev.Dim)
+				for i := range buf {
+					buf[i] = ev.Value + uint32(i)
+				}
+				code = m.WriteArray(vptrs[ev.Slot]+ev.Offset, buf)
+			case bus.OpReserve:
+				if mode == ModeDynamic {
+					code = m.Reserve(vptrs[ev.Slot] + ev.Offset)
+					if code == bus.OK {
+						code = m.Release(vptrs[ev.Slot] + ev.Offset)
+					} else if code == bus.ErrReserved {
+						code = bus.OK // contention is not a replay error
+					}
+				}
+			}
+			if stats != nil {
+				stats.Executed++
+				if code != bus.OK {
+					stats.Errors++
+					stats.LastErr = code
+				}
+			}
+			if code != bus.OK {
+				panic(fmt.Sprintf("trace: %v on slot %d: %v", ev.Op, ev.Slot, code))
+			}
+		}
+	}
+}
+
+// StaticBytesNeeded returns the table size one module needs to hold all
+// slot regions in ModeStatic.
+func (t *Trace) StaticBytesNeeded() uint32 {
+	return uint32(t.Slots) * t.MaxDim * t.DType.Size()
+}

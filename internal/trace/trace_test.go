@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+)
+
+func TestGenerateValidByConstruction(t *testing.T) {
+	tr := Generate(GenConfig{
+		Seed: 1, Events: 5000, Slots: 8, NumSM: 3,
+		MinDim: 4, MaxDim: 64, DType: bus.U32,
+		Mix: DefaultMix(), PtrArithPct: 30,
+	})
+	if len(tr.Events) != 5000 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	type slotState struct {
+		live bool
+		dim  uint32
+	}
+	slots := make([]slotState, tr.Slots)
+	elem := tr.DType.Size()
+	for i, ev := range tr.Events {
+		if ev.SM < 0 || ev.SM >= 3 {
+			t.Fatalf("event %d: SM %d out of range", i, ev.SM)
+		}
+		switch ev.Op {
+		case bus.OpAlloc:
+			if slots[ev.Slot].live {
+				t.Fatalf("event %d: alloc into live slot", i)
+			}
+			if ev.Dim < 4 || ev.Dim > 64 {
+				t.Fatalf("event %d: dim %d out of bounds", i, ev.Dim)
+			}
+			slots[ev.Slot] = slotState{true, ev.Dim}
+		case bus.OpFree:
+			if !slots[ev.Slot].live {
+				t.Fatalf("event %d: free of dead slot", i)
+			}
+			slots[ev.Slot].live = false
+		case bus.OpRead, bus.OpWrite, bus.OpReserve:
+			s := slots[ev.Slot]
+			if !s.live {
+				t.Fatalf("event %d: access to dead slot", i)
+			}
+			if ev.Offset%elem != 0 || ev.Offset >= s.dim*elem {
+				t.Fatalf("event %d: offset %d invalid for dim %d", i, ev.Offset, s.dim)
+			}
+		case bus.OpReadBurst, bus.OpWriteBurst:
+			s := slots[ev.Slot]
+			if !s.live {
+				t.Fatalf("event %d: burst on dead slot", i)
+			}
+			if ev.Offset%elem != 0 || ev.Offset/elem+ev.Dim > s.dim {
+				t.Fatalf("event %d: burst overruns: off %d n %d dim %d", i, ev.Offset, ev.Dim, s.dim)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 7, Events: 1000, Slots: 4, MinDim: 1, MaxDim: 32, Mix: DefaultMix()}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	c := Generate(GenConfig{Seed: 8, Events: 1000, Slots: 4, MinDim: 1, MaxDim: 32, Mix: DefaultMix()})
+	same := true
+	for i := range a.Events {
+		if i < len(c.Events) && a.Events[i] != c.Events[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateMixRespected(t *testing.T) {
+	tr := Generate(GenConfig{
+		Seed: 3, Events: 2000, Slots: 8, MinDim: 1, MaxDim: 8,
+		Mix: Mix{Alloc: 1, Free: 1, Read: 10}, // no writes or bursts
+	})
+	c := tr.Counts()
+	if c[bus.OpWrite] != 0 || c[bus.OpReadBurst] != 0 || c[bus.OpWriteBurst] != 0 {
+		t.Errorf("disabled ops appeared: %v", c)
+	}
+	if c[bus.OpRead] == 0 || c[bus.OpAlloc] == 0 {
+		t.Errorf("enabled ops missing: %v", c)
+	}
+}
+
+func TestGenerateZeroMix(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 1, Events: 10, Mix: Mix{}})
+	if len(tr.Events) != 0 {
+		t.Errorf("zero mix produced %d events", len(tr.Events))
+	}
+}
+
+func TestStaticBytesNeeded(t *testing.T) {
+	tr := &Trace{Slots: 4, MaxDim: 100, DType: bus.U32}
+	if got := tr.StaticBytesNeeded(); got != 1600 {
+		t.Errorf("StaticBytesNeeded = %d, want 1600", got)
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 1, Events: 100, Mix: DefaultMix()})
+	if tr.Slots != 16 {
+		t.Errorf("default Slots = %d", tr.Slots)
+	}
+	if len(tr.Events) != 100 {
+		t.Errorf("events = %d", len(tr.Events))
+	}
+}

@@ -35,7 +35,7 @@ func benchGSMISS(b *testing.B, nISS, nMem, frames int) {
 	b.Helper()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunGSMISS(nISS, nMem, frames)
+		r, err := experiments.RunGSMISS(nISS, nMem, frames, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +55,7 @@ func benchPipeline(b *testing.B, nMem, frames int) {
 	b.Helper()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunGSMPipeline(nMem, frames)
+		r, err := experiments.RunGSMPipeline(nMem, frames, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +82,7 @@ func benchTrace(b *testing.B, kind config.MemKind, tr *trace.Trace, mode trace.M
 	b.Helper()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		r, _, err := experiments.RunTrace(kind, tr, mode, memBytes)
+		r, _, err := experiments.RunTrace(kind, tr, mode, memBytes, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,6 +148,26 @@ func BenchmarkE4_DelaySensitivity(b *testing.B) {
 		})
 	}
 }
+
+// --- EV: event-driven kernel vs lockstep -----------------------------------
+
+// benchEV runs the EV idle-heavy workload (high-latency wrapper, mixed
+// trace) in one scheduling mode; the pair quantifies the idle-skip win.
+func benchEV(b *testing.B, lockstep bool) {
+	b.Helper()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiments.RunEV(4000, lockstep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.Cycles
+	}
+	reportSimSpeed(b, total)
+}
+
+func BenchmarkEV_Lockstep(b *testing.B)    { benchEV(b, true) }
+func BenchmarkEV_EventDriven(b *testing.B) { benchEV(b, false) }
 
 // --- E5: degradation curves ------------------------------------------------
 

@@ -20,10 +20,11 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,a1,a2) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,ev,a1,a2) or 'all'")
+	lockstep := flag.Bool("lockstep", false, "pin every measured kernel to lockstep stepping (EV always compares both)")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep}
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(strings.ToLower(id))] = true
@@ -53,6 +54,7 @@ func main() {
 		{"e6", one(experiments.E6)},
 		{"e7", one(experiments.E7)},
 		{"e8", one(experiments.E8)},
+		{"ev", one(experiments.EV)},
 		{"a1", one(experiments.A1)},
 		{"a2", one(experiments.A2)},
 	}

@@ -46,6 +46,7 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		vcdPath  = flag.String("vcd", "", "write a VCD waveform of the interconnect handshake")
 		profile  = flag.Bool("profile", false, "report host time per module (explains simulation-speed degradation)")
+		lockstep = flag.Bool("lockstep", false, "pin the kernel to lockstep stepping (default: event-driven idle-skip)")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
 	)
 	flag.Parse()
@@ -81,6 +82,7 @@ func run() error {
 	masters := *isses + *pes
 	sys, err := config.Build(config.SystemConfig{
 		Masters: masters, Memories: *memories, MemKind: kind, Interconnect: ic,
+		Lockstep: *lockstep,
 	})
 	if err != nil {
 		return err
@@ -164,8 +166,14 @@ func run() error {
 	wall := time.Since(start)
 	cycles := sys.Kernel.Cycle()
 
-	fmt.Printf("simulated %d cycles in %v (%s cycles/s)\n\n",
-		cycles, wall.Round(time.Millisecond), stats.SI(stats.Rate(cycles, wall)))
+	sched := sys.Kernel.Sched()
+	mode := "event-driven"
+	if sched.Lockstep {
+		mode = "lockstep"
+	}
+	fmt.Printf("simulated %d cycles in %v (%s cycles/s; %s scheduler, %d cycles skipped in %d spans)\n\n",
+		cycles, wall.Round(time.Millisecond), stats.SI(stats.Rate(cycles, wall)),
+		mode, sched.Skipped, sched.Spans)
 
 	for i, cpu := range sys.CPUs {
 		fmt.Printf("iss%d: exit=%#x instructions=%d stall-cycles=%d\n",

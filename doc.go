@@ -14,6 +14,16 @@
 // (internal/smapi), and a GSM 06.10 full-rate codec workload
 // (internal/gsm).
 //
+// The kernel goes beyond the original's lockstep evaluation: it
+// schedules event-driven by default, jumping the clock across spans in
+// which every module sleeps (memory delay countdowns, bus transfers,
+// stalled CPUs) while remaining bit-identical to lockstep in cycle
+// counts, stats and waveforms — see internal/sim's package
+// documentation for the Sleeper capability and the differential tests
+// in internal/experiments for the equivalence proof. The EV experiment
+// and the BenchmarkEV pair quantify the win on idle-heavy
+// configurations (~2x simulation speed at ~91% skipped cycles).
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured
 // results. The benchmarks in bench_test.go regenerate every experiment;

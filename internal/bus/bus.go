@@ -90,6 +90,43 @@ func (b *Bus) wordCycles(words uint32) uint32 {
 	return words * wc
 }
 
+// NextWake implements sim.Sleeper. Idle with no demand, or parked on a
+// slave's response, the bus can only be woken by a signal commit
+// (request issue resp. completion). The two transfer states are pure
+// word-counter countdowns whose next observable action is `counter-1`
+// cycles away.
+func (b *Bus) NextWake(now uint64) uint64 {
+	switch b.state {
+	case busIdle:
+		for _, m := range b.masters {
+			if m.Pending() {
+				return now
+			}
+		}
+		return sim.WakeNever
+	case busWaitSlave:
+		return sim.WakeNever
+	default: // busReqXfer, busRespXfer
+		if b.counter <= 1 {
+			return now
+		}
+		return now + uint64(b.counter) - 1
+	}
+}
+
+// Skip implements sim.Sleeper: every skipped cycle in a non-idle state
+// is a busy cycle; in the transfer states it is also a counter tick.
+func (b *Bus) Skip(n uint64) {
+	switch b.state {
+	case busIdle:
+	case busWaitSlave:
+		b.stats.BusyCycles += n
+	default:
+		b.counter -= uint32(n)
+		b.stats.BusyCycles += n
+	}
+}
+
 // Tick implements sim.Module: a four-state transaction engine.
 func (b *Bus) Tick(cycle uint64) {
 	switch b.state {

@@ -98,6 +98,56 @@ func (x *Crossbar) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper: the earliest wake over all lanes. A
+// pending master targeting an idle lane (or a nonexistent slave, which
+// the central reject loop handles) demands an immediate tick; a lane in
+// a transfer state wakes when its word counter expires; idle and
+// response-waiting lanes wake on signal commits.
+func (x *Crossbar) NextWake(now uint64) uint64 {
+	for _, m := range x.masters {
+		if m.Pending() {
+			sm := m.PeekRequest().SM
+			if sm < 0 || sm >= len(x.slaves) || x.lanes[sm].state == busIdle {
+				return now
+			}
+		}
+	}
+	wake := uint64(sim.WakeNever)
+	for i := range x.lanes {
+		ln := &x.lanes[i]
+		switch ln.state {
+		case busIdle, busWaitSlave:
+			// Signal-driven; pending demand was handled above.
+		default: // busReqXfer, busRespXfer
+			w := now
+			if ln.counter > 1 {
+				w = now + uint64(ln.counter) - 1
+			}
+			if w < wake {
+				wake = w
+			}
+		}
+	}
+	return wake
+}
+
+// Skip implements sim.Sleeper: per busy lane, n busy cycles (and counter
+// ticks in the transfer states). BusyCycles counts lane-cycles, so each
+// busy lane contributes n.
+func (x *Crossbar) Skip(n uint64) {
+	for i := range x.lanes {
+		ln := &x.lanes[i]
+		switch ln.state {
+		case busIdle:
+		case busWaitSlave:
+			x.stats.BusyCycles += n
+		default:
+			ln.counter -= uint32(n)
+			x.stats.BusyCycles += n
+		}
+	}
+}
+
 func (x *Crossbar) tickLane(si int) {
 	ln := &x.lanes[si]
 	switch ln.state {

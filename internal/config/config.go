@@ -93,6 +93,11 @@ type SystemConfig struct {
 	LinearLookup bool
 	// EnforceReadReservation extends wrapper reservations to reads.
 	EnforceReadReservation bool
+	// Lockstep pins the kernel to lockstep stepping instead of the
+	// default event-driven (idle-skip) scheduler. The two are observably
+	// identical; lockstep is the reference side of differential tests
+	// and the baseline of scheduler benchmarks.
+	Lockstep bool
 }
 
 // Interconnect is the common face of Bus and Crossbar.
@@ -131,6 +136,7 @@ func Build(cfg SystemConfig) (*System, error) {
 		cfg.MemBytes = 1 << 20
 	}
 	k := sim.New()
+	k.SetLockstep(cfg.Lockstep)
 	sys := &System{Kernel: k, Cfg: cfg}
 
 	for i := 0; i < cfg.Masters; i++ {

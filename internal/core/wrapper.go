@@ -171,6 +171,35 @@ func (w *Wrapper) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper. Idle, the wrapper has work only when
+// a request is visible on its link (which a signal commit announces, so
+// WakeNever is safe). In Decode or Exec the FSM is a pure countdown:
+// nothing observable happens until the tick on which wait reaches zero,
+// `wait-1` cycles from now.
+func (w *Wrapper) NextWake(now uint64) uint64 {
+	if w.state == wsIdle {
+		if w.link.Pending() {
+			return now
+		}
+		return sim.WakeNever
+	}
+	if w.wait <= 1 {
+		return now
+	}
+	return now + uint64(w.wait) - 1
+}
+
+// Skip implements sim.Sleeper: n skipped cycles are n countdown ticks,
+// each of which would have charged one busy cycle. An idle wrapper's
+// skipped ticks would only have re-latched its (idle) input port.
+func (w *Wrapper) Skip(n uint64) {
+	if w.state == wsIdle {
+		return
+	}
+	w.wait -= uint32(n)
+	w.stats.BusyCycles += n
+}
+
 // enterExec charges the operation delay and moves to Exec.
 func (w *Wrapper) enterExec() {
 	w.wait = w.cfg.Delays.opCycles(w.cur)

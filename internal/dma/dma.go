@@ -167,6 +167,33 @@ func (e *Engine) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper. With an empty queue the engine is
+// fully drained (Enqueue happens between steps, and NextWake is
+// re-queried at every skip opportunity, so host-side enqueues are seen
+// immediately). In the wait states the engine resumes on the completion
+// signal; in the transient issue-retry states it ticks every cycle.
+func (e *Engine) NextWake(now uint64) uint64 {
+	switch e.state {
+	case dmaIdle:
+		if len(e.queue) > 0 {
+			return now
+		}
+		return sim.WakeNever
+	case dmaReadWait, dmaWriteWait:
+		return sim.WakeNever
+	default:
+		return now
+	}
+}
+
+// Skip implements sim.Sleeper: waiting on a burst response is busy time.
+func (e *Engine) Skip(n uint64) {
+	switch e.state {
+	case dmaReadWait, dmaWriteWait:
+		e.stats.BusyCycles += n
+	}
+}
+
 func (e *Engine) issueRead(cycle uint64) {
 	if !e.link.Idle() {
 		e.state = dmaReadIssue

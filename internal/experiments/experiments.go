@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gsm"
 	"repro/internal/isa"
+	"repro/internal/sim"
 	"repro/internal/smapi"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -30,6 +31,11 @@ import (
 type Options struct {
 	// Quick shrinks workloads for smoke runs (CI, tests).
 	Quick bool
+	// Lockstep runs every measured system with the kernel pinned to
+	// lockstep stepping instead of the default event-driven scheduler,
+	// so the whole suite can be replayed in either mode (the EV
+	// experiment and the differential tests compare the two).
+	Lockstep bool
 }
 
 func (o Options) pick(full, quick int) int {
@@ -45,11 +51,12 @@ const runLimit = 2_000_000_000
 // RunGSMISS builds the paper's configuration — nISS armlet ISSs running
 // the GSM traffic kernel against nMem wrapper memories over a shared
 // bus — runs it to completion and returns the measured result.
-func RunGSMISS(nISS, nMem, frames int) (stats.RunResult, error) {
+func RunGSMISS(nISS, nMem, frames int, lockstep bool) (stats.RunResult, error) {
 	sys, err := config.Build(config.SystemConfig{
 		Masters:  nISS,
 		Memories: nMem,
 		MemKind:  config.MemWrapper,
+		Lockstep: lockstep,
 	})
 	if err != nil {
 		return stats.RunResult{}, err
@@ -91,13 +98,13 @@ func RunGSMISS(nISS, nMem, frames int) (stats.RunResult, error) {
 // takes the best of `reps` measured runs, suppressing host scheduling
 // noise (the measured quantity, cycles per host second, is a wall-clock
 // rate).
-func measureGSMISS(nISS, nMem, frames, reps int) (stats.RunResult, error) {
-	if _, err := RunGSMISS(nISS, nMem, frames); err != nil { // warmup
+func measureGSMISS(nISS, nMem, frames, reps int, lockstep bool) (stats.RunResult, error) {
+	if _, err := RunGSMISS(nISS, nMem, frames, lockstep); err != nil { // warmup
 		return stats.RunResult{}, err
 	}
 	var best stats.RunResult
 	for i := 0; i < reps; i++ {
-		r, err := RunGSMISS(nISS, nMem, frames)
+		r, err := RunGSMISS(nISS, nMem, frames, lockstep)
 		if err != nil {
 			return stats.RunResult{}, err
 		}
@@ -114,11 +121,11 @@ func measureGSMISS(nISS, nMem, frames, reps int) (stats.RunResult, error) {
 func E1(o Options) (*stats.Table, error) {
 	frames := o.pick(40, 4)
 	reps := o.pick(3, 1)
-	one, err := measureGSMISS(4, 1, frames, reps)
+	one, err := measureGSMISS(4, 1, frames, reps, o.Lockstep)
 	if err != nil {
 		return nil, err
 	}
-	four, err := measureGSMISS(4, 4, frames, reps)
+	four, err := measureGSMISS(4, 4, frames, reps, o.Lockstep)
 	if err != nil {
 		return nil, err
 	}
@@ -134,12 +141,12 @@ func E1(o Options) (*stats.Table, error) {
 // against nMem wrapper memories and returns the measured result. This is
 // the compiled-software variant of E1: computation executes natively
 // while every frame hand-off is simulated cycle-true.
-func RunGSMPipeline(nMem, frames int) (stats.RunResult, error) {
+func RunGSMPipeline(nMem, frames int, lockstep bool) (stats.RunResult, error) {
 	tasks, res := gsm.BuildPipeline(gsm.PipelineConfig{
 		Frames: frames, Seed: 42, NumSM: nMem,
 	})
 	sys, err := config.Build(config.SystemConfig{
-		Masters: 4, Memories: nMem, MemKind: config.MemWrapper,
+		Masters: 4, Memories: nMem, MemKind: config.MemWrapper, Lockstep: lockstep,
 	})
 	if err != nil {
 		return stats.RunResult{}, err
@@ -167,11 +174,11 @@ func RunGSMPipeline(nMem, frames int) (stats.RunResult, error) {
 // and the memory-count degradation is measured on that workload.
 func E1b(o Options) (*stats.Table, error) {
 	frames := o.pick(30, 4)
-	one, err := RunGSMPipeline(1, frames)
+	one, err := RunGSMPipeline(1, frames, o.Lockstep)
 	if err != nil {
 		return nil, err
 	}
-	four, err := RunGSMPipeline(4, frames)
+	four, err := RunGSMPipeline(4, frames, o.Lockstep)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +201,7 @@ func E5(o Options) ([]*stats.Table, error) {
 		"memories", "sim cycles", "cycles/s", "degradation vs 1")
 	var base stats.RunResult
 	for _, m := range []int{1, 2, 4, 8} {
-		r, err := measureGSMISS(4, m, frames, reps)
+		r, err := measureGSMISS(4, m, frames, reps, o.Lockstep)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +218,7 @@ func E5(o Options) ([]*stats.Table, error) {
 		"ISSs", "sim cycles", "cycles/s", "degradation vs 1")
 	var peBase stats.RunResult
 	for _, n := range []int{1, 2, 4, 8} {
-		r, err := measureGSMISS(n, 1, frames, reps)
+		r, err := measureGSMISS(n, 1, frames, reps, o.Lockstep)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +234,7 @@ func E5(o Options) ([]*stats.Table, error) {
 
 // RunTrace replays a trace on a freshly built single-master system of
 // the given memory kind and returns the measured result.
-func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes uint32) (stats.RunResult, *config.System, error) {
+func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes uint32, lockstep bool) (stats.RunResult, *config.System, error) {
 	if memBytes == 0 {
 		memBytes = tr.StaticBytesNeeded()
 		if memBytes < 1<<20 {
@@ -236,6 +243,7 @@ func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes ui
 	}
 	sys, err := config.Build(config.SystemConfig{
 		Masters: 1, Memories: maxInt(1, numSMs(tr)), MemKind: kind, MemBytes: memBytes,
+		Lockstep: lockstep,
 	})
 	if err != nil {
 		return stats.RunResult{}, nil, err
@@ -283,11 +291,11 @@ func E2(o Options) (*stats.Table, error) {
 		Mix:         trace.Mix{Alloc: 1, Read: 45, Write: 30, ReadBurst: 12, WriteBurst: 12},
 		PtrArithPct: 25,
 	})
-	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0)
+	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0, o.Lockstep)
 	if err != nil {
 		return nil, err
 	}
-	stat, _, err := RunTrace(config.MemStatic, tr, trace.ModeStatic, 0)
+	stat, _, err := RunTrace(config.MemStatic, tr, trace.ModeStatic, 0, o.Lockstep)
 	if err != nil {
 		return nil, err
 	}
@@ -313,11 +321,11 @@ func E3(o Options) (*stats.Table, error) {
 			MinDim: 8, MaxDim: 128, DType: bus.U32,
 			Mix: trace.Mix{Alloc: 30, Free: 28, Read: 21, Write: 21},
 		})
-		wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22)
+		wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22, o.Lockstep)
 		if err != nil {
 			return nil, err
 		}
-		heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22)
+		heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22, o.Lockstep)
 		if err != nil {
 			return nil, err
 		}
@@ -341,7 +349,7 @@ func E4(o Options) ([]*stats.Table, error) {
 	rep := stats.NewTable("E4a: determinism — identical seeded runs", "run", "sim cycles")
 	var first uint64
 	for i := 0; i < 3; i++ {
-		r, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0)
+		r, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0, o.Lockstep)
 		if err != nil {
 			return nil, err
 		}
@@ -363,6 +371,7 @@ func E4(o Options) ([]*stats.Table, error) {
 		delays.Read, delays.Write = d, d
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 1, Memories: 1, MemKind: config.MemWrapper, WrapperDelays: &delays,
+			Lockstep: o.Lockstep,
 		})
 		if err != nil {
 			return nil, err
@@ -422,6 +431,7 @@ func E6(o Options) (*stats.Table, error) {
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
 			MemBytes: target + bufBytes, // capacity sized to the live set
+			Lockstep: o.Lockstep,
 		})
 		if err != nil {
 			return nil, err
@@ -482,7 +492,7 @@ func E7(o Options) (*stats.Table, error) {
 	for _, slots := range []int{10, 100, 1000} {
 		for _, pct := range []int{0, 100} {
 			tr := PtrArithTrace(slots, events, pct, 71)
-			r, sys, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<26)
+			r, sys, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<26, o.Lockstep)
 			if err != nil {
 				return nil, err
 			}
@@ -554,7 +564,7 @@ func E8(o Options) (*stats.Table, error) {
 			tasks = append(tasks, worker)
 		}
 		sys, err := config.Build(config.SystemConfig{
-			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper,
+			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper, Lockstep: o.Lockstep,
 		})
 		if err != nil {
 			return nil, err
@@ -584,6 +594,7 @@ func A1(o Options) (*stats.Table, error) {
 	for _, ic := range []config.InterconnectKind{config.InterBus, config.InterCrossbar} {
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 4, Memories: 4, MemKind: config.MemWrapper, Interconnect: ic,
+			Lockstep: o.Lockstep,
 		})
 		if err != nil {
 			return nil, err
@@ -643,5 +654,101 @@ func A2(o Options) (*stats.Table, error) {
 		row = append(row, probeCells...)
 		t.Add(row...)
 	}
+	return t, nil
+}
+
+// evDelays is the idle-heavy wrapper timing EV uses: a slow off-chip
+// memory whose latencies leave the whole system counting down most
+// cycles — exactly the span structure the event-driven kernel elides.
+func evDelays() core.DelayParams {
+	d := core.DefaultDelays()
+	d.Read, d.Write = 64, 64
+	d.Alloc, d.Free = 128, 64
+	d.BurstBase, d.BurstPerElem = 32, 4
+	return d
+}
+
+// RunEV runs the EV workload — one PE replaying a mixed trace against a
+// high-latency wrapper — in the given scheduling mode and returns the
+// measured result plus the kernel's scheduling counters.
+func RunEV(events int, lockstep bool) (stats.RunResult, sim.SchedStats, error) {
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 91, Events: events, Slots: 24, NumSM: 1,
+		MinDim: 8, MaxDim: 128, DType: bus.U32, Mix: trace.DefaultMix(),
+	})
+	delays := evDelays()
+	sys, err := config.Build(config.SystemConfig{
+		Masters: 1, Memories: 1, MemKind: config.MemWrapper,
+		WrapperDelays: &delays, Lockstep: lockstep,
+	})
+	if err != nil {
+		return stats.RunResult{}, sim.SchedStats{}, err
+	}
+	if err := sys.AddProcs(trace.ReplayTask(tr, trace.ModeDynamic, nil)); err != nil {
+		return stats.RunResult{}, sim.SchedStats{}, err
+	}
+	start := time.Now()
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+		return stats.RunResult{}, sim.SchedStats{}, err
+	}
+	name := "event-driven"
+	if lockstep {
+		name = "lockstep"
+	}
+	return stats.RunResult{
+		Name:   name,
+		Cycles: sys.Kernel.Cycle(),
+		Wall:   time.Since(start),
+	}, sys.Kernel.Sched(), nil
+}
+
+// EV measures the event-driven scheduler against lockstep on the
+// idle-heavy configuration, verifying that both modes simulate the
+// identical number of cycles and reporting the simulation-speed ratio.
+// This is the kernel-side counterpart of the paper's speed results: the
+// same cycle-true behavior, delivered in fewer host operations.
+func EV(o Options) (*stats.Table, error) {
+	events := o.pick(20000, 1500)
+	reps := o.pick(3, 1)
+	measure := func(lockstep bool) (stats.RunResult, sim.SchedStats, error) {
+		if _, _, err := RunEV(events, lockstep); err != nil { // warmup
+			return stats.RunResult{}, sim.SchedStats{}, err
+		}
+		var best stats.RunResult
+		var sched sim.SchedStats
+		for i := 0; i < reps; i++ {
+			r, s, err := RunEV(events, lockstep)
+			if err != nil {
+				return stats.RunResult{}, sim.SchedStats{}, err
+			}
+			if i == 0 || r.Wall < best.Wall {
+				best, sched = r, s
+			}
+		}
+		return best, sched, nil
+	}
+	lock, lockSched, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	ev, evSched, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	if ev.Cycles != lock.Cycles {
+		return nil, fmt.Errorf("EV: scheduler modes diverged: event-driven %d cycles, lockstep %d",
+			ev.Cycles, lock.Cycles)
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("EV: lockstep vs event-driven kernel, idle-heavy wrapper (%d events; identical %d sim cycles)",
+			events, lock.Cycles),
+		"scheduler", "sim cycles", "wall", "cycles/s", "cycles skipped", "speedup")
+	t.Add(lock.Name, fmt.Sprint(lock.Cycles), lock.Wall.Round(time.Millisecond).String(),
+		stats.SI(lock.CyclesPerSec()), fmt.Sprintf("%d (%.1f%%)", lockSched.Skipped,
+			100*float64(lockSched.Skipped)/float64(lock.Cycles)), "-")
+	t.Add(ev.Name, fmt.Sprint(ev.Cycles), ev.Wall.Round(time.Millisecond).String(),
+		stats.SI(ev.CyclesPerSec()), fmt.Sprintf("%d (%.1f%%)", evSched.Skipped,
+			100*float64(evSched.Skipped)/float64(ev.Cycles)),
+		fmt.Sprintf("%.2fx", ev.CyclesPerSec()/lock.CyclesPerSec()))
 	return t, nil
 }

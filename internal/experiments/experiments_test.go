@@ -16,11 +16,11 @@ var quick = Options{Quick: true}
 func TestE1ShapeHolds(t *testing.T) {
 	// The multi-memory configuration must simulate slower per cycle (the
 	// paper's degradation) while the simulated cycle counts stay close.
-	one, err := RunGSMISS(4, 1, 6)
+	one, err := RunGSMISS(4, 1, 6, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := RunGSMISS(4, 4, 6)
+	four, err := RunGSMISS(4, 4, 6, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +58,11 @@ func TestE3HeapsimSlower(t *testing.T) {
 		MinDim: 8, MaxDim: 128, DType: bus.U32,
 		Mix: trace.Mix{Alloc: 30, Free: 28, Read: 21, Write: 21},
 	})
-	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22)
+	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22)
+	heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22, false)
 	if err != nil {
 		t.Fatal(err)
 	}

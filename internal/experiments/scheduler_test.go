@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dma"
+	"repro/internal/gsm"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/smapi"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file is the differential harness of the event-driven kernel: it
+// replays every experiment configuration class once with the kernel
+// pinned to lockstep and once event-driven, and demands bit-identical
+// observable behavior — final cycle counts, every module's stats
+// counters, golden ISS outputs (console, exit codes, instruction and
+// stall counts), PE coroutine accounting, DMA outcomes and VCD traces.
+
+// sysSnapshot is everything observable about a finished system.
+type sysSnapshot struct {
+	Cycles uint64
+	Inter  bus.Stats
+
+	Wrappers []core.Stats
+	CPUs     []cpuSnapshot
+	Procs    []procSnapshot
+}
+
+type cpuSnapshot struct {
+	Exit    uint32
+	Console string
+	Icount  uint64
+	Stalls  uint64
+	Cycles  uint64
+	PC      uint32
+}
+
+type procSnapshot struct {
+	OpsIssued   uint64
+	ActiveWakes uint64
+	WaitCycles  uint64
+	SleepCycles uint64
+	Retired     uint64
+}
+
+func snapshot(sys *config.System) sysSnapshot {
+	s := sysSnapshot{Cycles: sys.Kernel.Cycle(), Inter: sys.Inter.Stats()}
+	for _, w := range sys.Wrappers {
+		s.Wrappers = append(s.Wrappers, w.Stats())
+	}
+	for _, c := range sys.CPUs {
+		s.CPUs = append(s.CPUs, cpuSnapshot{
+			Exit: c.ExitCode(), Console: c.Console(),
+			Icount: c.Icount, Stalls: c.StallCycles, Cycles: c.Cycles, PC: c.PC(),
+		})
+	}
+	for _, p := range sys.Procs {
+		s.Procs = append(s.Procs, procSnapshot{
+			OpsIssued: p.OpsIssued, ActiveWakes: p.ActiveWakes,
+			WaitCycles: p.WaitCycles, SleepCycles: p.SleepCycles, Retired: p.RetiredTasks,
+		})
+	}
+	return s
+}
+
+// runBoth builds and runs one scenario twice (lockstep, then
+// event-driven), compares the snapshots, and returns the event-driven
+// kernel's scheduling stats so callers can assert skipping engaged.
+func runBoth(t *testing.T, name string, scenario func(lockstep bool) (*config.System, error)) sim.SchedStats {
+	t.Helper()
+	var snaps [2]sysSnapshot
+	var sched sim.SchedStats
+	for i, lockstep := range []bool{true, false} {
+		sys, err := scenario(lockstep)
+		if err != nil {
+			t.Fatalf("%s (lockstep=%v): %v", name, lockstep, err)
+		}
+		if got := sys.Kernel.Lockstep(); got != lockstep {
+			t.Fatalf("%s: kernel mode = %v, want %v", name, got, lockstep)
+		}
+		snaps[i] = snapshot(sys)
+		if !lockstep {
+			sched = sys.Kernel.Sched()
+		}
+	}
+	if !reflect.DeepEqual(snaps[0], snaps[1]) {
+		t.Fatalf("%s: scheduler modes diverged\nlockstep:     %+v\nevent-driven: %+v", name, snaps[0], snaps[1])
+	}
+	return sched
+}
+
+// TestSchedDiffGSMISS is the paper's E1 configuration: ISSs running the
+// GSM traffic kernel over the shared bus against wrapper memories.
+func TestSchedDiffGSMISS(t *testing.T) {
+	for _, tc := range []struct{ nISS, nMem int }{{1, 1}, {4, 1}, {4, 4}} {
+		name := fmt.Sprintf("gsm-iss-%dx%d", tc.nISS, tc.nMem)
+		runBoth(t, name, func(lockstep bool) (*config.System, error) {
+			sys, err := config.Build(config.SystemConfig{
+				Masters: tc.nISS, Memories: tc.nMem, MemKind: config.MemWrapper, Lockstep: lockstep,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var progs [][]byte
+			for i := 0; i < tc.nISS; i++ {
+				p, err := isa.Assemble(workload.GSMKernelSource(workload.GSMKernelConfig{
+					Frames: 2, SM: i % tc.nMem, Seed: uint32(i + 1),
+				}))
+				if err != nil {
+					return nil, err
+				}
+				progs = append(progs, p.Code)
+			}
+			if err := sys.AddCPUs(progs...); err != nil {
+				return nil, err
+			}
+			if _, err := sys.Kernel.RunUntil(sys.CPUsHalted, runLimit); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		})
+	}
+}
+
+// TestSchedDiffCrossbar is the A1 ablation topology.
+func TestSchedDiffCrossbar(t *testing.T) {
+	runBoth(t, "crossbar", func(lockstep bool) (*config.System, error) {
+		sys, err := config.Build(config.SystemConfig{
+			Masters: 2, Memories: 2, MemKind: config.MemWrapper,
+			Interconnect: config.InterCrossbar, Lockstep: lockstep,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var progs [][]byte
+		for i := 0; i < 2; i++ {
+			p, err := isa.Assemble(workload.GSMKernelSource(workload.GSMKernelConfig{
+				Frames: 2, SM: i, Seed: uint32(i + 1),
+			}))
+			if err != nil {
+				return nil, err
+			}
+			progs = append(progs, p.Code)
+		}
+		if err := sys.AddCPUs(progs...); err != nil {
+			return nil, err
+		}
+		if _, err := sys.Kernel.RunUntil(sys.CPUsHalted, runLimit); err != nil {
+			return nil, err
+		}
+		return sys, nil
+	})
+}
+
+// TestSchedDiffPipeline is the E1b configuration: the bit-exact GSM
+// codec on native PEs.
+func TestSchedDiffPipeline(t *testing.T) {
+	const frames = 3
+	runBoth(t, "gsm-pipeline", func(lockstep bool) (*config.System, error) {
+		tasks, res := gsm.BuildPipeline(gsm.PipelineConfig{Frames: frames, Seed: 42, NumSM: 2})
+		sys, err := config.Build(config.SystemConfig{
+			Masters: 4, Memories: 2, MemKind: config.MemWrapper, Lockstep: lockstep,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddProcs(tasks...); err != nil {
+			return nil, err
+		}
+		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+			return nil, err
+		}
+		if res.Frames != frames {
+			return nil, fmt.Errorf("pipeline delivered %d/%d frames", res.Frames, frames)
+		}
+		return sys, nil
+	})
+}
+
+// TestSchedDiffTraceReplay covers every memory model on the same trace,
+// in both the default and an idle-heavy delay configuration. The
+// idle-heavy wrapper run must actually skip — it is the configuration
+// the tentpole exists for.
+func TestSchedDiffTraceReplay(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 41, Events: 1200, Slots: 16, NumSM: 1,
+		MinDim: 4, MaxDim: 64, DType: bus.U32, Mix: trace.DefaultMix(), PtrArithPct: 20,
+	})
+	for _, tc := range []struct {
+		name  string
+		kind  config.MemKind
+		mode  trace.Mode
+		heavy bool
+	}{
+		{"wrapper", config.MemWrapper, trace.ModeDynamic, false},
+		{"wrapper-idle-heavy", config.MemWrapper, trace.ModeDynamic, true},
+		{"static", config.MemStatic, trace.ModeStatic, false},
+		{"heapsim", config.MemHeapSim, trace.ModeDynamic, false},
+	} {
+		sched := runBoth(t, "trace-"+tc.name, func(lockstep bool) (*config.System, error) {
+			cfg := config.SystemConfig{
+				Masters: 1, Memories: 1, MemKind: tc.kind, MemBytes: 1 << 22, Lockstep: lockstep,
+			}
+			if tc.heavy {
+				d := evDelays()
+				cfg.WrapperDelays = &d
+			}
+			sys, err := config.Build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.AddProcs(trace.ReplayTask(tr, tc.mode, nil)); err != nil {
+				return nil, err
+			}
+			if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		})
+		if tc.heavy && sched.Skipped == 0 {
+			t.Fatalf("trace-%s: event-driven run skipped nothing", tc.name)
+		}
+	}
+}
+
+// TestSchedDiffDMA wires the heterogeneous-master topology: a native PE
+// staging buffers, a DMA engine copying between two wrappers.
+func TestSchedDiffDMA(t *testing.T) {
+	type dmaCapture struct{ done []dma.Status }
+	var caps [2]dmaCapture
+	i := 0
+	runBoth(t, "dma", func(lockstep bool) (*config.System, error) {
+		delays := evDelays()
+		sys, err := config.Build(config.SystemConfig{
+			Masters: 2, Memories: 2, MemKind: config.MemWrapper,
+			WrapperDelays: &delays, Lockstep: lockstep,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var eng *dma.Engine
+		peTask := func(ctx *smapi.Ctx) {
+			m0, m1 := ctx.Mem(0), ctx.Mem(1)
+			src, code := m0.Malloc(64, bus.U32)
+			if code != bus.OK {
+				panic(code)
+			}
+			for j := uint32(0); j < 64; j++ {
+				if code := m0.Write(src+4*j, 0xA000+j); code != bus.OK {
+					panic(code)
+				}
+			}
+			dst, code := m1.Malloc(64, bus.U32)
+			if code != bus.OK {
+				panic(code)
+			}
+			eng.Enqueue(dma.Descriptor{
+				SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst, Elems: 64, DType: bus.U32, Chunk: 16,
+			})
+			for !eng.Idle() {
+				ctx.Sleep(25)
+			}
+			got, code := m1.ReadArray(dst, 64)
+			if code != bus.OK {
+				panic(code)
+			}
+			for j, v := range got {
+				if v != 0xA000+uint32(j) {
+					panic("dma copy corrupted")
+				}
+			}
+		}
+		if err := sys.AddProcs(peTask); err != nil {
+			return nil, err
+		}
+		eng = dma.New(sys.Kernel, "dma", sys.MasterLinks[1])
+		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+			return nil, err
+		}
+		caps[i].done = eng.Done()
+		i++
+		return sys, nil
+	})
+	if !reflect.DeepEqual(caps[0].done, caps[1].done) {
+		t.Fatalf("DMA outcomes diverged:\nlockstep:     %+v\nevent-driven: %+v", caps[0].done, caps[1].done)
+	}
+}
+
+// TestSchedDiffReservation is the E8 coherence configuration: PEs
+// contending on one reserved buffer with sleep-based backoff.
+func TestSchedDiffReservation(t *testing.T) {
+	const pes, sections = 3, 12
+	runBoth(t, "reservation", func(lockstep bool) (*config.System, error) {
+		var vptr uint32
+		var ready bool
+		var doneCount int
+		alloc := func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			v, code := m.Malloc(4, bus.U32)
+			if code != bus.OK {
+				panic(code)
+			}
+			vptr, ready = v, true
+			for doneCount < pes {
+				ctx.Sleep(100)
+			}
+		}
+		worker := func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			for !ready {
+				ctx.Sleep(2)
+			}
+			for s := 0; s < sections; s++ {
+				if code := m.Acquire(vptr, 3); code != bus.OK {
+					panic(code)
+				}
+				v, _ := m.Read(vptr)
+				if code := m.Write(vptr, v+1); code != bus.OK {
+					panic(code)
+				}
+				if code := m.Release(vptr); code != bus.OK {
+					panic(code)
+				}
+			}
+			doneCount++
+		}
+		tasks := []smapi.Task{alloc}
+		for j := 0; j < pes; j++ {
+			tasks = append(tasks, worker)
+		}
+		sys, err := config.Build(config.SystemConfig{
+			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper, Lockstep: lockstep,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddProcs(tasks...); err != nil {
+			return nil, err
+		}
+		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+			return nil, err
+		}
+		return sys, nil
+	})
+}
+
+// TestSchedDiffVCD demands byte-identical waveforms: the interconnect
+// handshake signals of a delay-heavy run traced in both modes.
+func TestSchedDiffVCD(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 51, Events: 300, Slots: 8, NumSM: 1,
+		MinDim: 4, MaxDim: 32, DType: bus.U32, Mix: trace.DefaultMix(),
+	})
+	var dumps [2]bytes.Buffer
+	for i, lockstep := range []bool{true, false} {
+		delays := evDelays()
+		sys, err := config.Build(config.SystemConfig{
+			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
+			WrapperDelays: &delays, Lockstep: lockstep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vcd := sim.NewVCD(&dumps[i], "1ns")
+		wr := sys.Wrappers[0]
+		vcd.AddVar("mem", "live", 16, func() uint64 { return uint64(wr.Table().Len()) })
+		ist := func() uint64 { return sys.Inter.Stats().Transactions }
+		vcd.AddVar("bus", "transactions", 32, ist)
+		sys.Kernel.AfterCycle(vcd.Sample)
+		if err := sys.AddProcs(trace.ReplayTask(tr, trace.ModeDynamic, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+			t.Fatal(err)
+		}
+		if err := vcd.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(dumps[0].Bytes(), dumps[1].Bytes()) {
+		t.Fatalf("VCD dumps diverged (%d vs %d bytes)", dumps[0].Len(), dumps[1].Len())
+	}
+}
+
+// TestSchedDiffExperimentSuite replays the full quick experiment suite
+// in lockstep and asserts nothing errors — together with the scenario
+// tests above this pins every Ex configuration in both modes.
+func TestSchedDiffExperimentSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite replay")
+	}
+	o := Options{Quick: true, Lockstep: true}
+	if _, err := E1(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := E2(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := E3(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := E4(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EV(Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}

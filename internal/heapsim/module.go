@@ -145,6 +145,31 @@ func (m *HeapMem) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper. Idle, the module waits for a request
+// (announced by a signal commit); busy, it holds a precomputed response
+// for a pure delay countdown of `wait` more ticks.
+func (m *HeapMem) NextWake(now uint64) uint64 {
+	if m.state == hmIdle {
+		if m.link.Pending() {
+			return now
+		}
+		return sim.WakeNever
+	}
+	if m.wait <= 1 {
+		return now
+	}
+	return now + uint64(m.wait) - 1
+}
+
+// Skip implements sim.Sleeper: n countdown ticks, each a busy cycle.
+func (m *HeapMem) Skip(n uint64) {
+	if m.state == hmIdle {
+		return
+	}
+	m.wait -= uint32(n)
+	m.stats.BusyCycles += n
+}
+
 func (m *HeapMem) finish() {
 	if op := int(m.curOp); op < bus.NumOps {
 		m.stats.Ops[op]++

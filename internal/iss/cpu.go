@@ -139,6 +139,29 @@ func (c *CPU) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper. A running CPU retires an instruction
+// every cycle and can never sleep; a halted CPU never runs again; a
+// stalled CPU resumes only when the interconnect's completion commits,
+// so WakeNever plus the kernel's dirty-signal wakeup is exact.
+func (c *CPU) NextWake(now uint64) uint64 {
+	switch c.state {
+	case cpuHalted, cpuStalled:
+		return sim.WakeNever
+	default:
+		return now
+	}
+}
+
+// Skip implements sim.Sleeper: skipped stall cycles still count as CPU
+// cycles spent waiting on the interconnect. A halted CPU counts nothing,
+// exactly as its Tick counts nothing.
+func (c *CPU) Skip(n uint64) {
+	if c.state == cpuStalled {
+		c.Cycles += n
+		c.StallCycles += n
+	}
+}
+
 // step fetches, decodes and executes one instruction.
 func (c *CPU) step(cycle uint64) {
 	if c.pc%4 != 0 || uint64(c.pc)+4 > uint64(len(c.mem)) {

@@ -154,6 +154,31 @@ func (r *StaticRAM) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper; see core.Wrapper.NextWake — the
+// static RAM runs the same three-state FSM, so the same reasoning
+// applies: idle waits on a signal, Decode/Exec are pure countdowns.
+func (r *StaticRAM) NextWake(now uint64) uint64 {
+	if r.state == ramIdle {
+		if r.link.Pending() {
+			return now
+		}
+		return sim.WakeNever
+	}
+	if r.wait <= 1 {
+		return now
+	}
+	return now + uint64(r.wait) - 1
+}
+
+// Skip implements sim.Sleeper: n countdown ticks, each a busy cycle.
+func (r *StaticRAM) Skip(n uint64) {
+	if r.state == ramIdle {
+		return
+	}
+	r.wait -= uint32(n)
+	r.stats.BusyCycles += n
+}
+
 func (r *StaticRAM) enterExec() {
 	r.wait = r.opCycles(r.cur)
 	r.state = ramExec

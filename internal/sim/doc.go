@@ -17,8 +17,40 @@
 // by construction, mirroring the registered (cycle-by-cycle) communication
 // the paper prescribes for the memory-wrapper handshake.
 //
-// The kernel also provides run control (Run, RunUntil, RunUntilQuiescent),
-// per-cycle hooks for instrumentation, a fault channel through which any
-// module can abort simulation with an error, and value-change-dump (VCD)
-// tracing for waveform inspection.
+// # Event-driven scheduling
+//
+// Ticking every module every cycle is faithful but wasteful: an MPSoC
+// spends most of its simulated life counting down memory and bus delays,
+// and a lockstep kernel charges the host for each of those inert cycles.
+// The run loops (Run, RunUntil, RunUntilQuiescent) therefore schedule
+// event-driven by default, built on two rules:
+//
+//   - Wake queue: modules implementing the optional Sleeper capability
+//     report, via NextWake, the earliest cycle at which they can do work
+//     absent signal changes — a wrapper mid-delay reports the cycle its
+//     countdown expires, a stalled CPU or an idle bus reports WakeNever.
+//     When every module sleeps and nothing changed, the kernel jumps the
+//     clock straight to the earliest wake point, calling Skip(n) on each
+//     module so pure-wait effects (busy/stall counters, countdowns) are
+//     accounted in O(1).
+//   - Dirty-signal wakeup: a skip is attempted only when the previous
+//     cycle committed no signal change and no host-written signal is
+//     pending. Any change anywhere wakes every module — conservative,
+//     simple, and sufficient, because modules communicate exclusively
+//     through signals.
+//
+// The two modes are observably identical — same cycle counts, same
+// stats, same VCD traces, same software results — which the differential
+// tests in internal/experiments assert config by config. Use
+// Kernel.SetLockstep(true) to pin a kernel to lockstep (the reference
+// mode for differential testing, and the right choice for AfterCycle
+// hooks that must run every cycle). A single module that does not
+// implement Sleeper silently degrades the whole kernel to lockstep
+// behavior; Kernel.Sched reports how many cycles were stepped versus
+// skipped.
+//
+// The kernel also provides single-cycle control (Step, which never
+// skips), per-cycle hooks for instrumentation, a fault channel through
+// which any module can abort simulation with an error, and
+// value-change-dump (VCD) tracing for waveform inspection.
 package sim

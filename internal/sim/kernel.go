@@ -24,6 +24,13 @@ var ErrLimit = errors.New("sim: cycle limit reached")
 
 // Kernel owns the clock, the modules and the signals of one simulated
 // system. The zero value is not usable; construct with New.
+//
+// The kernel runs event-driven by default: whenever every module is
+// asleep (see Sleeper in sched.go) and no signal changed, the run loops
+// advance the clock in one jump to the earliest wake point instead of
+// ticking idle modules cycle by cycle. SetLockstep(true) restores
+// unconditional per-cycle ticking; the two modes are observably
+// identical.
 type Kernel struct {
 	modules []Module
 	signals []committer
@@ -31,12 +38,24 @@ type Kernel struct {
 	cycle   uint64
 
 	// anyChange records whether the last committed cycle changed at least
-	// one signal value; used by RunUntilQuiescent.
+	// one signal value; used by RunUntilQuiescent and as the wakeup rule
+	// of the event-driven scheduler.
 	anyChange bool
 
 	fault error
 
 	afterCycle []func(cycle uint64)
+
+	// scheduling state (see sched.go).
+	lockstep      bool
+	started       bool // at least one cycle stepped; skips allowed after
+	stepped       uint64
+	skipped       uint64
+	skipSpans     uint64
+	sleepers      []Sleeper
+	sleepersValid bool
+	allSleepers   bool
+	awakeHint     int
 
 	// profiling state; nil unless EnableProfiling was called.
 	profTime  []time.Duration
@@ -53,13 +72,18 @@ func New() *Kernel {
 // the simulated hardware.
 func (k *Kernel) Add(m Module) {
 	k.modules = append(k.modules, m)
+	k.sleepersValid = false
 }
 
 // Modules returns the registered modules in registration order.
 func (k *Kernel) Modules() []Module { return k.modules }
 
-// AfterCycle registers fn to run after each cycle's signal commit. Hooks
-// are instrumentation: they must not write signals.
+// AfterCycle registers fn to run after each stepped cycle's signal
+// commit. Hooks are instrumentation: they must not write signals. In
+// event-driven mode hooks do not fire for skipped cycles — by
+// construction nothing observable happens during those, but hooks whose
+// output depends on being called every cycle (rather than on value
+// changes) should pin the kernel to lockstep.
 func (k *Kernel) AfterCycle(fn func(cycle uint64)) {
 	k.afterCycle = append(k.afterCycle, fn)
 }
@@ -88,8 +112,10 @@ func (k *Kernel) markDirty(s committer) {
 	k.dirty = append(k.dirty, s)
 }
 
-// Step simulates exactly one clock cycle. It returns the first module
-// fault raised during the cycle, if any.
+// Step simulates exactly one clock cycle, ticking every module. It never
+// skips — single-stepping is the finest-grained control the kernel
+// offers; idle jumps happen only inside the run loops. It returns the
+// first module fault raised during the cycle, if any.
 func (k *Kernel) Step() error {
 	if k.fault != nil {
 		return k.fault
@@ -111,53 +137,81 @@ func (k *Kernel) Step() error {
 	k.dirty = k.dirty[:0]
 	k.anyChange = changed
 	k.cycle++
+	k.stepped++
+	k.started = true
 	for _, fn := range k.afterCycle {
 		fn(c)
 	}
 	return k.fault
 }
 
-// Run simulates n cycles or stops early on a fault.
+// Run simulates n cycles or stops early on a fault. In event-driven mode
+// idle spans inside the n cycles are jumped over; the kernel still lands
+// exactly n cycles later.
 func (k *Kernel) Run(n uint64) error {
-	for i := uint64(0); i < n; i++ {
-		if err := k.Step(); err != nil {
+	for done := uint64(0); done < n; {
+		adv, _, err := k.advance(n - done)
+		done += adv
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// RunUntil steps the kernel until pred returns true (checked after each
-// cycle), a fault occurs, or limit cycles have elapsed, in which case it
-// returns ErrLimit. It returns the number of cycles stepped by this call.
+// RunUntil advances the kernel until pred returns true, a fault occurs,
+// or limit cycles have elapsed, in which case it returns ErrLimit. It
+// returns the number of simulated cycles advanced by this call (skipped
+// cycles included).
+//
+// pred is evaluated after every stepped cycle and after every idle jump.
+// It must depend only on state that changes when modules tick (module
+// flags like "halted", signal values); a pure-wait counter crossing a
+// threshold mid-jump is observed only at the end of the jump.
 func (k *Kernel) RunUntil(pred func() bool, limit uint64) (uint64, error) {
-	for n := uint64(0); n < limit; n++ {
-		if err := k.Step(); err != nil {
-			return n + 1, err
+	for done := uint64(0); done < limit; {
+		adv, _, err := k.advance(limit - done)
+		done += adv
+		if err != nil {
+			return done, err
 		}
 		if pred() {
-			return n + 1, nil
+			return done, nil
 		}
 	}
 	return limit, ErrLimit
 }
 
-// RunUntilQuiescent steps the kernel until idle consecutive cycles commit
-// no signal change, or limit cycles elapse (returning ErrLimit). A system
-// whose signals have stopped changing has reached a fixed point: no module
-// can observe anything new. Useful for draining pipelines in tests.
+// RunUntilQuiescent advances the kernel until idle consecutive cycles
+// commit no signal change, or limit cycles elapse (returning ErrLimit).
+// A system whose signals have stopped changing has reached a fixed
+// point: no module can observe anything new. Useful for draining
+// pipelines in tests. Skipped cycles count as quiet: the scheduler only
+// skips when no signal changed, so both modes stop at the same cycle.
 func (k *Kernel) RunUntilQuiescent(idle, limit uint64) (uint64, error) {
 	quiet := uint64(0)
-	for n := uint64(0); n < limit; n++ {
-		if err := k.Step(); err != nil {
-			return n + 1, err
+	for done := uint64(0); done < limit; {
+		// Cap the advance so an idle jump cannot overshoot the cycle at
+		// which lockstep would have declared quiescence.
+		budget := limit - done
+		need := uint64(1)
+		if idle > quiet {
+			need = idle - quiet
 		}
-		if k.anyChange {
+		if need < budget {
+			budget = need
+		}
+		adv, steppedCycle, err := k.advance(budget)
+		done += adv
+		if err != nil {
+			return done, err
+		}
+		if steppedCycle && k.anyChange {
 			quiet = 0
 		} else {
-			quiet++
+			quiet += adv
 			if quiet >= idle {
-				return n + 1, nil
+				return done, nil
 			}
 		}
 	}

@@ -21,7 +21,7 @@ func TestKernelTicksEveryModuleOncePerCycle(t *testing.T) {
 	counts := make([]int, 3)
 	for i := 0; i < 3; i++ {
 		i := i
-		k.Add(&FuncModule{"m", func(cycle uint64) { counts[i]++ }})
+		k.Add(&FuncModule{Nm: "m", Fn: func(cycle uint64) { counts[i]++ }})
 	}
 	if err := k.Run(7); err != nil {
 		t.Fatal(err)
@@ -40,8 +40,8 @@ func TestKernelModuleOrderUnobservable(t *testing.T) {
 		k := New()
 		a := NewSignal(k, "a", 0)
 		b := NewSignal(k, "b", 0)
-		inc := &FuncModule{"inc", func(cycle uint64) { a.Set(b.Get() + 1) }}
-		dbl := &FuncModule{"dbl", func(cycle uint64) { b.Set(a.Get() * 2) }}
+		inc := &FuncModule{Nm: "inc", Fn: func(cycle uint64) { a.Set(b.Get() + 1) }}
+		dbl := &FuncModule{Nm: "dbl", Fn: func(cycle uint64) { b.Set(a.Get() * 2) }}
 		if reverse {
 			k.Add(dbl)
 			k.Add(inc)
@@ -69,7 +69,7 @@ func TestKernelModuleOrderUnobservable(t *testing.T) {
 func TestKernelFaultStopsRun(t *testing.T) {
 	k := New()
 	boom := errors.New("boom")
-	k.Add(&FuncModule{"f", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "f", Fn: func(cycle uint64) {
 		if cycle == 3 {
 			k.Fault(boom)
 		}
@@ -90,7 +90,7 @@ func TestKernelFaultStopsRun(t *testing.T) {
 func TestKernelFirstFaultWins(t *testing.T) {
 	k := New()
 	e1, e2 := errors.New("first"), errors.New("second")
-	k.Add(&FuncModule{"f", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "f", Fn: func(cycle uint64) {
 		k.Fault(e1)
 		k.Fault(e2)
 	}})
@@ -103,7 +103,7 @@ func TestKernelFirstFaultWins(t *testing.T) {
 func TestRunUntil(t *testing.T) {
 	k := New()
 	s := NewSignal(k, "s", 0)
-	k.Add(&FuncModule{"w", func(cycle uint64) { s.Set(int(cycle)) }})
+	k.Add(&FuncModule{Nm: "w", Fn: func(cycle uint64) { s.Set(int(cycle)) }})
 	n, err := k.RunUntil(func() bool { return s.Get() >= 5 }, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +130,7 @@ func TestRunUntilLimit(t *testing.T) {
 func TestRunUntilQuiescent(t *testing.T) {
 	k := New()
 	s := NewSignal(k, "s", 0)
-	k.Add(&FuncModule{"w", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "w", Fn: func(cycle uint64) {
 		if cycle < 5 {
 			s.Set(int(cycle) + 1)
 		}
@@ -151,7 +151,7 @@ func TestRunUntilQuiescent(t *testing.T) {
 func TestRunUntilQuiescentLimit(t *testing.T) {
 	k := New()
 	s := NewSignal(k, "s", 0)
-	k.Add(&FuncModule{"w", func(cycle uint64) { s.Set(int(cycle)) }})
+	k.Add(&FuncModule{Nm: "w", Fn: func(cycle uint64) { s.Set(int(cycle)) }})
 	_, err := k.RunUntilQuiescent(2, 10)
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("err = %v, want ErrLimit", err)
@@ -193,8 +193,8 @@ func TestDeterministicReplay(t *testing.T) {
 		k := New()
 		a := NewSignal(k, "a", 1)
 		b := NewSignal(k, "b", 2)
-		k.Add(&FuncModule{"m1", func(cycle uint64) { a.Set(a.Get() + b.Get()) }})
-		k.Add(&FuncModule{"m2", func(cycle uint64) { b.Set(a.Get() ^ b.Get()) }})
+		k.Add(&FuncModule{Nm: "m1", Fn: func(cycle uint64) { a.Set(a.Get() + b.Get()) }})
+		k.Add(&FuncModule{Nm: "m2", Fn: func(cycle uint64) { b.Set(a.Get() ^ b.Get()) }})
 		var tr []int
 		for i := 0; i < 50; i++ {
 			if err := k.Step(); err != nil {
@@ -215,7 +215,7 @@ func TestDeterministicReplay(t *testing.T) {
 func TestProfilingAccumulates(t *testing.T) {
 	k := New()
 	k.Add(&nopModule{"cheap"})
-	k.Add(&FuncModule{"busy", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "busy", Fn: func(cycle uint64) {
 		x := 0
 		for i := 0; i < 1000; i++ {
 			x += i

@@ -18,6 +18,13 @@ type ModuleCost struct {
 // Profiling costs two clock reads per module per cycle, so simulation
 // runs noticeably slower; it exists to *explain* speed (experiment E1's
 // per-module degradation), not to measure absolute throughput.
+//
+// Under the event-driven scheduler a module's Ticks counter reflects the
+// cycles it was actually ticked; skipped spans appear in Kernel.Sched()
+// (Stepped + Skipped always equals Cycle()). Comparing a module's Ticks
+// against Sched().Stepped shows how often it was awake; comparing
+// Sched().Skipped against Cycle() shows how much of the run the
+// idle-skip machinery absorbed.
 func (k *Kernel) EnableProfiling() {
 	if k.profTime != nil {
 		return

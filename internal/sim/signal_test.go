@@ -15,7 +15,7 @@ func TestSignalReadsPreviousCycleValue(t *testing.T) {
 	k := New()
 	s := NewSignal(k, "s", 0)
 	var seen []int
-	k.Add(&FuncModule{"writer", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "writer", Fn: func(cycle uint64) {
 		seen = append(seen, s.Get())
 		s.Set(int(cycle) + 100)
 	}})
@@ -46,7 +46,7 @@ func TestSignalHoldsValueWhenNotWritten(t *testing.T) {
 func TestSignalLastWriteWins(t *testing.T) {
 	k := New()
 	s := NewSignal(k, "s", 0)
-	k.Add(&FuncModule{"w", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "w", Fn: func(cycle uint64) {
 		s.Set(1)
 		s.Set(2)
 		s.Set(3)
@@ -65,7 +65,7 @@ func TestSignalPending(t *testing.T) {
 	if got := s.Pending(); got != 1 {
 		t.Errorf("Pending() before write = %d, want 1", got)
 	}
-	k.Add(&FuncModule{"w", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "w", Fn: func(cycle uint64) {
 		s.Set(9)
 		if got := s.Pending(); got != 9 {
 			t.Errorf("Pending() mid-cycle = %d, want 9", got)
@@ -93,13 +93,13 @@ func TestSignalWriteVisibleExactlyOneCycleLater(t *testing.T) {
 		s := NewSignal(k, "s", uint32(0))
 		var got []uint32
 		i := 0
-		k.Add(&FuncModule{"w", func(cycle uint64) {
+		k.Add(&FuncModule{Nm: "w", Fn: func(cycle uint64) {
 			if i < len(vals) {
 				s.Set(vals[i])
 				i++
 			}
 		}})
-		k.Add(&FuncModule{"r", func(cycle uint64) {
+		k.Add(&FuncModule{Nm: "r", Fn: func(cycle uint64) {
 			got = append(got, s.Get())
 		}})
 		if err := k.Run(uint64(len(vals) + 1)); err != nil {

@@ -20,6 +20,15 @@ import (
 //	vcd.AddVar("bus", "addr", 32, sim.ProbeU32(addr))
 //	k.AfterCycle(vcd.Sample)
 //	defer vcd.Flush()
+//
+// The tracer is change-based, which makes it robust to the kernel's
+// event-driven scheduler: Sample runs only for stepped cycles, but
+// during a skipped span no signal commits, so a probe over signal state
+// (or any other tick-driven state) would have emitted nothing anyway —
+// the dump is byte-identical between lockstep and event-driven runs.
+// A probe over per-cycle counters that advance during skips (busy/stall
+// accounting) sees those counters jump at span boundaries; trace such
+// values with the kernel pinned to lockstep.
 type VCD struct {
 	w      *bufio.Writer
 	ts     string

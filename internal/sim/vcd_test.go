@@ -13,7 +13,7 @@ func TestVCDHeaderAndChanges(t *testing.T) {
 	vcd := NewVCD(&sb, "1ns")
 	vcd.AddVar("top", "valid", 1, ProbeBool(b))
 	vcd.AddVar("top", "data", 32, ProbeU32(w))
-	k.Add(&FuncModule{"drv", func(cycle uint64) {
+	k.Add(&FuncModule{Nm: "drv", Fn: func(cycle uint64) {
 		if cycle == 1 {
 			b.Set(true)
 			w.Set(0x5)

@@ -107,6 +107,35 @@ func (p *Proc) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper. A PE blocked on a bus response is
+// woken by the completion's signal commit; a PE in Sleep knows its exact
+// resume cycle; a finished PE never wakes; a runnable PE executes every
+// cycle.
+func (p *Proc) NextWake(now uint64) uint64 {
+	switch p.state {
+	case procDone, procWaitResp:
+		return sim.WakeNever
+	case procSleeping:
+		if p.wakeAt <= now {
+			return now
+		}
+		return p.wakeAt
+	default:
+		return now
+	}
+}
+
+// Skip implements sim.Sleeper: skipped cycles spent blocked on the
+// interconnect or in Sleep are accounted exactly as ticked ones.
+func (p *Proc) Skip(n uint64) {
+	switch p.state {
+	case procWaitResp:
+		p.WaitCycles += n
+	case procSleeping:
+		p.SleepCycles += n
+	}
+}
+
 // run is the coroutine body.
 func (p *Proc) run() {
 	defer func() {

@@ -33,9 +33,16 @@ func reportSimSpeed(b *testing.B, totalCycles uint64) {
 
 func benchGSMISS(b *testing.B, nISS, nMem, frames int) {
 	b.Helper()
+	benchGSMISSMode(b, nISS, nMem, frames, experiments.Mode{})
+}
+
+// benchGSMISSMode is benchGSMISS with an explicit kernel mode (the PAR
+// family sweeps worker counts through it).
+func benchGSMISSMode(b *testing.B, nISS, nMem, frames int, m experiments.Mode) {
+	b.Helper()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunGSMISS(nISS, nMem, frames, false)
+		r, err := experiments.RunGSMISS(nISS, nMem, frames, m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +62,7 @@ func benchPipeline(b *testing.B, nMem, frames int) {
 	b.Helper()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunGSMPipeline(nMem, frames, false)
+		r, err := experiments.RunGSMPipeline(nMem, frames, experiments.Mode{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +89,7 @@ func benchTrace(b *testing.B, kind config.MemKind, tr *trace.Trace, mode trace.M
 	b.Helper()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		r, _, err := experiments.RunTrace(kind, tr, mode, memBytes, false)
+		r, _, err := experiments.RunTrace(kind, tr, mode, memBytes, experiments.Mode{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +164,7 @@ func benchEV(b *testing.B, lockstep bool) {
 	b.Helper()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		r, _, err := experiments.RunEV(4000, lockstep)
+		r, _, err := experiments.RunEV(4000, experiments.Mode{Lockstep: lockstep})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,6 +175,25 @@ func benchEV(b *testing.B, lockstep bool) {
 
 func BenchmarkEV_Lockstep(b *testing.B)    { benchEV(b, true) }
 func BenchmarkEV_EventDriven(b *testing.B) { benchEV(b, false) }
+
+// --- PAR: sharded parallel tick engine --------------------------------------
+
+// benchPAR sweeps the worker count on a CPU-bound E1-class configuration
+// (ISSs retire an instruction every cycle, so idle-skip cannot help and
+// only parallel ticking can). workers=1 is the sequential reference;
+// speedup requires host cores (the -cpu flag / GOMAXPROCS governs how
+// many the pool can actually use).
+func benchPAR(b *testing.B, nISS, nMem int) {
+	b.Helper()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchGSMISSMode(b, nISS, nMem, 10, experiments.Mode{Workers: w})
+		})
+	}
+}
+
+func BenchmarkPAR_FourISS_FourMem(b *testing.B) { benchPAR(b, 4, 4) }
+func BenchmarkPAR_FourISS_OneMem(b *testing.B)  { benchPAR(b, 4, 1) }
 
 // --- E5: degradation curves ------------------------------------------------
 

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// array, so CI can track the performance trajectory without a Python
+// dependency on the runners.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'E1|EV|PAR' -benchtime=1x . | benchjson -out BENCH_e1.json
+//	benchjson -in bench.txt
+//
+// Each benchmark line becomes one object:
+//
+//	{"name": "BenchmarkE1_FourISS_OneMem", "cpus": 4, "iterations": 1,
+//	 "ns_per_op": 123456789, "simcycles_per_s": 1.23e+07}
+//
+// The trailing -N GOMAXPROCS suffix Go appends to benchmark names is
+// split into the "cpus" field so baselines diff cleanly across hosts;
+// "simcycles_per_s" (the suite's custom metric) is null for benchmarks
+// that do not report it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Row is one parsed benchmark result.
+type Row struct {
+	Name          string   `json:"name"`
+	CPUs          int      `json:"cpus"`
+	Iterations    int64    `json:"iterations"`
+	NsPerOp       float64  `json:"ns_per_op"`
+	SimCyclesPerS *float64 `json:"simcycles_per_s"`
+}
+
+// benchLine matches the standard testing output:
+//
+//	BenchmarkName[/sub][-N]   <iters>   <ns> ns/op  [<value> <unit> ...]
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+([0-9.eE+]+) ns/op(.*)$`)
+
+// simCycles extracts the suite's custom metric from the trailing
+// metrics, e.g. "   1.23e+07 simcycles/s".
+var simCycles = regexp.MustCompile(`([0-9.eE+-]+) simcycles/s`)
+
+// parse reads go-test bench output and returns one Row per result line.
+func parse(r io.Reader) ([]Row, error) {
+	rows := []Row{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		// The testing package omits the -N suffix when GOMAXPROCS is 1.
+		row := Row{Name: m[1], CPUs: 1}
+		if m[2] != "" {
+			row.CPUs, _ = strconv.Atoi(m[2])
+		}
+		var err error
+		if row.Iterations, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+		}
+		if row.NsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+		}
+		if sm := simCycles.FindStringSubmatch(m[5]); sm != nil {
+			v, err := strconv.ParseFloat(sm[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+			}
+			row.SimCyclesPerS = &v
+		}
+		rows = append(rows, row)
+	}
+	return rows, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON destination (default: stdout)")
+	flag.Parse()
+
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rows, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	buf, err := json.MarshalIndent(rows, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}

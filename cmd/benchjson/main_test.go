@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkE1_FourISS_OneMem-4         	       1	182090315 ns/op	  85801 simcycles/s
+BenchmarkPAR_FourISS_FourMem/workers=4-8 	       2	 91000000 ns/op	1.72e+05 simcycles/s
+BenchmarkMicro_Assemble            	     100	   1203450 ns/op
+PASS
+ok  	repro	2.412s
+`
+
+func TestParse(t *testing.T) {
+	rows, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	r := rows[0]
+	if r.Name != "BenchmarkE1_FourISS_OneMem" || r.CPUs != 4 || r.Iterations != 1 {
+		t.Fatalf("row 0 = %+v", r)
+	}
+	if r.SimCyclesPerS == nil || *r.SimCyclesPerS != 85801 {
+		t.Fatalf("row 0 simcycles = %v", r.SimCyclesPerS)
+	}
+	sub := rows[1]
+	if sub.Name != "BenchmarkPAR_FourISS_FourMem/workers=4" || sub.CPUs != 8 {
+		t.Fatalf("row 1 = %+v", sub)
+	}
+	if sub.SimCyclesPerS == nil || *sub.SimCyclesPerS != 1.72e+05 {
+		t.Fatalf("row 1 simcycles = %v", sub.SimCyclesPerS)
+	}
+	if rows[2].SimCyclesPerS != nil {
+		t.Fatalf("row 2 should have no simcycles metric: %+v", rows[2])
+	}
+	if rows[2].NsPerOp != 1203450 {
+		t.Fatalf("row 2 ns/op = %v", rows[2].NsPerOp)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rows, err := parse(strings.NewReader("PASS\nok repro 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(rows))
+	}
+}

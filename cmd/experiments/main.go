@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-run e1,e2,a2]
+//	experiments [-quick] [-run e1,e2,a2] [-workers n]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -20,11 +21,24 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,ev,a1,a2) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,ev,par,a1,a2) or 'all'")
 	lockstep := flag.Bool("lockstep", false, "pin every measured kernel to lockstep stepping (EV always compares both)")
+	workers := flag.Int("workers", 1, "tick-phase parallelism for every measured kernel (0 = GOMAXPROCS, 1 = sequential; PAR sweeps its own counts)")
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
-	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep}
+	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers}
+
+	// Run header: the tables below are attributable to this scheduler
+	// configuration.
+	mode := "event-driven"
+	if *lockstep {
+		mode = "lockstep"
+	}
+	fmt.Printf("experiments: scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
+		mode, *workers, runtime.GOMAXPROCS(0))
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(strings.ToLower(id))] = true
@@ -55,6 +69,7 @@ func main() {
 		{"e7", one(experiments.E7)},
 		{"e8", one(experiments.E8)},
 		{"ev", one(experiments.EV)},
+		{"par", one(experiments.PAR)},
 		{"a1", one(experiments.A1)},
 		{"a2", one(experiments.A2)},
 	}

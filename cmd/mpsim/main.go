@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bus"
@@ -47,9 +48,13 @@ func run() error {
 		vcdPath  = flag.String("vcd", "", "write a VCD waveform of the interconnect handshake")
 		profile  = flag.Bool("profile", false, "report host time per module (explains simulation-speed degradation)")
 		lockstep = flag.Bool("lockstep", false, "pin the kernel to lockstep stepping (default: event-driven idle-skip)")
+		workers  = flag.Int("workers", 1, "tick-phase parallelism: modules sharded across this many concurrent workers (0 = GOMAXPROCS, 1 = sequential)")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	if *isses == 0 && *pes == 0 {
 		*isses = 4
@@ -82,11 +87,20 @@ func run() error {
 	masters := *isses + *pes
 	sys, err := config.Build(config.SystemConfig{
 		Masters: masters, Memories: *memories, MemKind: kind, Interconnect: ic,
-		Lockstep: *lockstep,
+		Lockstep: *lockstep, Workers: *workers,
 	})
 	if err != nil {
 		return err
 	}
+
+	// Run header: every number printed below is attributable to this
+	// scheduler configuration.
+	schedMode := "event-driven"
+	if *lockstep {
+		schedMode = "lockstep"
+	}
+	fmt.Printf("mpsim: %d masters × %s × %d %s memories; scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
+		masters, ic, *memories, kind, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
 
 	var doneFn func() bool
 	switch {
@@ -171,9 +185,9 @@ func run() error {
 	if sched.Lockstep {
 		mode = "lockstep"
 	}
-	fmt.Printf("simulated %d cycles in %v (%s cycles/s; %s scheduler, %d cycles skipped in %d spans)\n\n",
+	fmt.Printf("simulated %d cycles in %v (%s cycles/s; %s scheduler × workers=%d, %d cycles skipped in %d spans)\n\n",
 		cycles, wall.Round(time.Millisecond), stats.SI(stats.Rate(cycles, wall)),
-		mode, sched.Skipped, sched.Spans)
+		mode, sched.Workers, sched.Skipped, sched.Spans)
 
 	for i, cpu := range sys.CPUs {
 		fmt.Printf("iss%d: exit=%#x instructions=%d stall-cycles=%d\n",

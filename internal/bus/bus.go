@@ -114,6 +114,17 @@ func (b *Bus) NextWake(now uint64) uint64 {
 	}
 }
 
+// ConcurrentTick implements sim.Concurrent: the bus owns its FSM, its
+// arbiter and its stats; on the links it only uses the slave side of
+// master links (take/peek) and the master side of slave links
+// (issue/consume), which the link protocol makes exclusive to it within
+// any cycle. Safe to tick concurrently with CPUs and memories.
+func (b *Bus) ConcurrentTick() bool { return true }
+
+// TickWeight implements sim.Weighted: mostly demand polling and word
+// countdowns — cheap relative to the modules it connects.
+func (b *Bus) TickWeight() int { return 2 }
+
 // Skip implements sim.Sleeper: every skipped cycle in a non-idle state
 // is a busy cycle; in the transfer states it is also a counter tick.
 func (b *Bus) Skip(n uint64) {

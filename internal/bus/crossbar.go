@@ -72,6 +72,19 @@ func (x *Crossbar) wordCycles(words uint32) uint32 {
 	return words * wc
 }
 
+// ConcurrentTick implements sim.Concurrent: same confinement argument
+// as Bus — lanes, arbiters and stats are the crossbar's own, and its
+// link-side accesses are the interconnect half of the link protocol.
+func (x *Crossbar) ConcurrentTick() bool { return true }
+
+// TickWeight implements sim.Weighted: one cheap lane FSM per slave.
+func (x *Crossbar) TickWeight() int {
+	if n := len(x.lanes); n > 2 {
+		return n
+	}
+	return 2
+}
+
 // Tick implements sim.Module. Each lane runs the same four-state engine
 // as the shared Bus, restricted to requests targeting its slave. A master
 // with an in-flight request on one lane cannot issue on another (the Link

@@ -98,6 +98,15 @@ type SystemConfig struct {
 	// identical; lockstep is the reference side of differential tests
 	// and the baseline of scheduler benchmarks.
 	Lockstep bool
+	// Workers is the tick-phase parallelism passed to Kernel.SetWorkers:
+	// values > 1 shard the modules across that many concurrent workers,
+	// 1 pins the sequential tick loop, negative selects GOMAXPROCS, and
+	// 0 — the zero value — keeps the kernel's sequential default, so
+	// existing configurations are unaffected. All settings are
+	// observably identical; see the sim package docs. (The commands'
+	// -workers flags map their conventional "0 = all cores" to a
+	// GOMAXPROCS count before building.)
+	Workers int
 }
 
 // Interconnect is the common face of Bus and Crossbar.
@@ -137,6 +146,9 @@ func Build(cfg SystemConfig) (*System, error) {
 	}
 	k := sim.New()
 	k.SetLockstep(cfg.Lockstep)
+	if cfg.Workers != 0 {
+		k.SetWorkers(cfg.Workers)
+	}
 	sys := &System{Kernel: k, Cfg: cfg}
 
 	for i := 0; i < cfg.Masters; i++ {

@@ -189,6 +189,16 @@ func (w *Wrapper) NextWake(now uint64) uint64 {
 	return now + uint64(w.wait) - 1
 }
 
+// ConcurrentTick implements sim.Concurrent: the wrapper's Tick touches
+// only its own FSM registers, pointer table, translator, host allocator
+// and stats, plus the slave side of its link. Safe to tick concurrently.
+func (w *Wrapper) ConcurrentTick() bool { return true }
+
+// TickWeight implements sim.Weighted: the wrapper latches its input
+// port every cycle and runs pointer-table lookups plus host calls on
+// completion — heavier than a plain table RAM, lighter than an ISS.
+func (w *Wrapper) TickWeight() int { return 4 }
+
 // Skip implements sim.Sleeper: n skipped cycles are n countdown ticks,
 // each of which would have charged one busy cycle. An idle wrapper's
 // skipped ticks would only have re-latched its (idle) input port.

@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/bus"
@@ -36,6 +37,10 @@ type Options struct {
 	// so the whole suite can be replayed in either mode (the EV
 	// experiment and the differential tests compare the two).
 	Lockstep bool
+	// Workers is the tick-phase parallelism applied to every measured
+	// kernel (see config.SystemConfig.Workers; 0 keeps the sequential
+	// default). The PAR experiment sweeps its own worker counts.
+	Workers int
 }
 
 func (o Options) pick(full, quick int) int {
@@ -45,18 +50,32 @@ func (o Options) pick(full, quick int) int {
 	return full
 }
 
+// Mode selects the kernel scheduling of one measured run: lockstep
+// versus event-driven idle-skip, and sequential versus sharded parallel
+// ticking. All four combinations are observably identical; they differ
+// only in host speed. The zero value is the default mode (event-driven,
+// sequential).
+type Mode struct {
+	Lockstep bool
+	Workers  int
+}
+
+func (o Options) mode() Mode { return Mode{Lockstep: o.Lockstep, Workers: o.Workers} }
+
 // runLimit is the cycle budget for any single measured run.
 const runLimit = 2_000_000_000
 
 // RunGSMISS builds the paper's configuration — nISS armlet ISSs running
 // the GSM traffic kernel against nMem wrapper memories over a shared
-// bus — runs it to completion and returns the measured result.
-func RunGSMISS(nISS, nMem, frames int, lockstep bool) (stats.RunResult, error) {
+// bus — runs it to completion in kernel mode m and returns the measured
+// result.
+func RunGSMISS(nISS, nMem, frames int, m Mode) (stats.RunResult, error) {
 	sys, err := config.Build(config.SystemConfig{
 		Masters:  nISS,
 		Memories: nMem,
 		MemKind:  config.MemWrapper,
-		Lockstep: lockstep,
+		Lockstep: m.Lockstep,
+		Workers:  m.Workers,
 	})
 	if err != nil {
 		return stats.RunResult{}, err
@@ -98,13 +117,13 @@ func RunGSMISS(nISS, nMem, frames int, lockstep bool) (stats.RunResult, error) {
 // takes the best of `reps` measured runs, suppressing host scheduling
 // noise (the measured quantity, cycles per host second, is a wall-clock
 // rate).
-func measureGSMISS(nISS, nMem, frames, reps int, lockstep bool) (stats.RunResult, error) {
-	if _, err := RunGSMISS(nISS, nMem, frames, lockstep); err != nil { // warmup
+func measureGSMISS(nISS, nMem, frames, reps int, m Mode) (stats.RunResult, error) {
+	if _, err := RunGSMISS(nISS, nMem, frames, m); err != nil { // warmup
 		return stats.RunResult{}, err
 	}
 	var best stats.RunResult
 	for i := 0; i < reps; i++ {
-		r, err := RunGSMISS(nISS, nMem, frames, lockstep)
+		r, err := RunGSMISS(nISS, nMem, frames, m)
 		if err != nil {
 			return stats.RunResult{}, err
 		}
@@ -121,11 +140,11 @@ func measureGSMISS(nISS, nMem, frames, reps int, lockstep bool) (stats.RunResult
 func E1(o Options) (*stats.Table, error) {
 	frames := o.pick(40, 4)
 	reps := o.pick(3, 1)
-	one, err := measureGSMISS(4, 1, frames, reps, o.Lockstep)
+	one, err := measureGSMISS(4, 1, frames, reps, o.mode())
 	if err != nil {
 		return nil, err
 	}
-	four, err := measureGSMISS(4, 4, frames, reps, o.Lockstep)
+	four, err := measureGSMISS(4, 4, frames, reps, o.mode())
 	if err != nil {
 		return nil, err
 	}
@@ -141,12 +160,13 @@ func E1(o Options) (*stats.Table, error) {
 // against nMem wrapper memories and returns the measured result. This is
 // the compiled-software variant of E1: computation executes natively
 // while every frame hand-off is simulated cycle-true.
-func RunGSMPipeline(nMem, frames int, lockstep bool) (stats.RunResult, error) {
+func RunGSMPipeline(nMem, frames int, m Mode) (stats.RunResult, error) {
 	tasks, res := gsm.BuildPipeline(gsm.PipelineConfig{
 		Frames: frames, Seed: 42, NumSM: nMem,
 	})
 	sys, err := config.Build(config.SystemConfig{
-		Masters: 4, Memories: nMem, MemKind: config.MemWrapper, Lockstep: lockstep,
+		Masters: 4, Memories: nMem, MemKind: config.MemWrapper,
+		Lockstep: m.Lockstep, Workers: m.Workers,
 	})
 	if err != nil {
 		return stats.RunResult{}, err
@@ -174,11 +194,11 @@ func RunGSMPipeline(nMem, frames int, lockstep bool) (stats.RunResult, error) {
 // and the memory-count degradation is measured on that workload.
 func E1b(o Options) (*stats.Table, error) {
 	frames := o.pick(30, 4)
-	one, err := RunGSMPipeline(1, frames, o.Lockstep)
+	one, err := RunGSMPipeline(1, frames, o.mode())
 	if err != nil {
 		return nil, err
 	}
-	four, err := RunGSMPipeline(4, frames, o.Lockstep)
+	four, err := RunGSMPipeline(4, frames, o.mode())
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +221,7 @@ func E5(o Options) ([]*stats.Table, error) {
 		"memories", "sim cycles", "cycles/s", "degradation vs 1")
 	var base stats.RunResult
 	for _, m := range []int{1, 2, 4, 8} {
-		r, err := measureGSMISS(4, m, frames, reps, o.Lockstep)
+		r, err := measureGSMISS(4, m, frames, reps, o.mode())
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +238,7 @@ func E5(o Options) ([]*stats.Table, error) {
 		"ISSs", "sim cycles", "cycles/s", "degradation vs 1")
 	var peBase stats.RunResult
 	for _, n := range []int{1, 2, 4, 8} {
-		r, err := measureGSMISS(n, 1, frames, reps, o.Lockstep)
+		r, err := measureGSMISS(n, 1, frames, reps, o.mode())
 		if err != nil {
 			return nil, err
 		}
@@ -233,8 +253,9 @@ func E5(o Options) ([]*stats.Table, error) {
 }
 
 // RunTrace replays a trace on a freshly built single-master system of
-// the given memory kind and returns the measured result.
-func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes uint32, lockstep bool) (stats.RunResult, *config.System, error) {
+// the given memory kind, in kernel mode km, and returns the measured
+// result.
+func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes uint32, km Mode) (stats.RunResult, *config.System, error) {
 	if memBytes == 0 {
 		memBytes = tr.StaticBytesNeeded()
 		if memBytes < 1<<20 {
@@ -243,7 +264,7 @@ func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes ui
 	}
 	sys, err := config.Build(config.SystemConfig{
 		Masters: 1, Memories: maxInt(1, numSMs(tr)), MemKind: kind, MemBytes: memBytes,
-		Lockstep: lockstep,
+		Lockstep: km.Lockstep, Workers: km.Workers,
 	})
 	if err != nil {
 		return stats.RunResult{}, nil, err
@@ -291,11 +312,11 @@ func E2(o Options) (*stats.Table, error) {
 		Mix:         trace.Mix{Alloc: 1, Read: 45, Write: 30, ReadBurst: 12, WriteBurst: 12},
 		PtrArithPct: 25,
 	})
-	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0, o.Lockstep)
+	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0, o.mode())
 	if err != nil {
 		return nil, err
 	}
-	stat, _, err := RunTrace(config.MemStatic, tr, trace.ModeStatic, 0, o.Lockstep)
+	stat, _, err := RunTrace(config.MemStatic, tr, trace.ModeStatic, 0, o.mode())
 	if err != nil {
 		return nil, err
 	}
@@ -321,11 +342,11 @@ func E3(o Options) (*stats.Table, error) {
 			MinDim: 8, MaxDim: 128, DType: bus.U32,
 			Mix: trace.Mix{Alloc: 30, Free: 28, Read: 21, Write: 21},
 		})
-		wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22, o.Lockstep)
+		wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22, o.mode())
 		if err != nil {
 			return nil, err
 		}
-		heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22, o.Lockstep)
+		heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22, o.mode())
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +370,7 @@ func E4(o Options) ([]*stats.Table, error) {
 	rep := stats.NewTable("E4a: determinism — identical seeded runs", "run", "sim cycles")
 	var first uint64
 	for i := 0; i < 3; i++ {
-		r, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0, o.Lockstep)
+		r, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 0, o.mode())
 		if err != nil {
 			return nil, err
 		}
@@ -371,7 +392,7 @@ func E4(o Options) ([]*stats.Table, error) {
 		delays.Read, delays.Write = d, d
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 1, Memories: 1, MemKind: config.MemWrapper, WrapperDelays: &delays,
-			Lockstep: o.Lockstep,
+			Lockstep: o.Lockstep, Workers: o.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -431,7 +452,7 @@ func E6(o Options) (*stats.Table, error) {
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
 			MemBytes: target + bufBytes, // capacity sized to the live set
-			Lockstep: o.Lockstep,
+			Lockstep: o.Lockstep, Workers: o.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -492,7 +513,7 @@ func E7(o Options) (*stats.Table, error) {
 	for _, slots := range []int{10, 100, 1000} {
 		for _, pct := range []int{0, 100} {
 			tr := PtrArithTrace(slots, events, pct, 71)
-			r, sys, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<26, o.Lockstep)
+			r, sys, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<26, o.mode())
 			if err != nil {
 				return nil, err
 			}
@@ -564,7 +585,8 @@ func E8(o Options) (*stats.Table, error) {
 			tasks = append(tasks, worker)
 		}
 		sys, err := config.Build(config.SystemConfig{
-			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper, Lockstep: o.Lockstep,
+			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper,
+			Lockstep: o.Lockstep, Workers: o.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -594,7 +616,7 @@ func A1(o Options) (*stats.Table, error) {
 	for _, ic := range []config.InterconnectKind{config.InterBus, config.InterCrossbar} {
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 4, Memories: 4, MemKind: config.MemWrapper, Interconnect: ic,
-			Lockstep: o.Lockstep,
+			Lockstep: o.Lockstep, Workers: o.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -669,9 +691,9 @@ func evDelays() core.DelayParams {
 }
 
 // RunEV runs the EV workload — one PE replaying a mixed trace against a
-// high-latency wrapper — in the given scheduling mode and returns the
+// high-latency wrapper — in the given kernel mode and returns the
 // measured result plus the kernel's scheduling counters.
-func RunEV(events int, lockstep bool) (stats.RunResult, sim.SchedStats, error) {
+func RunEV(events int, m Mode) (stats.RunResult, sim.SchedStats, error) {
 	tr := trace.Generate(trace.GenConfig{
 		Seed: 91, Events: events, Slots: 24, NumSM: 1,
 		MinDim: 8, MaxDim: 128, DType: bus.U32, Mix: trace.DefaultMix(),
@@ -679,7 +701,7 @@ func RunEV(events int, lockstep bool) (stats.RunResult, sim.SchedStats, error) {
 	delays := evDelays()
 	sys, err := config.Build(config.SystemConfig{
 		Masters: 1, Memories: 1, MemKind: config.MemWrapper,
-		WrapperDelays: &delays, Lockstep: lockstep,
+		WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers,
 	})
 	if err != nil {
 		return stats.RunResult{}, sim.SchedStats{}, err
@@ -692,7 +714,7 @@ func RunEV(events int, lockstep bool) (stats.RunResult, sim.SchedStats, error) {
 		return stats.RunResult{}, sim.SchedStats{}, err
 	}
 	name := "event-driven"
-	if lockstep {
+	if m.Lockstep {
 		name = "lockstep"
 	}
 	return stats.RunResult{
@@ -711,13 +733,14 @@ func EV(o Options) (*stats.Table, error) {
 	events := o.pick(20000, 1500)
 	reps := o.pick(3, 1)
 	measure := func(lockstep bool) (stats.RunResult, sim.SchedStats, error) {
-		if _, _, err := RunEV(events, lockstep); err != nil { // warmup
+		m := Mode{Lockstep: lockstep, Workers: o.Workers}
+		if _, _, err := RunEV(events, m); err != nil { // warmup
 			return stats.RunResult{}, sim.SchedStats{}, err
 		}
 		var best stats.RunResult
 		var sched sim.SchedStats
 		for i := 0; i < reps; i++ {
-			r, s, err := RunEV(events, lockstep)
+			r, s, err := RunEV(events, m)
 			if err != nil {
 				return stats.RunResult{}, sim.SchedStats{}, err
 			}
@@ -750,5 +773,45 @@ func EV(o Options) (*stats.Table, error) {
 		stats.SI(ev.CyclesPerSec()), fmt.Sprintf("%d (%.1f%%)", evSched.Skipped,
 			100*float64(evSched.Skipped)/float64(ev.Cycles)),
 		fmt.Sprintf("%.2fx", ev.CyclesPerSec()/lock.CyclesPerSec()))
+	return t, nil
+}
+
+// PAR measures the sharded parallel tick engine on the CPU-bound E1
+// configuration — 4 ISSs against 4 wrapper memories, every ISS retiring
+// an instruction per cycle — where idle-skip cannot help (no idle spans
+// to elide) and only executing the tick phase across host cores can.
+// The sweep verifies that every worker count simulates the identical
+// cycle count; the full observable equivalence (stats, ISS output, VCD
+// bytes) is asserted by the differential harness in scheduler_test.go.
+//
+// Expect speedup only when the host has cores to spare (the table
+// header records GOMAXPROCS): on a single-core host the extra barrier
+// work makes workers > 1 strictly slower, which is why sequential
+// remains the default mode.
+func PAR(o Options) (*stats.Table, error) {
+	frames := o.pick(20, 3)
+	reps := o.pick(3, 1)
+	t := stats.NewTable(
+		fmt.Sprintf("PAR: sharded parallel tick engine — 4 ISS / 4 mem GSM (%d frames/ISS; host GOMAXPROCS=%d)",
+			frames, runtime.GOMAXPROCS(0)),
+		"workers", "sim cycles", "wall", "cycles/s", "speedup vs 1")
+	var base stats.RunResult
+	for _, w := range []int{1, 2, 4, 8} {
+		r, err := measureGSMISS(4, 4, frames, reps, Mode{Lockstep: o.Lockstep, Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		if w == 1 {
+			base = r
+			t.Add("1", fmt.Sprint(r.Cycles), r.Wall.Round(time.Millisecond).String(),
+				stats.SI(r.CyclesPerSec()), "-")
+			continue
+		}
+		if r.Cycles != base.Cycles {
+			return nil, fmt.Errorf("PAR: workers=%d diverged: %d cycles vs %d at workers=1", w, r.Cycles, base.Cycles)
+		}
+		t.Add(fmt.Sprint(w), fmt.Sprint(r.Cycles), r.Wall.Round(time.Millisecond).String(),
+			stats.SI(r.CyclesPerSec()), fmt.Sprintf("%.2fx", r.CyclesPerSec()/base.CyclesPerSec()))
+	}
 	return t, nil
 }

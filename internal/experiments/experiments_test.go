@@ -16,11 +16,11 @@ var quick = Options{Quick: true}
 func TestE1ShapeHolds(t *testing.T) {
 	// The multi-memory configuration must simulate slower per cycle (the
 	// paper's degradation) while the simulated cycle counts stay close.
-	one, err := RunGSMISS(4, 1, 6, false)
+	one, err := RunGSMISS(4, 1, 6, Mode{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := RunGSMISS(4, 4, 6, false)
+	four, err := RunGSMISS(4, 4, 6, Mode{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +58,11 @@ func TestE3HeapsimSlower(t *testing.T) {
 		MinDim: 8, MaxDim: 128, DType: bus.U32,
 		Mix: trace.Mix{Alloc: 30, Free: 28, Read: 21, Write: 21},
 	})
-	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22, false)
+	wrap, _, err := RunTrace(config.MemWrapper, tr, trace.ModeDynamic, 1<<22, Mode{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22, false)
+	heap, _, err := RunTrace(config.MemHeapSim, tr, trace.ModeDynamic, 1<<22, Mode{})
 	if err != nil {
 		t.Fatal(err)
 	}

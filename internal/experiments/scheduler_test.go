@@ -18,12 +18,16 @@ import (
 	"repro/internal/workload"
 )
 
-// This file is the differential harness of the event-driven kernel: it
-// replays every experiment configuration class once with the kernel
-// pinned to lockstep and once event-driven, and demands bit-identical
-// observable behavior — final cycle counts, every module's stats
+// This file is the differential harness of the kernel's scheduling
+// modes: it replays every experiment configuration class across the
+// kernel-mode matrix — lockstep and event-driven stepping, each with
+// sequential (workers=1) and sharded parallel (workers=4) ticking — and
+// demands bit-identical observable behavior against the lockstep
+// sequential reference: final cycle counts, every module's stats
 // counters, golden ISS outputs (console, exit codes, instruction and
 // stall counts), PE coroutine accounting, DMA outcomes and VCD traces.
+// Run it under -race (CI does, across a GOMAXPROCS matrix) and it is
+// also the race-cleanliness proof of the parallel tick engine.
 
 // sysSnapshot is everything observable about a finished system.
 type sysSnapshot struct {
@@ -72,28 +76,53 @@ func snapshot(sys *config.System) sysSnapshot {
 	return s
 }
 
-// runBoth builds and runs one scenario twice (lockstep, then
-// event-driven), compares the snapshots, and returns the event-driven
-// kernel's scheduling stats so callers can assert skipping engaged.
-func runBoth(t *testing.T, name string, scenario func(lockstep bool) (*config.System, error)) sim.SchedStats {
+// diffModes is the kernel-mode matrix every scenario replays. The first
+// entry — lockstep, sequential — is the reference everything else must
+// match bit for bit.
+var diffModes = []Mode{
+	{Lockstep: true, Workers: 1},
+	{Lockstep: false, Workers: 1},
+	{Lockstep: false, Workers: 4},
+	{Lockstep: true, Workers: 4},
+}
+
+func modeName(m Mode) string {
+	n := "event-driven"
+	if m.Lockstep {
+		n = "lockstep"
+	}
+	return fmt.Sprintf("%s/workers=%d", n, m.Workers)
+}
+
+// runBoth builds and runs one scenario in every kernel mode of
+// diffModes, compares each snapshot against the lockstep sequential
+// reference, and returns the event-driven sequential kernel's scheduling
+// stats so callers can assert skipping engaged.
+func runBoth(t *testing.T, name string, scenario func(m Mode) (*config.System, error)) sim.SchedStats {
 	t.Helper()
-	var snaps [2]sysSnapshot
+	var ref sysSnapshot
 	var sched sim.SchedStats
-	for i, lockstep := range []bool{true, false} {
-		sys, err := scenario(lockstep)
+	for i, m := range diffModes {
+		sys, err := scenario(m)
 		if err != nil {
-			t.Fatalf("%s (lockstep=%v): %v", name, lockstep, err)
+			t.Fatalf("%s (%s): %v", name, modeName(m), err)
 		}
-		if got := sys.Kernel.Lockstep(); got != lockstep {
-			t.Fatalf("%s: kernel mode = %v, want %v", name, got, lockstep)
+		if got := sys.Kernel.Lockstep(); got != m.Lockstep {
+			t.Fatalf("%s: kernel lockstep = %v, want %v", name, got, m.Lockstep)
 		}
-		snaps[i] = snapshot(sys)
-		if !lockstep {
+		if got := sys.Kernel.Sched().Workers; got != m.Workers {
+			t.Fatalf("%s: kernel workers = %d, want %d", name, got, m.Workers)
+		}
+		snap := snapshot(sys)
+		if i == 0 {
+			ref = snap
+		} else if !reflect.DeepEqual(ref, snap) {
+			t.Fatalf("%s: kernel modes diverged\n%-24s %+v\n%-24s %+v",
+				name, modeName(diffModes[0])+":", ref, modeName(m)+":", snap)
+		}
+		if !m.Lockstep && m.Workers == 1 {
 			sched = sys.Kernel.Sched()
 		}
-	}
-	if !reflect.DeepEqual(snaps[0], snaps[1]) {
-		t.Fatalf("%s: scheduler modes diverged\nlockstep:     %+v\nevent-driven: %+v", name, snaps[0], snaps[1])
 	}
 	return sched
 }
@@ -103,9 +132,9 @@ func runBoth(t *testing.T, name string, scenario func(lockstep bool) (*config.Sy
 func TestSchedDiffGSMISS(t *testing.T) {
 	for _, tc := range []struct{ nISS, nMem int }{{1, 1}, {4, 1}, {4, 4}} {
 		name := fmt.Sprintf("gsm-iss-%dx%d", tc.nISS, tc.nMem)
-		runBoth(t, name, func(lockstep bool) (*config.System, error) {
+		runBoth(t, name, func(m Mode) (*config.System, error) {
 			sys, err := config.Build(config.SystemConfig{
-				Masters: tc.nISS, Memories: tc.nMem, MemKind: config.MemWrapper, Lockstep: lockstep,
+				Masters: tc.nISS, Memories: tc.nMem, MemKind: config.MemWrapper, Lockstep: m.Lockstep, Workers: m.Workers,
 			})
 			if err != nil {
 				return nil, err
@@ -133,10 +162,10 @@ func TestSchedDiffGSMISS(t *testing.T) {
 
 // TestSchedDiffCrossbar is the A1 ablation topology.
 func TestSchedDiffCrossbar(t *testing.T) {
-	runBoth(t, "crossbar", func(lockstep bool) (*config.System, error) {
+	runBoth(t, "crossbar", func(m Mode) (*config.System, error) {
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 2, Memories: 2, MemKind: config.MemWrapper,
-			Interconnect: config.InterCrossbar, Lockstep: lockstep,
+			Interconnect: config.InterCrossbar, Lockstep: m.Lockstep, Workers: m.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -165,10 +194,10 @@ func TestSchedDiffCrossbar(t *testing.T) {
 // codec on native PEs.
 func TestSchedDiffPipeline(t *testing.T) {
 	const frames = 3
-	runBoth(t, "gsm-pipeline", func(lockstep bool) (*config.System, error) {
+	runBoth(t, "gsm-pipeline", func(m Mode) (*config.System, error) {
 		tasks, res := gsm.BuildPipeline(gsm.PipelineConfig{Frames: frames, Seed: 42, NumSM: 2})
 		sys, err := config.Build(config.SystemConfig{
-			Masters: 4, Memories: 2, MemKind: config.MemWrapper, Lockstep: lockstep,
+			Masters: 4, Memories: 2, MemKind: config.MemWrapper, Lockstep: m.Lockstep, Workers: m.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -206,9 +235,10 @@ func TestSchedDiffTraceReplay(t *testing.T) {
 		{"static", config.MemStatic, trace.ModeStatic, false},
 		{"heapsim", config.MemHeapSim, trace.ModeDynamic, false},
 	} {
-		sched := runBoth(t, "trace-"+tc.name, func(lockstep bool) (*config.System, error) {
+		sched := runBoth(t, "trace-"+tc.name, func(m Mode) (*config.System, error) {
 			cfg := config.SystemConfig{
-				Masters: 1, Memories: 1, MemKind: tc.kind, MemBytes: 1 << 22, Lockstep: lockstep,
+				Masters: 1, Memories: 1, MemKind: tc.kind, MemBytes: 1 << 22,
+				Lockstep: m.Lockstep, Workers: m.Workers,
 			}
 			if tc.heavy {
 				d := evDelays()
@@ -236,13 +266,12 @@ func TestSchedDiffTraceReplay(t *testing.T) {
 // staging buffers, a DMA engine copying between two wrappers.
 func TestSchedDiffDMA(t *testing.T) {
 	type dmaCapture struct{ done []dma.Status }
-	var caps [2]dmaCapture
-	i := 0
-	runBoth(t, "dma", func(lockstep bool) (*config.System, error) {
+	caps := make([]dmaCapture, 0, len(diffModes))
+	runBoth(t, "dma", func(m Mode) (*config.System, error) {
 		delays := evDelays()
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 2, Memories: 2, MemKind: config.MemWrapper,
-			WrapperDelays: &delays, Lockstep: lockstep,
+			WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -286,12 +315,14 @@ func TestSchedDiffDMA(t *testing.T) {
 		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
 			return nil, err
 		}
-		caps[i].done = eng.Done()
-		i++
+		caps = append(caps, dmaCapture{done: eng.Done()})
 		return sys, nil
 	})
-	if !reflect.DeepEqual(caps[0].done, caps[1].done) {
-		t.Fatalf("DMA outcomes diverged:\nlockstep:     %+v\nevent-driven: %+v", caps[0].done, caps[1].done)
+	for i := 1; i < len(caps); i++ {
+		if !reflect.DeepEqual(caps[0].done, caps[i].done) {
+			t.Fatalf("DMA outcomes diverged (%s vs %s):\n%+v\n%+v",
+				modeName(diffModes[0]), modeName(diffModes[i]), caps[0].done, caps[i].done)
+		}
 	}
 }
 
@@ -299,7 +330,7 @@ func TestSchedDiffDMA(t *testing.T) {
 // contending on one reserved buffer with sleep-based backoff.
 func TestSchedDiffReservation(t *testing.T) {
 	const pes, sections = 3, 12
-	runBoth(t, "reservation", func(lockstep bool) (*config.System, error) {
+	runBoth(t, "reservation", func(m Mode) (*config.System, error) {
 		var vptr uint32
 		var ready bool
 		var doneCount int
@@ -338,7 +369,7 @@ func TestSchedDiffReservation(t *testing.T) {
 			tasks = append(tasks, worker)
 		}
 		sys, err := config.Build(config.SystemConfig{
-			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper, Lockstep: lockstep,
+			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper, Lockstep: m.Lockstep, Workers: m.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -360,12 +391,12 @@ func TestSchedDiffVCD(t *testing.T) {
 		Seed: 51, Events: 300, Slots: 8, NumSM: 1,
 		MinDim: 4, MaxDim: 32, DType: bus.U32, Mix: trace.DefaultMix(),
 	})
-	var dumps [2]bytes.Buffer
-	for i, lockstep := range []bool{true, false} {
+	dumps := make([]bytes.Buffer, len(diffModes))
+	for i, m := range diffModes {
 		delays := evDelays()
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
-			WrapperDelays: &delays, Lockstep: lockstep,
+			WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -386,8 +417,11 @@ func TestSchedDiffVCD(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !bytes.Equal(dumps[0].Bytes(), dumps[1].Bytes()) {
-		t.Fatalf("VCD dumps diverged (%d vs %d bytes)", dumps[0].Len(), dumps[1].Len())
+	for i := 1; i < len(dumps); i++ {
+		if !bytes.Equal(dumps[0].Bytes(), dumps[i].Bytes()) {
+			t.Fatalf("VCD dumps diverged (%s %d bytes vs %s %d bytes)",
+				modeName(diffModes[0]), dumps[0].Len(), modeName(diffModes[i]), dumps[i].Len())
+		}
 	}
 }
 

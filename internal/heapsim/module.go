@@ -161,6 +161,16 @@ func (m *HeapMem) NextWake(now uint64) uint64 {
 	return now + uint64(m.wait) - 1
 }
 
+// ConcurrentTick implements sim.Concurrent: HeapMem's Tick touches only
+// its own arena, free-list allocator, FSM registers and stats, plus the
+// slave side of its link. Safe to tick concurrently.
+func (m *HeapMem) ConcurrentTick() bool { return true }
+
+// TickWeight implements sim.Weighted: the detailed allocator walks its
+// in-arena free list on alloc/free, making it the heaviest memory model
+// — weigh it like a CPU minus the per-cycle fetch/decode.
+func (m *HeapMem) TickWeight() int { return 6 }
+
 // Skip implements sim.Sleeper: n countdown ticks, each a busy cycle.
 func (m *HeapMem) Skip(n uint64) {
 	if m.state == hmIdle {

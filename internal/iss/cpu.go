@@ -152,6 +152,19 @@ func (c *CPU) NextWake(now uint64) uint64 {
 	}
 }
 
+// ConcurrentTick implements sim.Concurrent: a CPU's Tick is confined to
+// its own registers, local memory, console buffer and stats counters,
+// plus its master link (whose request slot it exclusively drives); the
+// only kernel state it touches is the read-only cycle counter and the
+// mutex-guarded fault channel. Safe to tick concurrently.
+func (c *CPU) ConcurrentTick() bool { return true }
+
+// TickWeight implements sim.Weighted: an ISS retires an instruction per
+// running cycle (fetch, decode, execute), which makes it the most
+// expensive module class per tick — the load balancer should spread
+// CPUs across shards before anything else.
+func (c *CPU) TickWeight() int { return 8 }
+
 // Skip implements sim.Sleeper: skipped stall cycles still count as CPU
 // cycles spent waiting on the interconnect. A halted CPU counts nothing,
 // exactly as its Tick counts nothing.

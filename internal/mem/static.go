@@ -170,6 +170,15 @@ func (r *StaticRAM) NextWake(now uint64) uint64 {
 	return now + uint64(r.wait) - 1
 }
 
+// ConcurrentTick implements sim.Concurrent: the static RAM's Tick is
+// confined to its own table, FSM registers and stats, plus the slave
+// side of its link. Safe to tick concurrently.
+func (r *StaticRAM) ConcurrentTick() bool { return true }
+
+// TickWeight implements sim.Weighted: a table RAM's tick is an input
+// latch plus a countdown — cheap.
+func (r *StaticRAM) TickWeight() int { return 3 }
+
 // Skip implements sim.Sleeper: n countdown ticks, each a busy cycle.
 func (r *StaticRAM) Skip(n uint64) {
 	if r.state == ramIdle {

@@ -49,6 +49,47 @@
 // behavior; Kernel.Sched reports how many cycles were stepped versus
 // skipped.
 //
+// # Parallel execution
+//
+// The same two-phase property that makes tick order unobservable makes
+// the tick phase embarrassingly parallel: during a cycle every module
+// reads only committed (pre-cycle) signal state — stable for the whole
+// phase — and writes only next-cycle state it exclusively owns (its
+// fields plus the next-value slots of the signals it drives; hardware's
+// one-driver-per-net rule). Kernel.SetWorkers(n) therefore shards the
+// module list across up to n workers per cycle:
+//
+//   - Partition: modules implementing the Concurrent capability (and
+//     returning true) get their own schedule slots; everything else —
+//     coroutine-backed PEs whose tasks share captured host state,
+//     host-driven device queues, arbitrary closures — is merged into
+//     one serial group that ticks in registration order. Slots are
+//     packed into shards by an LPT bin-packer using the optional
+//     Weighted capability (ISS CPUs are ~4x a bus tick), so one heavy
+//     module does not serialize the cycle.
+//   - Tick: each cycle the kernel releases the persistent worker pool,
+//     ticks shard 0 on its own goroutine, and barriers. Signal.Set
+//     marks written signals dirty in place instead of appending to the
+//     kernel's shared dirty list.
+//   - Commit: after the barrier, one goroutine merges all next-value
+//     slots by scanning signals in registration order. Everything
+//     downstream of the barrier (commit, AfterCycle hooks, the
+//     event-driven skip decisions, NextWake/Skip) stays single-threaded,
+//     so the Sleeper machinery needs no locking.
+//
+// Parallel runs are bit-identical to sequential ones — same cycles,
+// stats, ISS output, VCD bytes — for any worker count, which the
+// differential harness asserts across the full mode matrix (lockstep ×
+// event-driven × workers ∈ {1, 4}); determinism is preserved because no
+// module can observe tick order and the commit order is fixed. Expect
+// speedup on CPU-bound configurations (several ISSs retiring an
+// instruction every cycle) with host cores to spare; idle-heavy
+// configurations are already served by idle-skip, and serial-module
+// (PE/task) systems pay the barrier without gaining concurrency — which
+// is why workers=1 remains the default. Faults raised concurrently are
+// serialized; when several modules fault in the same cycle the reported
+// error is unspecified (the faulting cycle is still exact).
+//
 // The kernel also provides single-cycle control (Step, which never
 // skips), per-cycle hooks for instrumentation, a fault channel through
 // which any module can abort simulation with an error, and

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -42,7 +43,11 @@ type Kernel struct {
 	// of the event-driven scheduler.
 	anyChange bool
 
-	fault error
+	// fault is guarded by faultMu only while a parallel tick phase is in
+	// flight (modules may Fault concurrently); everywhere else the kernel
+	// is single-threaded and reads it directly.
+	fault   error
+	faultMu sync.Mutex
 
 	afterCycle []func(cycle uint64)
 
@@ -56,6 +61,17 @@ type Kernel struct {
 	sleepersValid bool
 	allSleepers   bool
 	awakeHint     int
+
+	// parallel execution state (see parallel.go). workers is the
+	// configured shard budget (0 = never configured = sequential);
+	// shards is the active partition (nil = sequential tick path);
+	// parallelPhase is true while worker goroutines own the tick phase,
+	// rerouting Signal.Set away from the shared dirty list.
+	workers       int
+	shards        [][]Module
+	shardsValid   bool
+	pool          *tickPool
+	parallelPhase bool
 
 	// profiling state; nil unless EnableProfiling was called.
 	profTime  []time.Duration
@@ -73,6 +89,7 @@ func New() *Kernel {
 func (k *Kernel) Add(m Module) {
 	k.modules = append(k.modules, m)
 	k.sleepersValid = false
+	k.shardsValid = false
 }
 
 // Modules returns the registered modules in registration order.
@@ -91,11 +108,19 @@ func (k *Kernel) AfterCycle(fn func(cycle uint64)) {
 // Fault aborts the simulation at the end of the current cycle with err.
 // The first fault wins. Modules use this for conditions that have no
 // hardware representation (internal invariant violations), not for
-// modelled error responses.
+// modelled error responses. Safe to call from concurrently ticking
+// modules; when several modules fault in the same parallel cycle, which
+// one is reported is unspecified (the faulting cycle is still exact —
+// sequential runs keep registration-order first-wins).
 func (k *Kernel) Fault(err error) {
-	if k.fault == nil && err != nil {
+	if err == nil {
+		return
+	}
+	k.faultMu.Lock()
+	if k.fault == nil {
 		k.fault = fmt.Errorf("cycle %d: %w", k.cycle, err)
 	}
+	k.faultMu.Unlock()
 }
 
 // Err returns the pending fault, if any.
@@ -121,17 +146,36 @@ func (k *Kernel) Step() error {
 		return k.fault
 	}
 	c := k.cycle
-	if k.profTime != nil {
+	par := false
+	switch {
+	case k.profTime != nil:
+		// Profiling times modules individually, which only makes sense
+		// sequentially; it takes precedence over parallel ticking.
 		k.profiledTick(c)
-	} else {
-		for _, m := range k.modules {
-			m.Tick(c)
+	default:
+		if !k.shardsValid {
+			k.reshard()
+		}
+		if k.shards != nil {
+			k.parallelTick(c)
+			par = true
+		} else {
+			for _, m := range k.modules {
+				m.Tick(c)
+			}
 		}
 	}
 	changed := false
-	for _, s := range k.dirty {
-		if s.commit() {
-			changed = true
+	if par {
+		// Parallel ticks mark signals dirty in place (no shared list);
+		// merge by scanning all signals in registration order. This also
+		// covers host-written signals pending from before the step.
+		changed = k.commitAll()
+	} else {
+		for _, s := range k.dirty {
+			if s.commit() {
+				changed = true
+			}
 		}
 	}
 	k.dirty = k.dirty[:0]

@@ -1,0 +1,437 @@
+package sim
+
+// This file implements the sharded parallel tick engine: registered
+// modules are partitioned into shards, each cycle's tick phase runs the
+// shards concurrently on a persistent worker pool, and the commit phase
+// then publishes signal writes single-threaded in registration order.
+//
+// Why this is legal: the kernel's two-phase semantics guarantee that
+// during the tick phase modules only *read* committed (pre-cycle) signal
+// state and only *write* next-cycle state they exclusively own. Reads are
+// stable for the whole phase and writes land in per-signal next-value
+// slots, so the order in which modules tick — sequential, interleaved or
+// concurrent — is unobservable. The commit that merges the slots happens
+// after a barrier, on one goroutine, scanning signals in registration
+// order, which makes parallel runs bit-identical to sequential ones
+// (cycle counts, stats, ISS output, VCD bytes; asserted config by config
+// by the differential harness in internal/experiments).
+//
+// Two capabilities govern the partitioning:
+//
+//   - Concurrent is the opt-in: only modules that declare their Tick
+//     confined (own state + their bus links + kernel signals they drive)
+//     are ticked concurrently. Everything else — coroutine-backed PEs
+//     whose tasks share captured host variables, host-driven device
+//     queues, arbitrary test closures — is co-scheduled on a single
+//     shard in registration order, which preserves the sequential
+//     semantics those modules were written against. An unknown module is
+//     serial by default, so parallel mode is always safe to enable.
+//   - Weighted lets a module report its relative host cost so the LPT
+//     partitioner can weigh heavy modules (ISS CPUs retiring an
+//     instruction per cycle, the detailed allocator model) against cheap
+//     ones (an idle bus). Weights only shape the load balance; they can
+//     never affect simulated behavior.
+//
+// One driver per wire: parallel mode requires that each signal is
+// written by at most one module per cycle (hardware's "one driver per
+// net" rule, which every module in this repository obeys — bus links
+// have exactly one master and one slave side). Two *serial* modules may
+// still share a signal, since they tick on one shard in registration
+// order. Host code may freely Set signals between steps in either mode.
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Concurrent is the opt-in capability for sharded parallel ticking. A
+// module returning true guarantees that its Tick touches only state the
+// module owns (its fields, its bus links' module-side bookkeeping, the
+// signals it drives) plus read-only shared data, so it may run
+// concurrently with other modules' Ticks. Modules that do not implement
+// the interface — or return false — are all placed on one shard and
+// ticked sequentially in registration order.
+type Concurrent interface {
+	Module
+	// ConcurrentTick reports whether this module's Tick is safe to run
+	// concurrently with other modules' Ticks.
+	ConcurrentTick() bool
+}
+
+// Weighted is an optional capability through which a module reports the
+// relative host cost of one Tick, as a small positive integer, for shard
+// load balancing. Absent the interface a module weighs defaultTickWeight.
+// Weights influence only which worker ticks which module — never the
+// simulated outcome.
+type Weighted interface {
+	Module
+	// TickWeight returns the module's relative per-Tick host cost
+	// (larger = more expensive). Non-positive values mean "use default".
+	TickWeight() int
+}
+
+// defaultTickWeight is the assumed cost of a module that does not
+// implement Weighted.
+const defaultTickWeight = 2
+
+// SetWorkers configures the tick phase's parallelism: the maximum number
+// of shards modules are partitioned into, each ticked by its own
+// goroutine (the caller's goroutine serves shard 0). n = 1 pins the
+// kernel to the plain sequential tick loop (the default); n <= 0 selects
+// runtime.GOMAXPROCS(0); n > 1 enables parallel ticking with at most n
+// shards. Fewer shards than n are used when the module population cannot
+// fill them (few modules, or most modules serial). Safe to call between
+// steps at any time; the module partition is recomputed lazily.
+//
+// Parallel and sequential execution are observably identical; see the
+// package comment. Determinism is preserved for any worker count.
+func (k *Kernel) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == k.workers {
+		return
+	}
+	k.workers = n
+	k.shardsValid = false
+}
+
+// Workers returns the configured worker count (1 when SetWorkers was
+// never called: the sequential default).
+func (k *Kernel) Workers() int {
+	if k.workers == 0 {
+		return 1
+	}
+	return k.workers
+}
+
+// moduleWeight returns the load-balancing weight of m.
+func moduleWeight(m Module) int {
+	if w, ok := m.(Weighted); ok {
+		if n := w.TickWeight(); n > 0 {
+			return n
+		}
+	}
+	return defaultTickWeight
+}
+
+// reshard recomputes the shard partition (and worker pool) for the
+// current module set and worker count. Called lazily from Step; Add and
+// SetWorkers invalidate. k.shards == nil selects the sequential path.
+func (k *Kernel) reshard() {
+	k.shardsValid = true
+	if k.pool != nil {
+		k.pool.shutdown()
+		k.pool = nil
+	}
+	k.shards = nil
+	w := k.Workers()
+	if w <= 1 || len(k.modules) < 2 {
+		return
+	}
+
+	// Schedulable items: each Concurrent module alone, every serial
+	// module merged into one group that keeps registration order.
+	type item struct {
+		weight int
+		mods   []int
+	}
+	var serial item
+	items := make([]item, 0, len(k.modules))
+	for i, m := range k.modules {
+		wt := moduleWeight(m)
+		if c, ok := m.(Concurrent); ok && c.ConcurrentTick() {
+			items = append(items, item{weight: wt, mods: []int{i}})
+		} else {
+			serial.weight += wt
+			serial.mods = append(serial.mods, i)
+		}
+	}
+	if len(serial.mods) > 0 {
+		items = append(items, item{weight: serial.weight, mods: serial.mods})
+	}
+	n := w
+	if len(items) < n {
+		n = len(items)
+	}
+	if n <= 1 {
+		return
+	}
+
+	// LPT (longest processing time first): heaviest item to the least
+	// loaded shard. Stable sort + lowest-shard tie-break keep the
+	// partition deterministic, though nothing observable depends on it.
+	sort.SliceStable(items, func(a, b int) bool { return items[a].weight > items[b].weight })
+	loads := make([]int, n)
+	bins := make([][]int, n)
+	for _, it := range items {
+		best := 0
+		for s := 1; s < n; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		loads[best] += it.weight
+		bins[best] = append(bins[best], it.mods...)
+	}
+	shards := make([][]Module, 0, n)
+	for _, bin := range bins {
+		if len(bin) == 0 {
+			continue
+		}
+		sort.Ints(bin)
+		sh := make([]Module, len(bin))
+		for j, idx := range bin {
+			sh[j] = k.modules[idx]
+		}
+		shards = append(shards, sh)
+	}
+	if len(shards) <= 1 {
+		return
+	}
+	k.shards = shards
+	k.pool = newTickPool(shards)
+}
+
+// parallelTick runs one tick phase across the shard partition: shard 0
+// on the calling goroutine, the rest on the pool, with a full barrier
+// before returning. Callers commit afterwards via commitAll.
+func (k *Kernel) parallelTick(c uint64) {
+	p := k.pool
+	k.parallelPhase = true
+	p.release(c)
+	for _, m := range p.shards[0] {
+		m.Tick(c)
+	}
+	p.join()
+	k.parallelPhase = false
+}
+
+// commitAll commits every registered signal in registration order and
+// reports whether any visible value changed. It is the parallel-mode
+// commit: during the parallel phase Signal.Set cannot append to the
+// shared dirty list, so the kernel merges the per-signal next-value
+// slots by scanning all signals instead. Registration order makes the
+// merge deterministic; since each signal has a single driver the commit
+// order across signals is unobservable anyway.
+func (k *Kernel) commitAll() bool {
+	changed := false
+	for _, s := range k.signals {
+		if s.commit() {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// --- worker pool ----------------------------------------------------------
+
+// Worker lifecycle states.
+const (
+	wkLive   int32 = iota // spinning or ticking
+	wkParked              // blocked on its wake channel
+	wkDead                // exited (idle timeout or shutdown); respawn to reuse
+)
+
+// parkTimeout is how long a parked worker waits for work before exiting.
+// Exiting on idle keeps abandoned kernels (benchmarks build thousands)
+// from leaking goroutines: a dropped kernel's workers all terminate
+// within parkTimeout without any explicit Close.
+const parkTimeout = 25 * time.Millisecond
+
+// tickPool is the persistent worker pool behind parallel ticking. The
+// kernel goroutine releases one epoch per cycle, ticks shard 0 itself,
+// and joins on the pending counter; worker i ticks shards[i+1]. Workers
+// spin briefly for the next epoch (the inter-cycle gap is just the
+// commit), then park on a channel; parked and dead workers are woken or
+// respawned by release. All cross-goroutine handoff goes through the
+// epoch/pending atomics, which also carry the happens-before edges that
+// make module state written during the phase visible to the kernel (and
+// keep the engine clean under the race detector).
+type tickPool struct {
+	shards  [][]Module
+	cycle   uint64 // published before the epoch bump
+	epoch   atomic.Uint64
+	pending atomic.Int64
+	stop    atomic.Bool
+	workers []*tickWorker
+	// handled[i] is the last epoch worker slot i completed, stored by
+	// the worker after ticking and before decrementing pending. It
+	// outlives the worker goroutine so that release, respawning a slot
+	// whose worker idle-timed-out right after finishing the epoch being
+	// released, can tell the epoch was already handled — respawning a
+	// primed worker there would tick the shard a second time in the
+	// same cycle and drive pending negative.
+	handled []atomic.Uint64
+
+	// spinBudget and yieldEvery throttle the pre-park spin. On hosts
+	// with at least as many schedulable threads as shards, spinning is
+	// nearly free and saves the park/unpark latency; on oversubscribed
+	// hosts (GOMAXPROCS < shards) spinning would starve the kernel
+	// goroutine, so workers yield immediately and park quickly.
+	spinBudget int
+	yieldEvery int
+}
+
+type tickWorker struct {
+	state atomic.Int32
+	wake  chan struct{} // buffered(1); a token is sent only after winning the parked→live CAS
+	shard int
+}
+
+func newTickPool(shards [][]Module) *tickPool {
+	p := &tickPool{shards: shards}
+	if runtime.GOMAXPROCS(0) >= len(shards) {
+		p.spinBudget = 4096
+		p.yieldEvery = 256
+	} else {
+		p.spinBudget = 8
+		p.yieldEvery = 1
+	}
+	p.workers = make([]*tickWorker, len(shards)-1)
+	p.handled = make([]atomic.Uint64, len(shards)-1)
+	for i := range p.workers {
+		p.spawn(i, p.epoch.Load())
+	}
+	return p
+}
+
+// spawn starts (or restarts) worker slot i with a fresh wake channel.
+// last is the epoch the worker should treat as already handled. Only
+// the kernel goroutine spawns, and only it bumps the epoch, so reading
+// the epoch here is race-free.
+func (p *tickPool) spawn(i int, last uint64) {
+	w := &tickWorker{wake: make(chan struct{}, 1), shard: i + 1}
+	p.workers[i] = w
+	go p.run(w, i, last)
+}
+
+// respawn replaces the dead worker in slot i during release, primed to
+// run the epoch just released — unless the slot's previous worker
+// already completed it (handled its epoch, decremented pending, parked
+// and idle-timed-out, all while the kernel was descheduled mid-release),
+// in which case the fresh worker must wait for the next epoch.
+func (p *tickPool) respawn(i int) {
+	e := p.epoch.Load()
+	last := e - 1
+	if p.handled[i].Load() == e {
+		last = e
+	}
+	p.spawn(i, last)
+}
+
+// run is the worker body: wait for an epoch, tick the shard, signal
+// completion, repeat. last is the most recent epoch already handled.
+func (p *tickPool) run(w *tickWorker, slot int, last uint64) {
+	for {
+		if !p.await(w, &last) {
+			return // dead: idle timeout or shutdown
+		}
+		for _, m := range p.shards[w.shard] {
+			m.Tick(p.cycle)
+		}
+		// Record completion before releasing the barrier: once pending
+		// drops, the kernel may commit, release the next epoch, or (if
+		// this goroutine later dies) consult handled to prime a
+		// replacement.
+		p.handled[slot].Store(last)
+		p.pending.Add(-1)
+	}
+}
+
+// await blocks until a new epoch is released (returning true) or the
+// worker dies (shutdown or idle timeout; returns false with state wkDead).
+func (p *tickPool) await(w *tickWorker, last *uint64) bool {
+	spins := 0
+	for {
+		if p.stop.Load() {
+			w.state.Store(wkDead)
+			return false
+		}
+		if e := p.epoch.Load(); e != *last {
+			*last = e
+			return true
+		}
+		spins++
+		if spins < p.spinBudget {
+			if p.yieldEvery > 0 && spins%p.yieldEvery == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Park. Order matters (Dekker-style with release/shutdown):
+		// publish the parked state first, then re-check for work the
+		// kernel may have released concurrently — the kernel bumps the
+		// epoch before scanning worker states, so at least one side
+		// observes the other and no wakeup is lost.
+		w.state.Store(wkParked)
+		if p.stop.Load() || p.epoch.Load() != *last {
+			if !w.state.CompareAndSwap(wkParked, wkLive) {
+				<-w.wake // kernel won the unpark race and sent a token
+			}
+			spins = 0
+			continue
+		}
+		t := time.NewTimer(parkTimeout)
+		select {
+		case <-w.wake:
+			// Kernel unparked us (state already wkLive).
+			t.Stop()
+			spins = 0
+		case <-t.C:
+			if w.state.CompareAndSwap(wkParked, wkDead) {
+				return false
+			}
+			// Lost the race: the kernel unparked us as the timer fired.
+			<-w.wake
+			spins = 0
+		}
+	}
+}
+
+// release publishes cycle c to the pool and starts a new epoch, waking
+// parked workers and respawning dead ones. Kernel goroutine only.
+func (p *tickPool) release(c uint64) {
+	p.cycle = c
+	p.pending.Store(int64(len(p.workers)))
+	p.epoch.Add(1)
+	for i, w := range p.workers {
+		switch w.state.Load() {
+		case wkParked:
+			if w.state.CompareAndSwap(wkParked, wkLive) {
+				w.wake <- struct{}{}
+			} else if w.state.Load() == wkDead {
+				// Timed out into wkDead just now. (The CAS can also fail
+				// because the worker un-parked itself after observing the
+				// epoch bump above — then it is wkLive and needs nothing.)
+				p.respawn(i)
+			}
+		case wkDead:
+			p.respawn(i)
+		}
+	}
+}
+
+// join waits for every worker to finish the current epoch. The wait is a
+// spin (the tick phase is typically sub-microsecond); it yields to the
+// scheduler so workers make progress even on a single-core host.
+func (p *tickPool) join() {
+	for spins := 0; p.pending.Load() > 0; spins++ {
+		if spins >= 128 || p.yieldEvery == 1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// shutdown terminates all workers. Called on reshard; workers still
+// blocked in await observe stop and exit. Safe to call multiple times.
+func (p *tickPool) shutdown() {
+	p.stop.Store(true)
+	for _, w := range p.workers {
+		if w.state.CompareAndSwap(wkParked, wkLive) {
+			w.wake <- struct{}{}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// ringState is the observable outcome of a ring run: per-module
+// accumulator sums, final signal values and the final cycle.
+type ringState struct {
+	sums   []uint64
+	ticks  []uint64
+	values []int
+	cycle  uint64
+}
+
+// buildRing wires n Parallel FuncModules where module i drives sig[i]
+// and reads sig[i-1] — cross-shard communication through signals every
+// cycle, the worst case for a broken commit path.
+func buildRing(k *Kernel, n int) (run func(cycles uint64) error, state func() ringState) {
+	sigs := make([]*Signal[int], n)
+	for i := 0; i < n; i++ {
+		sigs[i] = NewSignal(k, fmt.Sprintf("ring%d", i), 0)
+	}
+	sums := make([]uint64, n)
+	ticks := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		prev := sigs[(i+n-1)%n]
+		k.Add(&FuncModule{
+			Nm:       fmt.Sprintf("ring%d", i),
+			Parallel: true,
+			Cost:     1 + i%3,
+			Fn: func(cycle uint64) {
+				v := prev.Get()
+				sums[i] += uint64(v)
+				ticks[i]++
+				sigs[i].Set(v + 1)
+			},
+		})
+	}
+	run = func(cycles uint64) error { return k.Run(cycles) }
+	state = func() ringState {
+		s := ringState{cycle: k.Cycle()}
+		s.sums = append(s.sums, sums...)
+		s.ticks = append(s.ticks, ticks...)
+		for _, sg := range sigs {
+			s.values = append(s.values, sg.Get())
+		}
+		return s
+	}
+	return run, state
+}
+
+// ringRun builds a fresh ring kernel, applies cfg, runs it, and returns
+// the observable outcome.
+func ringRun(t *testing.T, n int, cycles uint64, cfg func(*Kernel)) ringState {
+	t.Helper()
+	k := New()
+	run, state := buildRing(k, n)
+	if cfg != nil {
+		cfg(k)
+	}
+	if err := run(cycles); err != nil {
+		t.Fatalf("ring run: %v", err)
+	}
+	return state()
+}
+
+func assertSameRing(t *testing.T, name string, want, got ringState) {
+	t.Helper()
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Fatalf("%s diverged from sequential:\nsequential: %+v\ngot:        %+v", name, want, got)
+	}
+}
+
+// TestParallelMatchesSequential is the kernel-level differential: the
+// signal ring must produce bit-identical sums, tick counts and final
+// values for any worker count, in both scheduling modes.
+func TestParallelMatchesSequential(t *testing.T) {
+	const n, cycles = 7, 500
+	ref := ringRun(t, n, cycles, nil)
+	for _, workers := range []int{2, 3, 4, 8} {
+		for _, lockstep := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/lockstep=%v", workers, lockstep)
+			got := ringRun(t, n, cycles, func(k *Kernel) {
+				k.SetWorkers(workers)
+				k.SetLockstep(lockstep)
+			})
+			assertSameRing(t, name, ref, got)
+		}
+	}
+}
+
+// TestParallelEdgeCases covers the shard-partition corners: no modules,
+// one module, more workers than modules.
+func TestParallelEdgeCases(t *testing.T) {
+	t.Run("no-modules", func(t *testing.T) {
+		k := New()
+		k.SetWorkers(4)
+		if err := k.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		if k.Cycle() != 10 {
+			t.Fatalf("cycle = %d, want 10", k.Cycle())
+		}
+	})
+	t.Run("one-module", func(t *testing.T) {
+		ref := ringRun(t, 1, 50, nil)
+		got := ringRun(t, 1, 50, func(k *Kernel) { k.SetWorkers(4) })
+		assertSameRing(t, "one-module", ref, got)
+	})
+	t.Run("workers-exceed-modules", func(t *testing.T) {
+		ref := ringRun(t, 3, 200, nil)
+		got := ringRun(t, 3, 200, func(k *Kernel) { k.SetWorkers(64) })
+		assertSameRing(t, "workers-exceed-modules", ref, got)
+	})
+	t.Run("gomaxprocs-workers", func(t *testing.T) {
+		ref := ringRun(t, 5, 200, nil)
+		got := ringRun(t, 5, 200, func(k *Kernel) { k.SetWorkers(0) })
+		assertSameRing(t, "gomaxprocs-workers", ref, got)
+	})
+}
+
+// TestParallelAddAfterSetWorkers registers a module after SetWorkers —
+// and after cycles have already run — and demands the partition pick it
+// up with exact accounting.
+func TestParallelAddAfterSetWorkers(t *testing.T) {
+	run := func(workers int) (ringState, uint64) {
+		k := New()
+		_, state := buildRing(k, 4)
+		if workers > 0 {
+			k.SetWorkers(workers)
+		}
+		if err := k.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		var late uint64
+		k.Add(&FuncModule{Nm: "late", Parallel: true, Fn: func(cycle uint64) { late++ }})
+		if err := k.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return state(), late
+	}
+	refState, refLate := run(0)
+	gotState, gotLate := run(4)
+	assertSameRing(t, "add-after-setworkers", refState, gotState)
+	if refLate != gotLate || gotLate != 100 {
+		t.Fatalf("late module ticks: sequential %d, parallel %d, want 100", refLate, gotLate)
+	}
+}
+
+// TestParallelReconfigureMidRun flips the worker count between run
+// segments; every segment must continue the identical simulation.
+func TestParallelReconfigureMidRun(t *testing.T) {
+	ref := ringRun(t, 5, 300, nil)
+	k := New()
+	run, state := buildRing(k, 5)
+	for i, w := range []int{1, 4, 2, 8} {
+		k.SetWorkers(w)
+		if err := run(75); err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+	}
+	assertSameRing(t, "reconfigure-mid-run", ref, state())
+}
+
+// TestParallelHostWrites interleaves host signal writes with parallel
+// steps: the scan-based commit must publish them exactly like the
+// sequential dirty-list commit.
+func TestParallelHostWrites(t *testing.T) {
+	outcome := func(workers int) []int {
+		k := New()
+		if workers > 0 {
+			k.SetWorkers(workers)
+		}
+		in := NewSignal(k, "in", 0)
+		var seen []int
+		echo := NewSignal(k, "echo", 0)
+		k.Add(&FuncModule{Nm: "echoer", Parallel: true, Fn: func(cycle uint64) {
+			echo.Set(in.Get() * 2)
+		}})
+		k.Add(&FuncModule{Nm: "watcher", Parallel: true, Fn: func(cycle uint64) {
+			seen = append(seen, echo.Get())
+		}})
+		for i := 0; i < 20; i++ {
+			if i%3 == 0 {
+				in.Set(i)
+			}
+			if err := k.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return seen
+	}
+	ref := outcome(0)
+	got := outcome(4)
+	if fmt.Sprint(ref) != fmt.Sprint(got) {
+		t.Fatalf("host writes diverged:\nsequential: %v\nparallel:   %v", ref, got)
+	}
+}
+
+// TestParallelSerialOrdering mixes serial modules sharing a host
+// variable with parallel ring modules: the serial group must keep its
+// sequential registration-order interleaving.
+func TestParallelSerialOrdering(t *testing.T) {
+	outcome := func(workers int) []string {
+		k := New()
+		if workers > 0 {
+			k.SetWorkers(workers)
+		}
+		_, _ = buildRing(k, 4)
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			// Serial by default: no Parallel flag.
+			k.Add(&FuncModule{Nm: name, Fn: func(cycle uint64) {
+				if cycle%7 == 0 {
+					log = append(log, fmt.Sprintf("%s@%d", name, cycle))
+				}
+			}})
+		}
+		if err := k.Run(50); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	ref := outcome(0)
+	got := outcome(4)
+	if fmt.Sprint(ref) != fmt.Sprint(got) {
+		t.Fatalf("serial ordering diverged:\nsequential: %v\nparallel:   %v", ref, got)
+	}
+}
+
+// TestParallelIdleSkipComposes runs sleepable modules under the
+// event-driven scheduler with parallel ticking: jumps and parallel
+// stepped cycles must compose with exact counter accounting.
+func TestParallelIdleSkipComposes(t *testing.T) {
+	outcome := func(workers int) (uint64, uint64, SchedStats) {
+		k := New()
+		if workers > 0 {
+			k.SetWorkers(workers)
+		}
+		var busyA, busyB uint64
+		mk := func(busy *uint64, period uint64) *FuncModule {
+			var wait uint64
+			return &FuncModule{
+				Nm:       fmt.Sprintf("cd%d", period),
+				Parallel: true,
+				Fn: func(cycle uint64) {
+					if wait == 0 {
+						wait = period
+					}
+					wait--
+					*busy++
+				},
+				Wake: func(now uint64) uint64 {
+					if wait <= 1 {
+						return now
+					}
+					return now + wait - 1
+				},
+				OnSkip: func(n uint64) { wait -= n; *busy += n },
+			}
+		}
+		k.Add(mk(&busyA, 13))
+		k.Add(mk(&busyB, 29))
+		if err := k.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return busyA, busyB, k.Sched()
+	}
+	refA, refB, refSched := outcome(0)
+	gotA, gotB, gotSched := outcome(4)
+	if refA != gotA || refB != gotB {
+		t.Fatalf("busy counters diverged: sequential (%d,%d), parallel (%d,%d)", refA, refB, gotA, gotB)
+	}
+	if gotSched.Skipped == 0 {
+		t.Fatal("parallel event-driven run skipped nothing on a countdown workload")
+	}
+	if refSched.Skipped != gotSched.Skipped || refSched.Stepped != gotSched.Stepped {
+		t.Fatalf("sched counters diverged: sequential %+v, parallel %+v", refSched, gotSched)
+	}
+	if gotSched.Workers != 4 {
+		t.Fatalf("Sched().Workers = %d, want 4", gotSched.Workers)
+	}
+}
+
+// TestParallelFault verifies a fault raised inside a concurrently
+// ticked module aborts the run at the same cycle as sequentially.
+func TestParallelFault(t *testing.T) {
+	boom := errors.New("boom")
+	outcome := func(workers int) (uint64, error) {
+		k := New()
+		if workers > 0 {
+			k.SetWorkers(workers)
+		}
+		_, _ = buildRing(k, 3)
+		k.Add(&FuncModule{Nm: "bomb", Parallel: true, Fn: func(cycle uint64) {
+			if cycle == 37 {
+				k.Fault(boom)
+			}
+		}})
+		err := k.Run(100)
+		return k.Cycle(), err
+	}
+	refCycle, refErr := outcome(0)
+	gotCycle, gotErr := outcome(4)
+	if refErr == nil || gotErr == nil || !errors.Is(refErr, boom) || !errors.Is(gotErr, boom) {
+		t.Fatalf("fault not propagated: sequential %v, parallel %v", refErr, gotErr)
+	}
+	if refCycle != gotCycle {
+		t.Fatalf("fault cycle diverged: sequential %d, parallel %d", refCycle, gotCycle)
+	}
+	if refErr.Error() != gotErr.Error() {
+		t.Fatalf("fault message diverged: %q vs %q", refErr, gotErr)
+	}
+}

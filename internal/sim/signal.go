@@ -16,8 +16,15 @@ type committer interface {
 // cycle. A signal holds its last committed value until overwritten, so it
 // behaves like a register driven by whichever module writes it.
 //
-// Signals are not safe for concurrent use; the kernel is single-threaded
-// by design (determinism is a correctness requirement for experiment E4).
+// A signal is a single-driver wire: at most one module writes it (the
+// hardware "one driver per net" rule; bus links have exactly one master
+// and one slave side signal). Under the kernel's parallel tick engine
+// (see parallel.go) the signal's next-value slot is that driver's
+// private scratch for the cycle, so concurrent shards never contend on
+// it; the kernel merges all slots at the commit barrier in registration
+// order, keeping parallel runs bit-identical to sequential ones
+// (determinism is a correctness requirement for experiment E4). Host
+// code may Set signals between steps in any mode.
 type Signal[T comparable] struct {
 	name  string
 	cur   T
@@ -48,7 +55,12 @@ func (s *Signal[T]) Set(v T) {
 	s.next = v
 	if !s.dirty {
 		s.dirty = true
-		s.k.markDirty(s)
+		// During a parallel tick phase the shared dirty list cannot be
+		// appended to from concurrent shards; the commit barrier scans
+		// every signal instead, so the in-place flag above suffices.
+		if !s.k.parallelPhase {
+			s.k.markDirty(s)
+		}
 	}
 }
 

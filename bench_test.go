@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/core"
@@ -396,6 +397,36 @@ func BenchmarkA2_TableLookup(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- Alloc: allocation-policy engine -----------------------------------------
+
+// BenchmarkAlloc replays the E9 adversarial churn (hole comb) against
+// each allocation policy at the allocator level. ns/op is the host cost
+// of one full script; "accpalloc" is the simulated cost model — metered
+// metadata accesses per allocation, the quantity heapsim turns into
+// cycles. First-fit's accpalloc is dominated by the comb walk; buddy
+// and segregated stay near-flat (see EXPERIMENTS.md E9).
+func BenchmarkAlloc(b *testing.B) {
+	o := experiments.Options{Quick: true}
+	ops := experiments.E9Workload(o)
+	arena := experiments.E9Arena(o)
+	for _, kind := range alloc.Kinds() {
+		b.Run(fmt.Sprintf("policy=%s", kind), func(b *testing.B) {
+			var accesses, allocs uint64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunChurn(kind, arena, ops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses += r.Accesses
+				allocs += r.Allocs
+			}
+			if allocs > 0 {
+				b.ReportMetric(float64(accesses)/float64(allocs), "accpalloc")
+			}
+		})
 	}
 }
 

@@ -96,10 +96,12 @@ func run() error {
 		}
 		k := sim.New()
 		link := bus.NewLink(k, "cpu-mem")
-		core.NewWrapper(k, core.Config{
+		if _, err := core.NewWrapper(k, core.Config{
 			TotalSize: uint32(*memBytes),
 			Delays:    core.DefaultDelays(),
-		}, link)
+		}, link); err != nil {
+			return err
+		}
 		cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Link: link})
 		if err != nil {
 			return err

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-run e1,e2,a2] [-workers n]
+//	experiments [-quick] [-run e1,e2,a2] [-workers n] [-alloc buddy]
 package main
 
 import (
@@ -15,21 +15,28 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/alloc"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,ev,par,a1,a2) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,ev,par,a1,a2) or 'all'")
 	lockstep := flag.Bool("lockstep", false, "pin every measured kernel to lockstep stepping (EV always compares both)")
 	workers := flag.Int("workers", 1, "tick-phase parallelism for every measured kernel (0 = GOMAXPROCS, 1 = sequential; PAR sweeps its own counts)")
+	allocFlag := flag.String("alloc", "default", "allocation policy for every measured memory: default | first-fit | best-fit | buddy | segregated (E9 sweeps all)")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	policy, err := alloc.ParseKind(*allocFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers}
+	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers, Alloc: policy}
 
 	// Run header: the tables below are attributable to this scheduler
 	// configuration.
@@ -37,8 +44,8 @@ func main() {
 	if *lockstep {
 		mode = "lockstep"
 	}
-	fmt.Printf("experiments: scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
-		mode, *workers, runtime.GOMAXPROCS(0))
+	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s (host GOMAXPROCS %d)\n\n",
+		mode, *workers, policy, runtime.GOMAXPROCS(0))
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(strings.ToLower(id))] = true
@@ -68,6 +75,7 @@ func main() {
 		{"e6", one(experiments.E6)},
 		{"e7", one(experiments.E7)},
 		{"e8", one(experiments.E8)},
+		{"e9", one(experiments.E9)},
 		{"ev", one(experiments.EV)},
 		{"par", one(experiments.PAR)},
 		{"a1", one(experiments.A1)},

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -49,6 +50,7 @@ func run() error {
 		profile  = flag.Bool("profile", false, "report host time per module (explains simulation-speed degradation)")
 		lockstep = flag.Bool("lockstep", false, "pin the kernel to lockstep stepping (default: event-driven idle-skip)")
 		workers  = flag.Int("workers", 1, "tick-phase parallelism: modules sharded across this many concurrent workers (0 = GOMAXPROCS, 1 = sequential)")
+		policy   = flag.String("alloc", "default", "allocation policy: default | first-fit | best-fit | buddy | segregated (heapsim metadata allocator / wrapper virtual placement)")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
 	)
 	flag.Parse()
@@ -84,10 +86,15 @@ func run() error {
 		return fmt.Errorf("unknown -interconnect %q", *inter)
 	}
 
+	allocKind, err := alloc.ParseKind(*policy)
+	if err != nil {
+		return err
+	}
+
 	masters := *isses + *pes
 	sys, err := config.Build(config.SystemConfig{
 		Masters: masters, Memories: *memories, MemKind: kind, Interconnect: ic,
-		Lockstep: *lockstep, Workers: *workers,
+		AllocPolicy: allocKind, Lockstep: *lockstep, Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -99,8 +106,8 @@ func run() error {
 	if *lockstep {
 		schedMode = "lockstep"
 	}
-	fmt.Printf("mpsim: %d masters × %s × %d %s memories; scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
-		masters, ic, *memories, kind, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
+	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
+		masters, ic, *memories, kind, allocKind, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
 
 	var doneFn func() bool
 	switch {

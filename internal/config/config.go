@@ -8,6 +8,7 @@ package config
 import (
 	"fmt"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/heapsim"
@@ -86,6 +87,14 @@ type SystemConfig struct {
 	StaticDelays *mem.Delays
 	// HeapWordLatency is heapsim's per-metadata-word cost (default 1).
 	HeapWordLatency uint32
+	// AllocPolicy selects the allocation policy of every memory module
+	// (see internal/alloc): for MemHeapSim it is the in-arena metadata
+	// allocator whose word traffic is charged cycles; for MemWrapper it
+	// is the virtual-address placement discipline (functional only, no
+	// timing change). The zero value keeps each model's historical
+	// behavior — heapsim first-fit, wrapper bump placement — bit
+	// identical. MemStatic has no allocator and ignores it.
+	AllocPolicy alloc.Kind
 	// Endian sets the wrapper's simulated byte order.
 	Endian core.Endian
 	// LinearLookup forces the wrapper's linear pointer-table search
@@ -164,14 +173,18 @@ func Build(cfg SystemConfig) (*System, error) {
 			if cfg.WrapperDelays != nil {
 				delays = *cfg.WrapperDelays
 			}
-			w := core.NewWrapper(k, core.Config{
+			w, err := core.NewWrapper(k, core.Config{
 				Name:                   name,
 				TotalSize:              cfg.MemBytes,
 				Endian:                 cfg.Endian,
 				Delays:                 delays,
 				LinearLookup:           cfg.LinearLookup,
 				EnforceReadReservation: cfg.EnforceReadReservation,
+				Policy:                 cfg.AllocPolicy,
 			}, link)
+			if err != nil {
+				return nil, fmt.Errorf("config: %s: %w", name, err)
+			}
 			sys.Wrappers = append(sys.Wrappers, w)
 		case MemStatic:
 			delays := mem.DefaultDelays()
@@ -181,15 +194,19 @@ func Build(cfg SystemConfig) (*System, error) {
 			r := mem.NewStaticRAM(k, mem.Config{Name: name, Size: cfg.MemBytes, Delays: delays}, link)
 			sys.Statics = append(sys.Statics, r)
 		case MemHeapSim:
-			h := heapsim.NewHeapMem(k, heapsim.Config{
+			h, err := heapsim.NewHeapMem(k, heapsim.Config{
 				Name:        name,
 				ArenaSize:   cfg.MemBytes,
+				Policy:      cfg.AllocPolicy,
 				WordLatency: cfg.HeapWordLatency,
 				Decode:      1,
 				Read:        1,
 				Write:       1,
 				BurstBase:   1, BurstPerElem: 1,
 			}, link)
+			if err != nil {
+				return nil, fmt.Errorf("config: %s: %w", name, err)
+			}
 			sys.Heaps = append(sys.Heaps, h)
 		default:
 			return nil, fmt.Errorf("config: unknown memory kind %d", cfg.MemKind)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 )
 
@@ -26,9 +29,11 @@ func (e *Entry) SizeBytes() uint32 { return e.Dim * e.DType.Size() }
 func (e *Entry) End() uint32 { return e.VPtr + e.SizeBytes() }
 
 // PointerTable is the functional heart of the wrapper: an ordered table of
-// live allocations. Entries are kept in ascending VPtr order; because new
-// virtual pointers are generated past the end of the last entry, insertion
-// order and address order coincide, and ranges never overlap.
+// live allocations. Entries are kept in ascending VPtr order: under the
+// default bump rule new virtual pointers are generated past the end of
+// the last entry, so insertion order and address order coincide; under a
+// placement policy (NewPointerTablePolicy) reused ranges are inserted at
+// their sorted position. Ranges never overlap either way.
 //
 // The table enforces the paper's finite-size memory model: an allocation
 // is denied when the sum of live allocation sizes would exceed TotalSize.
@@ -46,6 +51,16 @@ type PointerTable struct {
 	entries []Entry
 	used    uint32
 
+	// placer, when non-nil, manages the *virtual* address space with an
+	// allocation policy instead of the paper's bump rule: freed ranges
+	// are reused, so the table models address-space fragmentation. The
+	// placer's arena is pure host-side bookkeeping (placerMem); payload
+	// bytes still come from the HostAllocator per entry, and placement
+	// adds no simulated cycles — the host-backed wrapper's flat timing
+	// is the paper's point.
+	placer    alloc.Policy
+	placerMem *alloc.SliceMem
+
 	// Probes counts range-lookup comparisons, for the A2 ablation.
 	Probes uint64
 	// HighWater tracks the maximum number of simultaneously live entries.
@@ -53,12 +68,65 @@ type PointerTable struct {
 }
 
 // NewPointerTable creates a table with the given capacity in bytes backed
-// by host (nil means the Go heap).
+// by host (nil means the Go heap). Virtual pointers follow the paper's
+// bump rule: past the end of the last entry, never reused.
 func NewPointerTable(totalSize uint32, host HostAllocator) *PointerTable {
 	if host == nil {
 		host = GoAllocator{}
 	}
 	return &PointerTable{TotalSize: totalSize, host: host}
+}
+
+// NewPointerTablePolicy is NewPointerTable with virtual-address
+// placement driven by an allocation policy (alloc.Default keeps the
+// bump rule, bit-identical to NewPointerTable). A policy needs a
+// finite TotalSize of at least alloc.MinArena(kind): the policy's
+// metadata lives in a host-side shadow of the virtual space, and its
+// in-band headers mean slightly less than TotalSize is allocatable.
+func NewPointerTablePolicy(totalSize uint32, host HostAllocator, kind alloc.Kind) (*PointerTable, error) {
+	t := NewPointerTable(totalSize, host)
+	if kind == alloc.Default {
+		return t, nil
+	}
+	if totalSize == 0 {
+		return nil, fmt.Errorf("core: placement policy %s requires a finite TotalSize", kind)
+	}
+	m := alloc.NewSliceMem(totalSize)
+	p, err := alloc.New(kind, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement policy: %w", err)
+	}
+	t.placer, t.placerMem = p, m
+	return t, nil
+}
+
+// PlacementPolicy returns the virtual-address placement policy
+// (alloc.Default for the bump rule).
+func (t *PointerTable) PlacementPolicy() alloc.Kind {
+	if t.placer == nil {
+		return alloc.Default
+	}
+	return t.placer.Kind()
+}
+
+// PlacementAccesses reports the placement policy's metadata word
+// accesses (zero under the bump rule). Host-side bookkeeping only —
+// nothing charges simulated cycles for these.
+func (t *PointerTable) PlacementAccesses() uint64 {
+	if t.placerMem == nil {
+		return 0
+	}
+	return t.placerMem.Accesses
+}
+
+// PlacementFreeBlocks reports the virtual address space's free-block
+// count under a placement policy (a fragmentation gauge; zero under
+// the bump rule).
+func (t *PointerTable) PlacementFreeBlocks() int {
+	if t.placer == nil {
+		return 0
+	}
+	return t.placer.FreeBlocks()
 }
 
 // Len returns the number of live allocations.
@@ -100,15 +168,40 @@ func (t *PointerTable) Alloc(dim uint32, dt bus.DataType) (uint32, bus.ErrCode) 
 	if t.TotalSize != 0 && (uint64(t.used)+size64 > uint64(t.TotalSize)) {
 		return 0, bus.ErrCapacity
 	}
-	vptr, ok := t.nextVPtr()
-	if !ok || uint64(vptr)+size64 > math.MaxUint32 {
-		return 0, bus.ErrCapacity
+	var vptr uint32
+	if t.placer != nil {
+		// Policy placement: the virtual range is carved out of the
+		// shadow arena; denial under fragmentation is an honestly
+		// modelled ErrCapacity even when total free space would suffice.
+		v, ok := t.placer.Alloc(size, false)
+		if !ok {
+			return 0, bus.ErrCapacity
+		}
+		vptr = v
+	} else {
+		v, ok := t.nextVPtr()
+		if !ok || uint64(v)+size64 > math.MaxUint32 {
+			return 0, bus.ErrCapacity
+		}
+		vptr = v
 	}
 	host, err := t.host.Alloc(size)
 	if err != nil {
+		if t.placer != nil {
+			t.placer.Free(vptr)
+		}
 		return 0, bus.ErrHost
 	}
-	t.entries = append(t.entries, Entry{VPtr: vptr, Host: host, DType: dt, Dim: dim})
+	if t.placer != nil {
+		// Reused virtual ranges arrive out of order: insert sorted so
+		// Resolve's binary search keeps working.
+		idx := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].VPtr > vptr })
+		t.entries = append(t.entries, Entry{})
+		copy(t.entries[idx+1:], t.entries[idx:])
+		t.entries[idx] = Entry{VPtr: vptr, Host: host, DType: dt, Dim: dim}
+	} else {
+		t.entries = append(t.entries, Entry{VPtr: vptr, Host: host, DType: dt, Dim: dim})
+	}
 	t.used += size
 	if len(t.entries) > t.HighWater {
 		t.HighWater = len(t.entries)
@@ -164,6 +257,9 @@ func (t *PointerTable) Free(vptr uint32, master int) bus.ErrCode {
 	}
 	if e.Reserved && e.Owner != master {
 		return bus.ErrReserved
+	}
+	if t.placer != nil && !t.placer.Free(vptr) {
+		return bus.ErrBadVPtr
 	}
 	host := e.Host
 	t.used -= e.SizeBytes()

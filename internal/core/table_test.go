@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 )
 
@@ -483,5 +484,165 @@ func TestLinearAndBinaryResolveAgree(t *testing.T) {
 		if ok1 && (e1.VPtr != e2.VPtr || o1 != o2) {
 			t.Fatalf("resolve(%d) differs", v)
 		}
+	}
+}
+
+// --- virtual-address placement policies --------------------------------------
+
+func TestNewPointerTablePolicyValidation(t *testing.T) {
+	if _, err := NewPointerTablePolicy(0, nil, alloc.FirstFit); err == nil {
+		t.Error("placement policy with TotalSize 0 accepted")
+	}
+	if _, err := NewPointerTablePolicy(8, nil, alloc.Segregated); err == nil {
+		t.Error("placement policy with undersized TotalSize accepted")
+	}
+	tb, err := NewPointerTablePolicy(1<<16, nil, alloc.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.PlacementPolicy() != alloc.Default || tb.PlacementAccesses() != 0 {
+		t.Error("Default must keep the bump rule with no placer")
+	}
+}
+
+// TestPointerTablePolicyReusesFreedRanges is the behavioral point of
+// placement policies: the bump rule never reuses virtual addresses, a
+// policy hands a freed range back.
+func TestPointerTablePolicyReusesFreedRanges(t *testing.T) {
+	for _, kind := range alloc.Kinds() {
+		tb, err := NewPointerTablePolicy(1<<16, nil, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got := tb.PlacementPolicy(); got != kind {
+			t.Fatalf("PlacementPolicy = %v, want %v", got, kind)
+		}
+		v1, code := tb.Alloc(64, bus.U32)
+		if code != bus.OK {
+			t.Fatalf("%v: alloc: %v", kind, code)
+		}
+		if code := tb.Free(v1, 0); code != bus.OK {
+			t.Fatalf("%v: free: %v", kind, code)
+		}
+		v2, code := tb.Alloc(64, bus.U32)
+		if code != bus.OK {
+			t.Fatalf("%v: realloc: %v", kind, code)
+		}
+		if v2 != v1 {
+			t.Errorf("%v: freed range not reused: first %#x, second %#x", kind, v1, v2)
+		}
+		if tb.PlacementAccesses() == 0 {
+			t.Errorf("%v: placement metadata accesses not counted", kind)
+		}
+	}
+	// Contrast: the bump rule must NOT reuse while the table is
+	// non-empty (its only reset is the empty-table zero).
+	tb := NewPointerTable(1<<16, nil)
+	v1, _ := tb.Alloc(64, bus.U32)
+	if _, code := tb.Alloc(64, bus.U32); code != bus.OK {
+		t.Fatal(code)
+	}
+	tb.Free(v1, 0)
+	if v2, _ := tb.Alloc(64, bus.U32); v2 == v1 {
+		t.Error("bump rule reused a freed range")
+	}
+}
+
+// TestPointerTablePolicyOutOfOrderResolve exercises sorted insertion:
+// reused ranges land between live entries and Resolve's binary search
+// must keep finding every entry, including interior offsets.
+func TestPointerTablePolicyOutOfOrderResolve(t *testing.T) {
+	tb, err := NewPointerTablePolicy(1<<16, nil, alloc.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the virtual space completely so the only room left after the
+	// frees below is the two middle holes.
+	var vptrs []uint32
+	for {
+		v, code := tb.Alloc(32, bus.U32)
+		if code != bus.OK {
+			break
+		}
+		vptrs = append(vptrs, v)
+	}
+	if len(vptrs) < 8 {
+		t.Fatalf("only %d allocations fit", len(vptrs))
+	}
+	if tb.Free(vptrs[2], 0) != bus.OK || tb.Free(vptrs[5], 0) != bus.OK {
+		t.Fatal("frees failed")
+	}
+	mid, code := tb.Alloc(32, bus.U32)
+	if code != bus.OK {
+		t.Fatal(code)
+	}
+	if mid != vptrs[2] && mid != vptrs[5] {
+		t.Fatalf("expected reuse of a freed middle range, got %#x", mid)
+	}
+	// Entries must be in strictly ascending VPtr order.
+	es := tb.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].VPtr <= es[i-1].VPtr {
+			t.Fatalf("entries out of order at %d: %#x after %#x", i, es[i].VPtr, es[i-1].VPtr)
+		}
+	}
+	// Every live entry resolves, interior pointers included.
+	for _, v := range []uint32{vptrs[0], vptrs[len(vptrs)-1], mid} {
+		e, off, ok := tb.Resolve(v + 12)
+		if !ok || off != 12 || e.VPtr != v {
+			t.Errorf("Resolve(%#x+12) = %+v, %d, %v", v, e, off, ok)
+		}
+	}
+}
+
+// TestPointerTablePolicyFragmentationDenial: a policy-placed table can
+// deny with ErrCapacity even when total free space suffices — honest
+// address-space fragmentation the bump rule cannot express.
+func TestPointerTablePolicyFragmentationDenial(t *testing.T) {
+	tb, err := NewPointerTablePolicy(4096, nil, alloc.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill with 32-byte allocations, free every other one.
+	var vptrs []uint32
+	for {
+		v, code := tb.Alloc(8, bus.U32)
+		if code != bus.OK {
+			break
+		}
+		vptrs = append(vptrs, v)
+	}
+	for i := 0; i < len(vptrs); i += 2 {
+		if tb.Free(vptrs[i], 0) != bus.OK {
+			t.Fatal("free failed")
+		}
+	}
+	if tb.PlacementFreeBlocks() < 10 {
+		t.Fatalf("expected fragmentation, got %d free blocks", tb.PlacementFreeBlocks())
+	}
+	if _, code := tb.Alloc(64, bus.U32); code != bus.ErrCapacity {
+		t.Errorf("fragmented alloc = %v, want ErrCapacity", code)
+	}
+	if uint64(tb.Used())+256 > 4096 {
+		t.Fatalf("test needs headroom: used %d of 4096", tb.Used())
+	}
+}
+
+// TestPointerTablePolicyHostFailureRollsBack: when the host allocator
+// fails after placement succeeded, the placed range must be released.
+func TestPointerTablePolicyHostFailureRollsBack(t *testing.T) {
+	tb, err := NewPointerTablePolicy(1<<16, &FailingAllocator{AllowAllocs: 0}, alloc.Buddy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tb.PlacementFreeBlocks()
+	if _, code := tb.Alloc(64, bus.U32); code != bus.ErrHost {
+		t.Fatalf("alloc = %v, want ErrHost", code)
+	}
+	if got := tb.PlacementFreeBlocks(); got != before {
+		t.Errorf("placement leaked on host failure: %d free blocks, want %d", got, before)
+	}
+	if tb.Len() != 0 {
+		t.Errorf("entry leaked on host failure: Len = %d", tb.Len())
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/sim"
 )
@@ -27,6 +28,12 @@ type Config struct {
 	EnforceReadReservation bool
 	// LinearLookup forces linear pointer-table search (ablation A2).
 	LinearLookup bool
+	// Policy selects the virtual-address placement policy (see
+	// internal/alloc and PointerTable): the zero value keeps the
+	// paper's bump rule; a concrete policy reuses freed virtual ranges
+	// and requires a finite TotalSize. Placement is functional only —
+	// it never adds simulated cycles.
+	Policy alloc.Kind
 }
 
 // Stats counts wrapper activity. All cycle figures are simulated cycles.
@@ -91,20 +98,25 @@ type Wrapper struct {
 }
 
 // NewWrapper creates a wrapper with config cfg serving requests from
-// link, and registers it with the kernel.
-func NewWrapper(k *sim.Kernel, cfg Config, link *bus.Link) *Wrapper {
+// link, and registers it with the kernel. It errors when the placement
+// policy configuration is unsatisfiable (no or too small TotalSize).
+func NewWrapper(k *sim.Kernel, cfg Config, link *bus.Link) (*Wrapper, error) {
 	if cfg.Name == "" {
 		cfg.Name = "wrapper"
+	}
+	table, err := NewPointerTablePolicy(cfg.TotalSize, cfg.Host, cfg.Policy)
+	if err != nil {
+		return nil, err
 	}
 	w := &Wrapper{
 		cfg:   cfg,
 		link:  link,
-		table: NewPointerTable(cfg.TotalSize, cfg.Host),
+		table: table,
 		tr:    Translator{Target: cfg.Endian},
 	}
 	w.table.Linear = cfg.LinearLookup
 	k.Add(w)
-	return w
+	return w, nil
 }
 
 // Name implements sim.Module.

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/sim"
 )
@@ -20,7 +21,10 @@ func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
 	k := sim.New()
 	link := bus.NewLink(k, "t")
-	w := NewWrapper(k, cfg, link)
+	w, err := NewWrapper(k, cfg, link)
+	if err != nil {
+		t.Fatalf("NewWrapper: %v", err)
+	}
 	return &harness{t: t, k: k, link: link, w: w}
 }
 
@@ -311,8 +315,14 @@ func TestWrapperMultipleInstances(t *testing.T) {
 	k := sim.New()
 	l1 := bus.NewLink(k, "l1")
 	l2 := bus.NewLink(k, "l2")
-	w1 := NewWrapper(k, Config{Name: "sm0", Delays: DefaultDelays()}, l1)
-	w2 := NewWrapper(k, Config{Name: "sm1", Delays: DefaultDelays()}, l2)
+	w1, err := NewWrapper(k, Config{Name: "sm0", Delays: DefaultDelays()}, l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWrapper(k, Config{Name: "sm1", Delays: DefaultDelays()}, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	do := func(l *bus.Link, req bus.Request) bus.Response {
 		l.Issue(req)
@@ -406,7 +416,10 @@ func TestWrapperExactlyOneHostCallPerAllocation(t *testing.T) {
 func TestWrapperDefaultName(t *testing.T) {
 	k := sim.New()
 	l := bus.NewLink(k, "l")
-	w := NewWrapper(k, Config{}, l)
+	w, err := NewWrapper(k, Config{}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w.Name() != "wrapper" {
 		t.Errorf("Name = %q, want wrapper", w.Name())
 	}
@@ -425,5 +438,44 @@ func TestWrapperBackToBackOpsSerialize(t *testing.T) {
 	elapsed := h.k.Cycle() - start
 	if elapsed < n*(2+3) {
 		t.Errorf("elapsed = %d, want ≥ %d (serialized)", elapsed, n*(2+3))
+	}
+}
+
+// TestWrapperPlacementPolicy drives a placement-policy wrapper through
+// the full bus protocol: allocation, data integrity, free, and virtual
+// address reuse — the behavior the bump rule cannot express.
+func TestWrapperPlacementPolicy(t *testing.T) {
+	for _, kind := range alloc.Kinds() {
+		h := newHarness(t, Config{TotalSize: 1 << 16, Policy: kind, Delays: DefaultDelays()})
+		resp, _ := h.do(bus.Request{Op: bus.OpAlloc, Dim: 16, DType: bus.U32})
+		if resp.Err != bus.OK {
+			t.Fatalf("%v: alloc: %v", kind, resp.Err)
+		}
+		v := resp.VPtr
+		if resp, _ := h.do(bus.Request{Op: bus.OpWrite, VPtr: v + 8, Data: 99, DType: bus.U32}); resp.Err != bus.OK {
+			t.Fatalf("%v: write: %v", kind, resp.Err)
+		}
+		if resp, _ := h.do(bus.Request{Op: bus.OpRead, VPtr: v + 8, DType: bus.U32}); resp.Data != 99 {
+			t.Fatalf("%v: read = %d, want 99", kind, resp.Data)
+		}
+		if resp, _ := h.do(bus.Request{Op: bus.OpFree, VPtr: v}); resp.Err != bus.OK {
+			t.Fatalf("%v: free: %v", kind, resp.Err)
+		}
+		resp, _ = h.do(bus.Request{Op: bus.OpAlloc, Dim: 16, DType: bus.U32})
+		if resp.Err != bus.OK {
+			t.Fatalf("%v: realloc: %v", kind, resp.Err)
+		}
+		if resp.VPtr != v {
+			t.Errorf("%v: freed virtual range not reused: %#x then %#x", kind, v, resp.VPtr)
+		}
+		if got := h.w.Table().PlacementPolicy(); got != kind {
+			t.Errorf("PlacementPolicy = %v, want %v", got, kind)
+		}
+	}
+	// An unsatisfiable placement config must error, not panic later.
+	k := sim.New()
+	l := bus.NewLink(k, "l")
+	if _, err := NewWrapper(k, Config{Policy: alloc.Buddy}, l); err == nil {
+		t.Error("placement policy without TotalSize accepted")
 	}
 }

@@ -16,10 +16,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/gsm"
+	"repro/internal/heapsim"
 	"repro/internal/isa"
 	"repro/internal/sim"
 	"repro/internal/smapi"
@@ -41,6 +43,11 @@ type Options struct {
 	// kernel (see config.SystemConfig.Workers; 0 keeps the sequential
 	// default). The PAR experiment sweeps its own worker counts.
 	Workers int
+	// Alloc is the allocation policy applied to every measured memory
+	// module (see config.SystemConfig.AllocPolicy; the zero value keeps
+	// the historical defaults). The E9 experiment sweeps all policies
+	// regardless.
+	Alloc alloc.Kind
 }
 
 func (o Options) pick(full, quick int) int {
@@ -50,17 +57,21 @@ func (o Options) pick(full, quick int) int {
 	return full
 }
 
-// Mode selects the kernel scheduling of one measured run: lockstep
+// Mode selects the kernel scheduling of one measured run — lockstep
 // versus event-driven idle-skip, and sequential versus sharded parallel
-// ticking. All four combinations are observably identical; they differ
-// only in host speed. The zero value is the default mode (event-driven,
-// sequential).
+// ticking (all four combinations observably identical, differing only
+// in host speed) — plus the allocation policy of the measured memory
+// modules, threaded through the same plumbing. Unlike the scheduler
+// axes, a non-default Alloc is observable: it changes placements and,
+// for heapsim, metered manager traffic. The zero value is the default
+// mode (event-driven, sequential, historical allocator).
 type Mode struct {
 	Lockstep bool
 	Workers  int
+	Alloc    alloc.Kind
 }
 
-func (o Options) mode() Mode { return Mode{Lockstep: o.Lockstep, Workers: o.Workers} }
+func (o Options) mode() Mode { return Mode{Lockstep: o.Lockstep, Workers: o.Workers, Alloc: o.Alloc} }
 
 // runLimit is the cycle budget for any single measured run.
 const runLimit = 2_000_000_000
@@ -71,11 +82,12 @@ const runLimit = 2_000_000_000
 // result.
 func RunGSMISS(nISS, nMem, frames int, m Mode) (stats.RunResult, error) {
 	sys, err := config.Build(config.SystemConfig{
-		Masters:  nISS,
-		Memories: nMem,
-		MemKind:  config.MemWrapper,
-		Lockstep: m.Lockstep,
-		Workers:  m.Workers,
+		Masters:     nISS,
+		Memories:    nMem,
+		MemKind:     config.MemWrapper,
+		Lockstep:    m.Lockstep,
+		Workers:     m.Workers,
+		AllocPolicy: m.Alloc,
 	})
 	if err != nil {
 		return stats.RunResult{}, err
@@ -166,7 +178,7 @@ func RunGSMPipeline(nMem, frames int, m Mode) (stats.RunResult, error) {
 	})
 	sys, err := config.Build(config.SystemConfig{
 		Masters: 4, Memories: nMem, MemKind: config.MemWrapper,
-		Lockstep: m.Lockstep, Workers: m.Workers,
+		Lockstep: m.Lockstep, Workers: m.Workers, AllocPolicy: m.Alloc,
 	})
 	if err != nil {
 		return stats.RunResult{}, err
@@ -264,7 +276,7 @@ func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes ui
 	}
 	sys, err := config.Build(config.SystemConfig{
 		Masters: 1, Memories: maxInt(1, numSMs(tr)), MemKind: kind, MemBytes: memBytes,
-		Lockstep: km.Lockstep, Workers: km.Workers,
+		Lockstep: km.Lockstep, Workers: km.Workers, AllocPolicy: km.Alloc,
 	})
 	if err != nil {
 		return stats.RunResult{}, nil, err
@@ -392,7 +404,7 @@ func E4(o Options) ([]*stats.Table, error) {
 		delays.Read, delays.Write = d, d
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 1, Memories: 1, MemKind: config.MemWrapper, WrapperDelays: &delays,
-			Lockstep: o.Lockstep, Workers: o.Workers,
+			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
 		})
 		if err != nil {
 			return nil, err
@@ -452,7 +464,7 @@ func E6(o Options) (*stats.Table, error) {
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
 			MemBytes: target + bufBytes, // capacity sized to the live set
-			Lockstep: o.Lockstep, Workers: o.Workers,
+			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
 		})
 		if err != nil {
 			return nil, err
@@ -586,7 +598,7 @@ func E8(o Options) (*stats.Table, error) {
 		}
 		sys, err := config.Build(config.SystemConfig{
 			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper,
-			Lockstep: o.Lockstep, Workers: o.Workers,
+			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
 		})
 		if err != nil {
 			return nil, err
@@ -616,7 +628,7 @@ func A1(o Options) (*stats.Table, error) {
 	for _, ic := range []config.InterconnectKind{config.InterBus, config.InterCrossbar} {
 		sys, err := config.Build(config.SystemConfig{
 			Masters: 4, Memories: 4, MemKind: config.MemWrapper, Interconnect: ic,
-			Lockstep: o.Lockstep, Workers: o.Workers,
+			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
 		})
 		if err != nil {
 			return nil, err
@@ -701,7 +713,7 @@ func RunEV(events int, m Mode) (stats.RunResult, sim.SchedStats, error) {
 	delays := evDelays()
 	sys, err := config.Build(config.SystemConfig{
 		Masters: 1, Memories: 1, MemKind: config.MemWrapper,
-		WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers,
+		WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers, AllocPolicy: m.Alloc,
 	})
 	if err != nil {
 		return stats.RunResult{}, sim.SchedStats{}, err
@@ -812,6 +824,115 @@ func PAR(o Options) (*stats.Table, error) {
 		}
 		t.Add(fmt.Sprint(w), fmt.Sprint(r.Cycles), r.Wall.Round(time.Millisecond).String(),
 			stats.SI(r.CyclesPerSec()), fmt.Sprintf("%.2fx", r.CyclesPerSec()/base.CyclesPerSec()))
+	}
+	return t, nil
+}
+
+// ChurnResult is one policy's measurement on an allocator churn
+// workload (see RunChurn / E9).
+type ChurnResult struct {
+	Policy         alloc.Kind
+	Allocs, Failed uint64
+	Accesses       uint64  // total metered metadata accesses
+	EarlyPerAlloc  float64 // accesses/alloc over the first quarter of ops
+	LatePerAlloc   float64 // accesses/alloc over the last quarter
+	FreeBlocks     int
+	LargestFree    uint32
+}
+
+// Growth is the late/early accesses-per-alloc ratio: ~1 for policies
+// whose cost is independent of fragmentation, >1 when alloc latency
+// grows with the free-list state.
+func (r ChurnResult) Growth() float64 {
+	if r.EarlyPerAlloc == 0 {
+		return 0
+	}
+	return r.LatePerAlloc / r.EarlyPerAlloc
+}
+
+// RunChurn replays an allocator workload (workload.Churn) against a
+// heapsim.Heap under the given policy, at the allocator level — the
+// per-operation metered access deltas *are* the simulated latencies
+// HeapMem would charge (times WordLatency), so this measures the
+// policies' cost model without simulating a whole platform around it.
+func RunChurn(kind alloc.Kind, arenaBytes uint32, ops []workload.ChurnOp) (ChurnResult, error) {
+	h, err := heapsim.NewHeapPolicy(arenaBytes, kind)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	slots := map[int]uint32{}
+	quarter := len(ops) / 4
+	var earlyAcc, lateAcc, earlyN, lateN uint64
+	for i, op := range ops {
+		if op.Free {
+			if a, ok := slots[op.Slot]; ok {
+				h.Free(a)
+				delete(slots, op.Slot)
+			}
+			continue
+		}
+		before := h.Accesses
+		a, ok := h.Alloc(op.Size, op.Zero)
+		d := h.Accesses - before
+		switch {
+		case i < quarter:
+			earlyAcc += d
+			earlyN++
+		case i >= len(ops)-quarter:
+			lateAcc += d
+			lateN++
+		}
+		if ok {
+			slots[op.Slot] = a
+		}
+	}
+	res := ChurnResult{
+		Policy: kind, Allocs: h.Allocs, Failed: h.Failed, Accesses: h.Accesses,
+		FreeBlocks: h.FreeBlocks(), LargestFree: h.LargestFree(),
+	}
+	if earlyN > 0 {
+		res.EarlyPerAlloc = float64(earlyAcc) / float64(earlyN)
+	}
+	if lateN > 0 {
+		res.LatePerAlloc = float64(lateAcc) / float64(lateN)
+	}
+	return res, nil
+}
+
+// E9Arena returns the arena size E9 runs against; the comb workload is
+// sized to exhaust it and still spend most ops in steady churn.
+// Exported so BenchmarkAlloc replays the identical scenario.
+func E9Arena(o Options) uint32 { return uint32(o.pick(1<<18, 1<<14)) }
+
+// E9Workload is the adversarial churn E9 measures: the hole-comb
+// interleaving (see workload.ChurnComb).
+func E9Workload(o Options) []workload.ChurnOp {
+	return workload.Churn(workload.ChurnConfig{
+		Seed: 91, Ops: o.pick(24000, 2400), Pattern: workload.ChurnComb,
+		ArenaBytes: E9Arena(o),
+	})
+}
+
+// E9 sweeps the allocation policies on the adversarial churn workload,
+// reporting per-policy alloc latency (metered metadata accesses per
+// allocation, early vs late in the run), its growth, and the final
+// fragmentation. The acceptance claim: first-fit's (and best-fit's)
+// alloc latency grows with the free-list length, while buddy and
+// segregated stay near-flat on the same script.
+func E9(o Options) (*stats.Table, error) {
+	ops := E9Workload(o)
+	t := stats.NewTable(
+		fmt.Sprintf("E9: allocation policies under adversarial churn (%d ops, hole-comb)", len(ops)),
+		"policy", "allocs", "denied", "mgr accesses", "acc/alloc early", "acc/alloc late", "growth", "free blocks", "largest free")
+	for _, kind := range alloc.Kinds() {
+		r, err := RunChurn(kind, E9Arena(o), ops)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(kind.String(), fmt.Sprint(r.Allocs), fmt.Sprint(r.Failed), fmt.Sprint(r.Accesses),
+			fmt.Sprintf("%.1f", r.EarlyPerAlloc), fmt.Sprintf("%.1f", r.LatePerAlloc),
+			fmt.Sprintf("%.1fx", r.Growth()),
+			fmt.Sprint(r.FreeBlocks), fmt.Sprint(r.LargestFree))
 	}
 	return t, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/config"
 	"repro/internal/trace"
 
@@ -142,4 +143,38 @@ func TestA2BinaryFewerProbes(t *testing.T) {
 // fmtSscan wraps fmt.Sscan for float cells.
 func fmtSscan(s string, v *float64) (int, error) {
 	return fmt.Sscan(s, v)
+}
+
+// TestE9PolicyShape pins E9's acceptance claim on the quick workload:
+// first-fit's alloc latency (metered accesses per allocation) grows
+// from the early to the late quarter of the adversarial churn, while
+// buddy and segregated stay near-flat.
+func TestE9PolicyShape(t *testing.T) {
+	ops := E9Workload(quick)
+	results := map[alloc.Kind]ChurnResult{}
+	for _, kind := range alloc.Kinds() {
+		r, err := RunChurn(kind, E9Arena(quick), ops)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if r.Allocs == 0 {
+			t.Fatalf("%v: no allocations", kind)
+		}
+		results[kind] = r
+	}
+	if g := results[alloc.FirstFit].Growth(); g < 5 {
+		t.Errorf("first-fit growth %.1fx; want ≥ 5x on the adversarial churn", g)
+	}
+	for _, kind := range []alloc.Kind{alloc.Buddy, alloc.Segregated} {
+		if g := results[kind].Growth(); g > 2 {
+			t.Errorf("%v growth %.1fx; want near-flat (≤ 2x)", kind, g)
+		}
+		if results[kind].LatePerAlloc >= results[alloc.FirstFit].LatePerAlloc/4 {
+			t.Errorf("%v late cost %.1f vs first-fit %.1f; want far below",
+				kind, results[kind].LatePerAlloc, results[alloc.FirstFit].LatePerAlloc)
+		}
+	}
+	if _, err := E9(quick); err != nil {
+		t.Fatal(err)
+	}
 }

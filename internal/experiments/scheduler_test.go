@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/core"
@@ -447,5 +448,59 @@ func TestSchedDiffExperimentSuite(t *testing.T) {
 	}
 	if _, err := EV(Options{Quick: true}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSchedDiffAllocPolicy extends the matrix to non-default allocation
+// policies: a heapsim memory running its metadata allocator as a binary
+// buddy (manager accesses charged cycles — policy choice changes the
+// simulated timing, so it must be identical across every kernel mode)
+// and a wrapper whose virtual placement runs segregated fit (address
+// reuse must be scheduler- and worker-count-invariant). Each scenario
+// replays lockstep × event-driven × workers {1,4} and must match the
+// lockstep sequential reference bit for bit — stats, golden ISS/PE
+// output, cycle counts.
+func TestSchedDiffAllocPolicy(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 61, Events: 1200, Slots: 16, NumSM: 1,
+		MinDim: 4, MaxDim: 64, DType: bus.U32, Mix: trace.DefaultMix(), PtrArithPct: 20,
+	})
+	for _, tc := range []struct {
+		name   string
+		kind   config.MemKind
+		policy alloc.Kind
+	}{
+		{"heapsim-buddy", config.MemHeapSim, alloc.Buddy},
+		{"heapsim-segregated", config.MemHeapSim, alloc.Segregated},
+		{"wrapper-segregated", config.MemWrapper, alloc.Segregated},
+		{"wrapper-bestfit", config.MemWrapper, alloc.BestFit},
+	} {
+		runBoth(t, "alloc-"+tc.name, func(m Mode) (*config.System, error) {
+			sys, err := config.Build(config.SystemConfig{
+				Masters: 1, Memories: 1, MemKind: tc.kind, MemBytes: 1 << 22,
+				AllocPolicy: tc.policy, Lockstep: m.Lockstep, Workers: m.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// The policy must actually be in force, not silently defaulted.
+			switch tc.kind {
+			case config.MemHeapSim:
+				if got := sys.Heaps[0].Heap().Policy(); got != tc.policy {
+					return nil, fmt.Errorf("heap policy = %v, want %v", got, tc.policy)
+				}
+			case config.MemWrapper:
+				if got := sys.Wrappers[0].Table().PlacementPolicy(); got != tc.policy {
+					return nil, fmt.Errorf("placement policy = %v, want %v", got, tc.policy)
+				}
+			}
+			if err := sys.AddProcs(trace.ReplayTask(tr, trace.ModeDynamic, nil)); err != nil {
+				return nil, err
+			}
+			if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		})
 	}
 }

@@ -3,10 +3,22 @@ package heapsim
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/alloc"
 )
 
+// mustHeap builds a default-policy heap or fails the test.
+func mustHeap(t *testing.T, size uint32) *Heap {
+	t.Helper()
+	h, err := NewHeap(size)
+	if err != nil {
+		t.Fatalf("NewHeap(%d): %v", size, err)
+	}
+	return h
+}
+
 func TestHeapAllocFreeBasic(t *testing.T) {
-	h := NewHeap(1024)
+	h := mustHeap(t, 1024)
 	a, ok := h.Alloc(100, true)
 	if !ok {
 		t.Fatal("alloc failed")
@@ -36,7 +48,7 @@ func TestHeapAllocFreeBasic(t *testing.T) {
 }
 
 func TestHeapDoubleFreeRejected(t *testing.T) {
-	h := NewHeap(1024)
+	h := mustHeap(t, 1024)
 	a, _ := h.Alloc(32, false)
 	if !h.Free(a) {
 		t.Fatal("first free failed")
@@ -53,14 +65,14 @@ func TestHeapDoubleFreeRejected(t *testing.T) {
 }
 
 func TestHeapZeroSizeAlloc(t *testing.T) {
-	h := NewHeap(1024)
+	h := mustHeap(t, 1024)
 	if _, ok := h.Alloc(0, false); ok {
 		t.Error("zero-size alloc succeeded")
 	}
 }
 
 func TestHeapExhaustion(t *testing.T) {
-	h := NewHeap(256)
+	h := mustHeap(t, 256)
 	var got []uint32
 	for {
 		a, ok := h.Alloc(32, false)
@@ -90,7 +102,7 @@ func TestHeapExhaustion(t *testing.T) {
 }
 
 func TestHeapCoalescingBothSides(t *testing.T) {
-	h := NewHeap(4096)
+	h := mustHeap(t, 4096)
 	a, _ := h.Alloc(64, false)
 	b, _ := h.Alloc(64, false)
 	c, _ := h.Alloc(64, false)
@@ -115,7 +127,7 @@ func TestHeapAccessCountingGrowsWithFreeListLength(t *testing.T) {
 	// free-list walk. Fill the arena completely, free every other block
 	// so only small isolated holes remain, then request more than any
 	// hole holds: the walk must visit every hole before giving up.
-	h := NewHeap(1 << 16)
+	h := mustHeap(t, 1<<16)
 	var ptrs []uint32
 	for {
 		a, ok := h.Alloc(32, false)
@@ -150,7 +162,7 @@ func TestHeapAccessCountingGrowsWithFreeListLength(t *testing.T) {
 }
 
 func TestHeapZeroingCostsAccesses(t *testing.T) {
-	h := NewHeap(1 << 16)
+	h := mustHeap(t, 1<<16)
 	before := h.Accesses
 	h.Alloc(1024, false)
 	noZero := h.Accesses - before
@@ -165,7 +177,7 @@ func TestHeapZeroingCostsAccesses(t *testing.T) {
 func TestHeapPropertyRandomWorkload(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		h := NewHeap(1 << 16)
+		h := mustHeap(t, 1<<16)
 		type liveBlock struct{ addr, size uint32 }
 		var live []liveBlock
 		for op := 0; op < 3000; op++ {
@@ -200,9 +212,44 @@ func TestHeapPropertyRandomWorkload(t *testing.T) {
 	}
 }
 
+// TestHeapMinimumArena pins the undersized-arena contract: NewHeap used
+// to silently grow undersized arenas; it now errors below the policy's
+// documented minimum (metadata plus one minimum block) and works at
+// exactly the minimum for every policy.
 func TestHeapMinimumArena(t *testing.T) {
-	h := NewHeap(0) // clamped up to a single usable block
-	if _, ok := h.Alloc(8, false); !ok {
-		t.Error("minimum heap cannot satisfy a small allocation")
+	if _, err := NewHeap(0); err == nil {
+		t.Error("NewHeap(0) succeeded, want undersized-arena error")
+	}
+	for _, kind := range alloc.Kinds() {
+		min := alloc.MinArena(kind)
+		// Below the minimum (mind the round-down to a multiple of 8:
+		// min-1 may round back to a legal size only if min%8 != 0).
+		under := (min - 1) &^ 7
+		if under < min {
+			if _, err := NewHeapPolicy(under, kind); err == nil {
+				t.Errorf("%v: NewHeapPolicy(%d) succeeded, want error (min %d)", kind, under, min)
+			}
+		}
+		// At the minimum: construction succeeds and the single minimum
+		// block satisfies a small allocation.
+		h, err := NewHeapPolicy(min, kind)
+		if err != nil {
+			t.Fatalf("%v: NewHeapPolicy(%d): %v", kind, min, err)
+		}
+		a, ok := h.Alloc(8, false)
+		if !ok {
+			t.Fatalf("%v: minimum heap cannot satisfy an 8-byte allocation", kind)
+		}
+		if !h.Free(a) {
+			t.Fatalf("%v: free on minimum heap failed", kind)
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+	// The default policy's minimum is the historical layout's: head word
+	// plus one block of header + 8 payload bytes.
+	if got := alloc.MinArena(alloc.Default); got != 24 {
+		t.Errorf("MinArena(Default) = %d, want 24", got)
 	}
 }

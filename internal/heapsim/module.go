@@ -3,6 +3,7 @@ package heapsim
 import (
 	"encoding/binary"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/sim"
 )
@@ -11,8 +12,13 @@ import (
 type Config struct {
 	// Name labels the module.
 	Name string
-	// ArenaSize is the simulated heap size in bytes.
+	// ArenaSize is the simulated heap size in bytes. It must be at
+	// least alloc.MinArena(Policy); NewHeapMem errors otherwise.
 	ArenaSize uint32
+	// Policy selects the in-arena allocation policy (see
+	// internal/alloc). The zero value is first-fit, the historical
+	// allocator, bit-identical to the pre-policy module.
+	Policy alloc.Kind
 	// WordLatency is the simulated cycles charged per 32-bit allocator
 	// access (free-list walk steps, header updates, zeroing). Defaults
 	// to 1 when zero. This is the knob that makes the detailed model
@@ -79,17 +85,23 @@ type HeapMem struct {
 	stats Stats
 }
 
-// NewHeapMem creates the module and registers it with the kernel.
-func NewHeapMem(k *sim.Kernel, cfg Config, link *bus.Link) *HeapMem {
+// NewHeapMem creates the module and registers it with the kernel. It
+// errors when the arena is too small for the configured policy's
+// metadata plus one block (see alloc.MinArena).
+func NewHeapMem(k *sim.Kernel, cfg Config, link *bus.Link) (*HeapMem, error) {
 	if cfg.Name == "" {
 		cfg.Name = "heapsim"
 	}
 	if cfg.WordLatency == 0 {
 		cfg.WordLatency = 1
 	}
-	m := &HeapMem{cfg: cfg, link: link, heap: NewHeap(cfg.ArenaSize)}
+	heap, err := NewHeapPolicy(cfg.ArenaSize, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	m := &HeapMem{cfg: cfg, link: link, heap: heap}
 	k.Add(m)
-	return m
+	return m, nil
 }
 
 // Name implements sim.Module.

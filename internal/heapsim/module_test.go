@@ -3,6 +3,7 @@ package heapsim
 import (
 	"testing"
 
+	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/sim"
 )
@@ -18,7 +19,10 @@ func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
 	k := sim.New()
 	link := bus.NewLink(k, "t")
-	m := NewHeapMem(k, cfg, link)
+	m, err := NewHeapMem(k, cfg, link)
+	if err != nil {
+		t.Fatalf("NewHeapMem: %v", err)
+	}
 	return &harness{t: t, k: k, link: link, m: m}
 }
 
@@ -154,11 +158,49 @@ func TestHeapMemWordLatencyScalesCost(t *testing.T) {
 func TestHeapMemDefaults(t *testing.T) {
 	k := sim.New()
 	l := bus.NewLink(k, "l")
-	m := NewHeapMem(k, Config{ArenaSize: 1024}, l)
+	m, err := NewHeapMem(k, Config{ArenaSize: 1024}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Name() != "heapsim" {
 		t.Errorf("Name = %q", m.Name())
 	}
 	if m.Heap() == nil {
 		t.Error("Heap() nil")
+	}
+	if _, err := NewHeapMem(sim.New(), Config{ArenaSize: 8}, l); err == nil {
+		t.Error("undersized arena accepted")
+	}
+}
+
+// TestHeapMemPolicyConfig drives a non-default policy through the full
+// bus protocol: the module's alloc/free/read/write path is policy
+// agnostic, and the manager-access charging keeps working.
+func TestHeapMemPolicyConfig(t *testing.T) {
+	for _, kind := range []alloc.Kind{alloc.BestFit, alloc.Buddy, alloc.Segregated} {
+		h := newHarness(t, Config{ArenaSize: 1 << 14, Policy: kind})
+		if got := h.m.Heap().Policy(); got != kind {
+			t.Fatalf("policy = %v, want %v", got, kind)
+		}
+		resp, _ := h.do(bus.Request{Op: bus.OpAlloc, Dim: 16, DType: bus.U32})
+		if resp.Err != bus.OK {
+			t.Fatalf("%v alloc: %v", kind, resp.Err)
+		}
+		v := resp.VPtr
+		if resp, _ := h.do(bus.Request{Op: bus.OpWrite, VPtr: v, Data: 7, DType: bus.U32}); resp.Err != bus.OK {
+			t.Fatalf("%v write: %v", kind, resp.Err)
+		}
+		if resp, _ := h.do(bus.Request{Op: bus.OpRead, VPtr: v, DType: bus.U32}); resp.Data != 7 {
+			t.Fatalf("%v read = %d, want 7", kind, resp.Data)
+		}
+		if resp, _ := h.do(bus.Request{Op: bus.OpFree, VPtr: v}); resp.Err != bus.OK {
+			t.Fatalf("%v free: %v", kind, resp.Err)
+		}
+		if h.m.Stats().MgrAccesses == 0 {
+			t.Errorf("%v: no manager accesses metered", kind)
+		}
+		if err := h.m.Heap().CheckInvariants(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
 	}
 }

@@ -39,7 +39,10 @@ func runWithWrapper(t *testing.T, src string, cfg core.Config) (*CPU, *core.Wrap
 	}
 	k := sim.New()
 	link := bus.NewLink(k, "cpu-mem")
-	w := core.NewWrapper(k, cfg, link)
+	w, err := core.NewWrapper(k, cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cpu, err := New(k, Config{Prog: prog.Code, Link: link})
 	if err != nil {
 		t.Fatal(err)

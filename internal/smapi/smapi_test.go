@@ -23,7 +23,10 @@ func buildSystem(t *testing.T, tasks []Task, wcfg core.Config) (*sim.Kernel, []*
 		procs = append(procs, NewProc(k, "pe", i, l, task))
 	}
 	sl := bus.NewLink(k, "mem")
-	w := core.NewWrapper(k, wcfg, sl)
+	w, err := core.NewWrapper(k, wcfg, sl)
+	if err != nil {
+		panic(err)
+	}
 	bus.NewBus(k, "bus", mLinks, []*bus.Link{sl}, bus.NewRoundRobin())
 	return k, procs, w
 }
@@ -333,7 +336,9 @@ func TestRuntimeAssemblyRoundTrip(t *testing.T) {
 	}
 	k := sim.New()
 	link := bus.NewLink(k, "cpu-mem")
-	core.NewWrapper(k, core.Config{Delays: core.DefaultDelays()}, link)
+	if _, err := core.NewWrapper(k, core.Config{Delays: core.DefaultDelays()}, link); err != nil {
+		t.Fatal(err)
+	}
 	cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Link: link})
 	if err != nil {
 		t.Fatal(err)
@@ -390,7 +395,9 @@ func TestRuntimeAssemblyBurst(t *testing.T) {
 	}
 	k := sim.New()
 	link := bus.NewLink(k, "cpu-mem")
-	core.NewWrapper(k, core.Config{Delays: core.DefaultDelays()}, link)
+	if _, err := core.NewWrapper(k, core.Config{Delays: core.DefaultDelays()}, link); err != nil {
+		t.Fatal(err)
+	}
 	cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Link: link})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,115 @@
+package workload
+
+import "testing"
+
+// replayModel applies ops to an abstract slot model and checks script
+// validity: allocs target empty slots, frees target live ones.
+func replayModel(t *testing.T, ops []ChurnOp) (allocs, frees int) {
+	t.Helper()
+	live := map[int]bool{}
+	for i, op := range ops {
+		if op.Free {
+			if !live[op.Slot] {
+				t.Fatalf("op %d frees empty slot %d", i, op.Slot)
+			}
+			delete(live, op.Slot)
+			frees++
+		} else {
+			if live[op.Slot] {
+				t.Fatalf("op %d allocates into live slot %d", i, op.Slot)
+			}
+			if op.Size == 0 {
+				t.Fatalf("op %d allocates zero bytes", i)
+			}
+			live[op.Slot] = true
+			allocs++
+		}
+	}
+	return allocs, frees
+}
+
+func TestChurnDeterministicAndValid(t *testing.T) {
+	for _, pat := range []ChurnPattern{ChurnRandom, ChurnComb, ChurnSawtooth} {
+		cfg := ChurnConfig{Seed: 7, Ops: 3000, Slots: 32, ZeroPct: 25, Pattern: pat}
+		ops := Churn(cfg)
+		if len(ops) != cfg.Ops {
+			t.Fatalf("%v: %d ops, want %d", pat, len(ops), cfg.Ops)
+		}
+		allocs, _ := replayModel(t, ops)
+		if allocs == 0 {
+			t.Fatalf("%v: no allocations generated", pat)
+		}
+		again := Churn(cfg)
+		for i := range ops {
+			if ops[i] != again[i] {
+				t.Fatalf("%v: nondeterministic at op %d: %+v vs %+v", pat, i, ops[i], again[i])
+			}
+		}
+		other := Churn(ChurnConfig{Seed: 8, Ops: 3000, Slots: 32, ZeroPct: 25, Pattern: pat})
+		same := true
+		for i := range ops {
+			if ops[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same && pat == ChurnRandom {
+			t.Errorf("%v: different seeds produced identical scripts", pat)
+		}
+	}
+}
+
+// TestChurnRandomLifetimes: with a short MaxLife the live set stays
+// small relative to the slot bound; frees interleave with allocs
+// instead of batching at the end.
+func TestChurnRandomLifetimes(t *testing.T) {
+	ops := Churn(ChurnConfig{Seed: 3, Ops: 4000, Slots: 64, MinLife: 2, MaxLife: 6})
+	maxLive, live := 0, 0
+	for _, op := range ops {
+		if op.Free {
+			live--
+		} else {
+			live++
+		}
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+	if maxLive > 16 {
+		t.Errorf("short lifetimes kept %d slots live; expected a small working set", maxLive)
+	}
+}
+
+// TestChurnCombShape: the comb must keep its separators live to the
+// end (pinned holes), reach the steady medium-churn phase within the
+// op budget, and probe with mediums bigger than the holes it opened.
+func TestChurnCombShape(t *testing.T) {
+	cfg := ChurnConfig{Seed: 1, Ops: 2000, ArenaBytes: 1 << 13, Pattern: ChurnComb}
+	ops := Churn(cfg)
+	live, endLive, probes := 0, 0, 0
+	holeSize := uint32(1 << 31)
+	var mediumSize uint32
+	for _, op := range ops {
+		if op.Free {
+			live--
+		} else {
+			live++
+			if op.Slot == 0 {
+				mediumSize = op.Size
+				probes++
+			} else if op.Size < holeSize {
+				holeSize = op.Size
+			}
+		}
+		endLive = live
+	}
+	if endLive < 50 {
+		t.Errorf("comb live set ended at %d; expected pinned separators", endLive)
+	}
+	if probes < 100 {
+		t.Errorf("only %d medium probes; steady phase not reached within the op budget", probes)
+	}
+	if mediumSize <= holeSize {
+		t.Errorf("medium %d not bigger than hole %d", mediumSize, holeSize)
+	}
+}

@@ -345,6 +345,118 @@ func TestAllocCostUnderFragmentation(t *testing.T) {
 	}
 }
 
+// TestDoubleFreeAfterBackwardCoalesce pins the reviewed segregated
+// corruption: when a free is absorbed backward into its preceding free
+// neighbor, the absorbed block's stale header (size + magic) used to
+// survive inside the merged block, so replaying the same Free passed
+// validation and corrupted the class lists. Both free orders are
+// driven for every policy; the double free must report false and the
+// arena must stay walkable and leak-free.
+func TestDoubleFreeAfterBackwardCoalesce(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, loFirst := range []bool{true, false} {
+				p, _ := mustPolicy(t, kind, 1<<14)
+				initB, initN := p.FreeBytes(), p.FreeBlocks()
+				a, ok1 := p.Alloc(120, false)
+				b, ok2 := p.Alloc(120, false)
+				pin, ok3 := p.Alloc(120, false) // keeps the merge local
+				if !ok1 || !ok2 || !ok3 {
+					t.Fatal("setup allocs failed")
+				}
+				lo, hi := a, b
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				first, second := lo, hi // second absorbed backward
+				if !loFirst {
+					first, second = hi, lo // second absorbs forward
+				}
+				if !p.Free(first) || !p.Free(second) {
+					t.Fatal("setup frees failed")
+				}
+				if p.Free(second) {
+					t.Errorf("loFirst=%v: double free of coalesced block %#x accepted", loFirst, second)
+				}
+				if p.Free(first) {
+					t.Errorf("loFirst=%v: double free of absorbed block %#x accepted", loFirst, first)
+				}
+				if err := p.CheckInvariants(); err != nil {
+					t.Fatalf("loFirst=%v: %v", loFirst, err)
+				}
+				if !p.Free(pin) {
+					t.Fatal("pin free failed")
+				}
+				if p.FreeBytes() != initB || p.FreeBlocks() != initN {
+					t.Errorf("loFirst=%v: after drain %d bytes / %d blocks, want %d / %d",
+						loFirst, p.FreeBytes(), p.FreeBlocks(), initB, initN)
+				}
+			}
+		})
+	}
+}
+
+// TestBuddyDoubleFreeAfterDownwardMerge pins the reviewed buddy
+// corruption: when a free merges downward (the buddy is the lower
+// half), the freed block's own header — size and live magic — used to
+// survive inside the merged block, so a replayed Free pushed a free
+// block nested inside a larger free block. The generic coalesce test
+// cannot force this (its adjacent allocations are not buddy pairs), so
+// this one hunts an actual low/high buddy pair first.
+func TestBuddyDoubleFreeAfterDownwardMerge(t *testing.T) {
+	p, _ := mustPolicy(t, Buddy, 1<<14)
+	initB, initN := p.FreeBytes(), p.FreeBlocks()
+	// Allocating 128-byte blocks repeatedly must eventually split a
+	// 256-byte block: the low half is returned first, the pushed high
+	// half on the very next call — a true buddy pair, low allocated
+	// first.
+	var addrs []uint32
+	var lo, hi uint32
+	for i := 0; i < 32 && hi == 0; i++ {
+		a, ok := p.Alloc(120, false)
+		if !ok {
+			t.Fatal("setup alloc failed")
+		}
+		addrs = append(addrs, a)
+		if n := len(addrs); n >= 2 {
+			pb, cb := addrs[n-2]-hdrSize, a-hdrSize
+			if cb == pb+128 && (pb-buddyBase)%256 == 0 {
+				lo, hi = addrs[n-2], a
+			}
+		}
+	}
+	if hi == 0 {
+		t.Fatal("no low/high buddy pair found")
+	}
+	if !p.Free(lo) {
+		t.Fatal("free of low buddy failed")
+	}
+	if !p.Free(hi) { // merges downward: bud < blk
+		t.Fatal("free of high buddy failed")
+	}
+	if p.Free(hi) {
+		t.Error("double free after downward merge accepted")
+	}
+	if p.Free(lo) {
+		t.Error("double free of merged block accepted")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		if a == lo || a == hi {
+			continue
+		}
+		if !p.Free(a) {
+			t.Fatalf("drain free of %#x failed", a)
+		}
+	}
+	if p.FreeBytes() != initB || p.FreeBlocks() != initN {
+		t.Errorf("after drain: %d bytes / %d blocks, want %d / %d",
+			p.FreeBytes(), p.FreeBlocks(), initB, initN)
+	}
+}
+
 func TestSliceMemMetering(t *testing.T) {
 	m := NewSliceMem(64)
 	m.Wr32(0, 42)

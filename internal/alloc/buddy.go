@@ -174,6 +174,12 @@ func (p *buddy) Free(addr uint32) bool {
 			break // header coincidence, not a free block
 		}
 		if bud < blk {
+			// Merging downward: the merged header lands at bud, so blk's
+			// own header (size and live magic) would survive inside the
+			// free block and let a replayed Free(addr) re-validate,
+			// pushing a free block nested inside a larger one. Scrub the
+			// magic of the absorbed half.
+			m.Wr32(blk+4, 0)
 			blk = bud
 		}
 		s <<= 1
@@ -259,13 +265,21 @@ func (p *buddy) CheckInvariants() error {
 			uint64(off)+uint64(size) > uint64(p.end) {
 			return fmt.Errorf("bad block size %d at %#x", size, off)
 		}
-		if _, isFree := free[off]; !isFree && m.Peek32(off+4) != magic {
+		if _, isFree := free[off]; isFree {
+			delete(free, off)
+		} else if m.Peek32(off+4) != magic {
 			return fmt.Errorf("block at %#x neither free nor allocated", off)
 		}
 		off += size
 	}
 	if off != p.end {
 		return fmt.Errorf("blocks do not tile the region: ended at %#x of %#x", off, p.end)
+	}
+	// Every listed free block must have been a block start in the walk:
+	// a leftover is a free block nested inside another block (the
+	// signature of an accepted double free).
+	if len(free) != 0 {
+		return fmt.Errorf("%d listed free blocks not reached by the tiling walk", len(free))
 	}
 	return nil
 }

@@ -12,13 +12,15 @@ import (
 //   - calloc-zeroing really zeroes
 //   - frees of live payloads succeed; structurally invalid addresses
 //     (out of range, unaligned) are rejected
+//   - double frees — replays of retired payload addresses, including
+//     ones whose first free coalesced into a neighbor — are rejected
 //   - after freeing everything, the arena recovers exactly its initial
 //     free-space shape (zero leaks, full coalescing)
 //   - the policy's CheckInvariants walk stays clean throughout
 //
 // The script bytes decode to ops of 3 bytes each: the first selects
-// alloc (with zeroing bit) / free-live / free-invalid, the next two the
-// size or target. Deterministic seeds live under
+// alloc (with zeroing bit) / free-live / free-invalid or free-retired,
+// the next two the size or target. Deterministic seeds live under
 // testdata/fuzz/FuzzPolicies; CI runs a 30-second -fuzz smoke on top.
 //
 // Wild frees of addresses *inside* live payloads are deliberately not
@@ -50,6 +52,15 @@ func runFuzzScript(t *testing.T, kind Kind, data []byte) {
 	initBytes, initBlocks, initLargest := p.FreeBytes(), p.FreeBlocks(), p.LargestFree()
 
 	var live []fuzzBlock
+	var retired []uint32 // previously freed payload addresses
+	isLive := func(addr uint32) bool {
+		for _, b := range live {
+			if b.addr == addr {
+				return true
+			}
+		}
+		return false
+	}
 	fail := func(format string, args ...interface{}) {
 		t.Fatalf("%v: %s", kind, fmt.Sprintf(format, args...))
 	}
@@ -101,7 +112,23 @@ func runFuzzScript(t *testing.T, kind Kind, data []byte) {
 				fail("step %d: free of live payload %#x failed", step, b.addr)
 			}
 			live = append(live[:idx], live[idx+1:]...)
-		case 7: // structurally invalid free
+			retired = append(retired, b.addr)
+		case 7: // invalid free: structural, or a replayed retired pointer
+			if op&16 != 0 && len(retired) > 0 {
+				// Double free: replay a previously freed payload address.
+				// The block may since have been absorbed into a coalesced
+				// neighbor — exactly the case where a stale header could
+				// survive and defeat validation. Skip addresses a later
+				// alloc legitimately recycled as a live payload.
+				addr := retired[(int(lo)|int(hi)<<8)%len(retired)]
+				if isLive(addr) {
+					break
+				}
+				if p.Free(addr) {
+					fail("step %d: double free of retired payload %#x accepted", step, addr)
+				}
+				break
+			}
 			addr := uint32(lo) | uint32(hi)<<8
 			// Pick a deterministically invalid shape: unaligned, or out
 			// of range past the arena.

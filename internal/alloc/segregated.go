@@ -207,6 +207,11 @@ func (p *segregated) Free(addr uint32) bool {
 		p.unlink(prev, psize)
 		start = prev
 		s += psize
+		// The merged header is written at prev, so blk's own header
+		// words survive inside the free block. Scrub the magic, else a
+		// replayed Free(addr) re-validates against the stale header and
+		// corrupts the class lists (double free must report false).
+		m.Wr32(blk+4, 0)
 	}
 	p.insert(start, s)
 	if start+s < p.end {

@@ -460,7 +460,7 @@ func BenchmarkMicro_WrapperScalarOp(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	link := sys.MasterLinks[0]
+	link := sys.MasterPorts[0]
 	link.Issue(bus.Request{Op: bus.OpAlloc, SM: 0, Dim: 64, DType: bus.U32})
 	var vptr uint32
 	for {
@@ -535,4 +535,42 @@ func BenchmarkMicro_ISSInstructionRate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(sys.CPUs[0].Icount)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// --- E10 / MLP: split transactions & memory-level parallelism -------------
+
+// benchMLP runs the E10 copy workload; the "simcycles" metric records
+// the simulated cycle count (the quantity the depth sweep improves) so
+// the bench baseline tracks protocol efficiency alongside host speed.
+func benchMLP(b *testing.B, depth int, split bool, inter config.InterconnectKind) {
+	b.Helper()
+	elems := experiments.E10Elems(experiments.Options{})
+	var total, cycles uint64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMLP(experiments.E10Streams(), elems, inter,
+			experiments.Mode{Depth: depth, Split: split})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.Cycles
+		cycles = r.Cycles
+	}
+	reportSimSpeed(b, total)
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+func BenchmarkMLP(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		depth int
+		split bool
+		inter config.InterconnectKind
+	}{
+		{"bus/occupied/depth=1", 1, false, config.InterBus},
+		{"bus/split/depth=1", 1, true, config.InterBus},
+		{"bus/split/depth=4", 4, true, config.InterBus},
+		{"xbar/split/depth=4", 4, true, config.InterCrossbar},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchMLP(b, tc.depth, tc.split, tc.inter) })
+	}
 }

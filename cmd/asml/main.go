@@ -102,7 +102,7 @@ func run() error {
 		}, link); err != nil {
 			return err
 		}
-		cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Link: link})
+		cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Port: link})
 		if err != nil {
 			return err
 		}

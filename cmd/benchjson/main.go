@@ -1,11 +1,21 @@
 // Command benchjson converts `go test -bench` output into a stable JSON
 // array, so CI can track the performance trajectory without a Python
-// dependency on the runners.
+// dependency on the runners, and optionally gates a run against a
+// committed baseline.
 //
 // Usage:
 //
 //	go test -run xxx -bench 'E1|EV|PAR' -benchtime=1x . | benchjson -out BENCH_e1.json
 //	benchjson -in bench.txt
+//	benchjson -in bench.txt -out new.json \
+//	    -baseline BENCH_e1.json -check 'BenchmarkE1_' -max-regress 0.20
+//
+// With -baseline, every parsed row whose name starts with the -check
+// prefix and that also exists in the baseline with a simcycles/s metric
+// is compared: if the new simulation speed fell more than -max-regress
+// (a fraction; 0.20 = 20%) below the baseline's, benchjson exits 1 and
+// lists the regressions — the CI guard against performance decay of the
+// paper's headline metric.
 //
 // Each benchmark line becomes one object:
 //
@@ -27,6 +37,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // Row is one parsed benchmark result.
@@ -36,6 +47,11 @@ type Row struct {
 	Iterations    int64    `json:"iterations"`
 	NsPerOp       float64  `json:"ns_per_op"`
 	SimCyclesPerS *float64 `json:"simcycles_per_s"`
+	// SimCycles is the deterministic simulated-cycle count some
+	// benchmarks report (the MLP family). Unlike simcycles/s it is
+	// host-independent, so the baseline gate treats any growth beyond
+	// the band as a real protocol regression.
+	SimCycles *float64 `json:"simcycles,omitempty"`
 }
 
 // benchLine matches the standard testing output:
@@ -47,6 +63,10 @@ var benchLine = regexp.MustCompile(
 // simCycles extracts the suite's custom metric from the trailing
 // metrics, e.g. "   1.23e+07 simcycles/s".
 var simCycles = regexp.MustCompile(`([0-9.eE+-]+) simcycles/s`)
+
+// simCyclesAbs extracts the deterministic simulated-cycle metric, e.g.
+// "   19652 simcycles" (not followed by "/s").
+var simCyclesAbs = regexp.MustCompile(`([0-9.eE+-]+) simcycles(?:$|\s)`)
 
 // parse reads go-test bench output and returns one Row per result line.
 func parse(r io.Reader) ([]Row, error) {
@@ -77,23 +97,76 @@ func parse(r io.Reader) ([]Row, error) {
 			}
 			row.SimCyclesPerS = &v
 		}
+		if sm := simCyclesAbs.FindStringSubmatch(m[5]); sm != nil {
+			v, err := strconv.ParseFloat(sm[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: %w", sc.Text(), err)
+			}
+			row.SimCycles = &v
+		}
 		rows = append(rows, row)
 	}
 	return rows, sc.Err()
 }
 
+// regression is one gated benchmark that fell below the allowed band.
+type regression struct {
+	Name               string
+	Base, New, Allowed float64
+}
+
+// checkBaseline compares the gated rows of a new run against the
+// baseline rows by name, on two metrics. simcycles/s (higher is
+// better, host-dependent): a prefixed row regresses when it falls
+// below baseline × (1 − maxRegress). simcycles (lower is better,
+// deterministic — independent of host speed): ANY row carrying it
+// regresses when it grows above baseline × (1 + maxRegress),
+// regardless of prefix, because simulated-cycle growth is a protocol
+// regression no runner class can excuse. Rows missing from either
+// side, or without a metric, are skipped (new benchmarks must not
+// break the gate retroactively).
+func checkBaseline(baseline, rows []Row, prefix string, maxRegress float64) []regression {
+	base := make(map[string]Row, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var regs []regression
+	for _, r := range rows {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(r.Name, prefix) && r.SimCyclesPerS != nil && b.SimCyclesPerS != nil && *b.SimCyclesPerS > 0 {
+			allowed := *b.SimCyclesPerS * (1 - maxRegress)
+			if *r.SimCyclesPerS < allowed {
+				regs = append(regs, regression{Name: r.Name + " (simcycles/s)", Base: *b.SimCyclesPerS, New: *r.SimCyclesPerS, Allowed: allowed})
+			}
+		}
+		if r.SimCycles != nil && b.SimCycles != nil && *b.SimCycles > 0 {
+			allowed := *b.SimCycles * (1 + maxRegress)
+			if *r.SimCycles > allowed {
+				regs = append(regs, regression{Name: r.Name + " (simcycles)", Base: *b.SimCycles, New: *r.SimCycles, Allowed: allowed})
+			}
+		}
+	}
+	return regs
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON destination (default: stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty: no gating)")
+	check := flag.String("check", "BenchmarkE1_", "benchmark-name prefix the baseline gate applies to")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional simcycles/s drop vs the baseline")
 	flag.Parse()
 
-	if err := run(*in, *out); err != nil {
+	if err := run(*in, *out, *baseline, *check, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string) error {
+func run(in, out, baseline, check string, maxRegress float64) error {
 	var r io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -116,8 +189,38 @@ func run(in, out string) error {
 	}
 	buf = append(buf, '\n')
 	if out == "" {
-		_, err = os.Stdout.Write(buf)
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(out, buf, 0o644)
+	if baseline == "" {
+		return nil
+	}
+	bbuf, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	var baseRows []Row
+	if err := json.Unmarshal(bbuf, &baseRows); err != nil {
+		return fmt.Errorf("baseline %s: %w", baseline, err)
+	}
+	regs := checkBaseline(baseRows, rows, check, maxRegress)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline gate passed (%s*, max regress %.0f%%)\n", check, 100*maxRegress)
+		return nil
+	}
+	for _, g := range regs {
+		// The metric is in the row name suffix; the bound's direction
+		// depends on it (simcycles/s: higher is better, simcycles:
+		// lower is better).
+		bound := "≥"
+		if g.Allowed > g.Base {
+			bound = "≤"
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f vs baseline %.0f (allowed %s %.0f)\n",
+			g.Name, g.New, g.Base, bound, g.Allowed)
+	}
+	return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", len(regs), 100*maxRegress, baseline)
 }

@@ -54,3 +54,87 @@ func TestParseEmpty(t *testing.T) {
 		t.Fatalf("rows = %d, want 0", len(rows))
 	}
 }
+
+func fp(v float64) *float64 { return &v }
+
+func TestCheckBaseline(t *testing.T) {
+	baseline := []Row{
+		{Name: "BenchmarkE1_FourISS_OneMem", SimCyclesPerS: fp(1000)},
+		{Name: "BenchmarkE1_FourISS_FourMem", SimCyclesPerS: fp(2000)},
+		{Name: "BenchmarkEV_EventDriven", SimCyclesPerS: fp(5000)},
+		{Name: "BenchmarkAlloc/policy=buddy"}, // no metric
+	}
+	rows := []Row{
+		{Name: "BenchmarkE1_FourISS_OneMem", SimCyclesPerS: fp(850)},   // -15%: within band
+		{Name: "BenchmarkE1_FourISS_FourMem", SimCyclesPerS: fp(1500)}, // -25%: regression
+		{Name: "BenchmarkEV_EventDriven", SimCyclesPerS: fp(100)},      // outside prefix
+		{Name: "BenchmarkE1_NewBench", SimCyclesPerS: fp(1)},           // not in baseline
+		{Name: "BenchmarkAlloc/policy=buddy"},
+	}
+	regs := checkBaseline(baseline, rows, "BenchmarkE1_", 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the FourMem row", regs)
+	}
+	if regs[0].Name != "BenchmarkE1_FourISS_FourMem (simcycles/s)" || regs[0].Base != 2000 || regs[0].New != 1500 {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	// Widening the band clears it.
+	if regs := checkBaseline(baseline, rows, "BenchmarkE1_", 0.30); len(regs) != 0 {
+		t.Fatalf("30%% band should pass, got %+v", regs)
+	}
+	// Improvements never trip the gate.
+	if regs := checkBaseline(baseline, []Row{{Name: "BenchmarkE1_FourISS_OneMem", SimCyclesPerS: fp(9000)}}, "BenchmarkE1_", 0.20); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+func TestCheckBaselineSimCycles(t *testing.T) {
+	// The deterministic simulated-cycle metric gates every row that
+	// carries it, independent of the name prefix and of host speed.
+	baseline := []Row{
+		{Name: "BenchmarkMLP/bus/split/depth=4", SimCycles: fp(19652), SimCyclesPerS: fp(1000)},
+		{Name: "BenchmarkMLP/xbar/split/depth=4", SimCycles: fp(4784)},
+	}
+	rows := []Row{
+		// Host 10x slower (simcycles/s outside prefix, ignored) but the
+		// protocol got worse: +30% simulated cycles → regression.
+		{Name: "BenchmarkMLP/bus/split/depth=4", SimCycles: fp(25548), SimCyclesPerS: fp(100)},
+		// Within the band: fine.
+		{Name: "BenchmarkMLP/xbar/split/depth=4", SimCycles: fp(5000)},
+	}
+	regs := checkBaseline(baseline, rows, "BenchmarkE1_", 0.20)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkMLP/bus/split/depth=4 (simcycles)" {
+		t.Fatalf("regressions = %+v, want exactly the bus simcycles row", regs)
+	}
+	// Fewer simulated cycles is an improvement, never a regression.
+	better := []Row{{Name: "BenchmarkMLP/xbar/split/depth=4", SimCycles: fp(1000)}}
+	if regs := checkBaseline(baseline, better, "BenchmarkE1_", 0.20); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+func TestParseSimCyclesMetric(t *testing.T) {
+	const line = `BenchmarkMLP/bus/split/depth=4 	       3	   1290514 ns/op	     19652 simcycles	  15232664 simcycles/s
+`
+	rows, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].SimCycles == nil || *rows[0].SimCycles != 19652 {
+		t.Fatalf("SimCycles = %v", rows[0].SimCycles)
+	}
+	if rows[0].SimCyclesPerS == nil || *rows[0].SimCyclesPerS != 15232664 {
+		t.Fatalf("SimCyclesPerS = %v", rows[0].SimCyclesPerS)
+	}
+	// A row with only the rate metric must not grow a SimCycles field.
+	rate, err := parse(strings.NewReader("BenchmarkE1_X \t 1\t 10 ns/op\t 99 simcycles/s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate[0].SimCycles != nil {
+		t.Fatalf("rate-only row got SimCycles %v", *rate[0].SimCycles)
+	}
+}

@@ -22,10 +22,12 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,ev,par,a1,a2) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,e10,ev,par,a1,a2) or 'all'")
 	lockstep := flag.Bool("lockstep", false, "pin every measured kernel to lockstep stepping (EV always compares both)")
 	workers := flag.Int("workers", 1, "tick-phase parallelism for every measured kernel (0 = GOMAXPROCS, 1 = sequential; PAR sweeps its own counts)")
 	allocFlag := flag.String("alloc", "default", "allocation policy for every measured memory: default | first-fit | best-fit | buddy | segregated (E9 sweeps all)")
+	depth := flag.Int("depth", 1, "per-port outstanding-transaction depth for every measured system (E10 sweeps its own depths)")
+	split := flag.Bool("split", false, "run every measured interconnect in split-transaction mode (E10 sweeps both protocols)")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -36,7 +38,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers, Alloc: policy}
+	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers, Alloc: policy, Depth: *depth, Split: *split}
 
 	// Run header: the tables below are attributable to this scheduler
 	// configuration.
@@ -44,8 +46,12 @@ func main() {
 	if *lockstep {
 		mode = "lockstep"
 	}
-	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s (host GOMAXPROCS %d)\n\n",
-		mode, *workers, policy, runtime.GOMAXPROCS(0))
+	proto := "occupied"
+	if *split {
+		proto = "split"
+	}
+	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s × port depth=%d × %s protocol (host GOMAXPROCS %d)\n\n",
+		mode, *workers, policy, *depth, proto, runtime.GOMAXPROCS(0))
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(strings.ToLower(id))] = true
@@ -76,6 +82,7 @@ func main() {
 		{"e7", one(experiments.E7)},
 		{"e8", one(experiments.E8)},
 		{"e9", one(experiments.E9)},
+		{"e10", one(experiments.E10)},
 		{"ev", one(experiments.EV)},
 		{"par", one(experiments.PAR)},
 		{"a1", one(experiments.A1)},

@@ -51,6 +51,9 @@ func run() error {
 		lockstep = flag.Bool("lockstep", false, "pin the kernel to lockstep stepping (default: event-driven idle-skip)")
 		workers  = flag.Int("workers", 1, "tick-phase parallelism: modules sharded across this many concurrent workers (0 = GOMAXPROCS, 1 = sequential)")
 		policy   = flag.String("alloc", "default", "allocation policy: default | first-fit | best-fit | buddy | segregated (heapsim metadata allocator / wrapper virtual placement)")
+		depth    = flag.Int("depth", 1, "per-port outstanding-transaction depth (credit pool; 1 = classic single-outstanding)")
+		split    = flag.Bool("split", false, "split-transaction interconnect: address phase releases the bus, responses re-arbitrate")
+		ooo      = flag.Bool("ooo", false, "deliver completions out of order (default: in issue order)")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
 	)
 	flag.Parse()
@@ -95,6 +98,7 @@ func run() error {
 	sys, err := config.Build(config.SystemConfig{
 		Masters: masters, Memories: *memories, MemKind: kind, Interconnect: ic,
 		AllocPolicy: allocKind, Lockstep: *lockstep, Workers: *workers,
+		OutstandingDepth: *depth, SplitBus: *split, OutOfOrder: *ooo,
 	})
 	if err != nil {
 		return err
@@ -106,8 +110,16 @@ func run() error {
 	if *lockstep {
 		schedMode = "lockstep"
 	}
-	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
-		masters, ic, *memories, kind, allocKind, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
+	proto := "occupied"
+	if *split {
+		proto = "split"
+	}
+	order := "in-order"
+	if *ooo {
+		order = "out-of-order"
+	}
+	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); %s protocol × depth=%d × %s; scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
+		masters, ic, *memories, kind, allocKind, proto, *depth, order, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
 
 	var doneFn func() bool
 	switch {

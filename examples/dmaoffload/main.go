@@ -119,7 +119,7 @@ func run(useDMA bool) (cycles uint64, engStats dma.Stats) {
 	if err := sys.AddProcs(producer, consumer); err != nil {
 		log.Fatal(err)
 	}
-	eng = dma.New(sys.Kernel, "dma0", sys.MasterLinks[sys.NextFreeMaster()])
+	eng = dma.New(sys.Kernel, "dma0", sys.MasterPorts[sys.NextFreeMaster()])
 	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 50_000_000); err != nil {
 		log.Fatal(err)
 	}

@@ -105,7 +105,7 @@ func TestFullStackHeterogeneousMasters(t *testing.T) {
 	if err := sys.AddCPUs(prog.Code); err != nil {
 		t.Fatal(err)
 	}
-	eng = dma.New(sys.Kernel, "dma0", sys.MasterLinks[sys.NextFreeMaster()])
+	eng = dma.New(sys.Kernel, "dma0", sys.MasterPorts[sys.NextFreeMaster()])
 
 	done := func() bool { return sys.ProcsDone() && sys.CPUsHalted() && eng.Idle() }
 	if _, err := sys.Kernel.RunUntil(done, 10_000_000); err != nil {

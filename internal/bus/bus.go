@@ -14,6 +14,9 @@ type Stats struct {
 	PerMaster    []uint64 // grants per master
 	PerSlave     []uint64 // transactions per slave
 	NoSlave      uint64   // requests addressed to a nonexistent sm_addr
+	// RespGrants counts response-phase grants per slave (split mode only:
+	// the re-arbitration of the return path).
+	RespGrants []uint64
 }
 
 type busState uint8
@@ -25,47 +28,94 @@ const (
 	busRespXfer
 )
 
+// splitState is the split-transaction engine's channel state: the single
+// shared channel is either free or draining a request/response transfer.
+// There is no busWaitSlave — releasing the channel during slave
+// processing is the point of the split protocol.
+type splitState uint8
+
+const (
+	sbIdle splitState = iota
+	sbReqXfer
+	sbRespXfer
+)
+
+// pendSrc remembers where a request forwarded into a slave port came
+// from, so the response phase can route the completion back.
+type pendSrc struct {
+	master int
+	tag    Tag
+}
+
 // Bus is the shared interconnect: all masters compete for a single
-// transaction channel, one transaction occupies the bus end-to-end
-// (request words, slave wait, response words). This is the paper's
-// INTERCONNECT box: ISSs on one side, shared memories on the other.
+// transaction channel. It runs one of two engines:
 //
-// Timing model: moving one word costs WordCycles bus cycles (default 1).
-// While the slave processes, the bus is held (a simple, common on-chip
-// bus without split transactions — the conservative choice for the
-// paper's era; the Crossbar relaxes this for the A1 ablation).
+// Occupied (Split=false, the default): one transaction holds the bus
+// end-to-end — request words, slave wait, response words. This is the
+// paper's INTERCONNECT box, a simple on-chip bus without split
+// transactions, and it is cycle-identical to the pre-port protocol.
+//
+// Split (Split=true): the address phase occupies the bus only for the
+// request words, then hands the request to the slave port's queue and
+// releases the bus; while slaves process, other address phases proceed.
+// Completed transactions re-arbitrate for the bus (RespArb) and occupy
+// it only for the response words. Transactions to different slaves — and
+// pipelined transactions to the same slave, up to the port depth —
+// overlap in time.
 type Bus struct {
 	name    string
-	masters []*Link
-	slaves  []*Link
+	masters []*Port
+	slaves  []*Port
 	arb     Arbiter
 
 	// WordCycles is the bus occupancy per transferred word. Configure
 	// before simulation starts; 0 is treated as 1.
 	WordCycles uint32
 
+	// Split selects the split-transaction engine. Configure before
+	// simulation starts.
+	Split bool
+	// RespArb arbitrates the response phase among slaves with deliverable
+	// completions (split mode only). Nil selects round-robin. Configure
+	// before simulation starts.
+	RespArb Arbiter
+
+	// occupied-engine state
 	state     busState
 	cur       Request
 	curMaster int
+	curTag    Tag
 	counter   uint32
+
+	// split-engine state
+	sstate   splitState
+	scounter uint32
+	sreq     Request
+	sreqFrom pendSrc
+	pend     []map[Tag]pendSrc // per slave: slave-port tag → origin
 
 	stats Stats
 }
 
-// NewBus creates a shared bus connecting the given master-side links to
-// the given slave-side links, arbitrated by arb. Slave i serves requests
+// NewBus creates a shared bus connecting the given master-side ports to
+// the given slave-side ports, arbitrated by arb. Slave i serves requests
 // whose SM field equals i. The bus registers itself with the kernel.
-func NewBus(k *sim.Kernel, name string, masters, slaves []*Link, arb Arbiter) *Bus {
+func NewBus(k *sim.Kernel, name string, masters, slaves []*Port, arb Arbiter) *Bus {
 	b := &Bus{
 		name:       name,
 		masters:    masters,
 		slaves:     slaves,
 		arb:        arb,
 		WordCycles: 1,
+		pend:       make([]map[Tag]pendSrc, len(slaves)),
 		stats: Stats{
-			PerMaster: make([]uint64, len(masters)),
-			PerSlave:  make([]uint64, len(slaves)),
+			PerMaster:  make([]uint64, len(masters)),
+			PerSlave:   make([]uint64, len(slaves)),
+			RespGrants: make([]uint64, len(slaves)),
 		},
+	}
+	for i := range b.pend {
+		b.pend[i] = make(map[Tag]pendSrc)
 	}
 	k.Add(b)
 	return b
@@ -79,6 +129,7 @@ func (b *Bus) Stats() Stats {
 	s := b.stats
 	s.PerMaster = append([]uint64(nil), b.stats.PerMaster...)
 	s.PerSlave = append([]uint64(nil), b.stats.PerSlave...)
+	s.RespGrants = append([]uint64(nil), b.stats.RespGrants...)
 	return s
 }
 
@@ -90,12 +141,22 @@ func (b *Bus) wordCycles(words uint32) uint32 {
 	return words * wc
 }
 
+func (b *Bus) respArb() Arbiter {
+	if b.RespArb == nil {
+		b.RespArb = NewRoundRobin()
+	}
+	return b.RespArb
+}
+
 // NextWake implements sim.Sleeper. Idle with no demand, or parked on a
 // slave's response, the bus can only be woken by a signal commit
-// (request issue resp. completion). The two transfer states are pure
+// (request issue resp. completion). The transfer states are pure
 // word-counter countdowns whose next observable action is `counter-1`
 // cycles away.
 func (b *Bus) NextWake(now uint64) uint64 {
+	if b.Split {
+		return b.nextWakeSplit(now)
+	}
 	switch b.state {
 	case busIdle:
 		for _, m := range b.masters {
@@ -114,11 +175,36 @@ func (b *Bus) NextWake(now uint64) uint64 {
 	}
 }
 
-// ConcurrentTick implements sim.Concurrent: the bus owns its FSM, its
-// arbiter and its stats; on the links it only uses the slave side of
-// master links (take/peek) and the master side of slave links
-// (issue/consume), which the link protocol makes exclusive to it within
-// any cycle. Safe to tick concurrently with CPUs and memories.
+func (b *Bus) nextWakeSplit(now uint64) uint64 {
+	if b.sstate != sbIdle {
+		if b.scounter <= 1 {
+			return now
+		}
+		return now + uint64(b.scounter) - 1
+	}
+	for _, s := range b.slaves {
+		if s.HasCompletion() {
+			return now
+		}
+	}
+	for _, m := range b.masters {
+		req, ok := m.Peek()
+		if !ok {
+			continue
+		}
+		if req.SM < 0 || req.SM >= len(b.slaves) || b.slaves[req.SM].CanAccept() {
+			return now
+		}
+	}
+	return sim.WakeNever
+}
+
+// ConcurrentTick implements sim.Concurrent: the bus owns its FSMs, its
+// arbiters, its pending-transaction tables and its stats; on the ports
+// it only uses the slave side of master ports (peek/pop/complete) and
+// the master side of slave ports (issue/drain), which the port protocol
+// makes exclusive to it within any cycle. Safe to tick concurrently with
+// CPUs and memories.
 func (b *Bus) ConcurrentTick() bool { return true }
 
 // TickWeight implements sim.Weighted: mostly demand polling and word
@@ -126,8 +212,18 @@ func (b *Bus) ConcurrentTick() bool { return true }
 func (b *Bus) TickWeight() int { return 2 }
 
 // Skip implements sim.Sleeper: every skipped cycle in a non-idle state
-// is a busy cycle; in the transfer states it is also a counter tick.
+// is a busy cycle; in the transfer states it is also a counter tick. A
+// split bus parked between transfers is *released*, not busy — that
+// difference is the protocol's whole advantage and shows up directly in
+// BusyCycles.
 func (b *Bus) Skip(n uint64) {
+	if b.Split {
+		if b.sstate != sbIdle {
+			b.scounter -= uint32(n)
+			b.stats.BusyCycles += n
+		}
+		return
+	}
 	switch b.state {
 	case busIdle:
 	case busWaitSlave:
@@ -138,8 +234,18 @@ func (b *Bus) Skip(n uint64) {
 	}
 }
 
-// Tick implements sim.Module: a four-state transaction engine.
+// Tick implements sim.Module.
 func (b *Bus) Tick(cycle uint64) {
+	if b.Split {
+		b.tickSplit()
+		return
+	}
+	b.tickOccupied()
+}
+
+// tickOccupied is the classic four-state engine: one transaction holds
+// the bus end-to-end. Cycle-identical to the pre-port protocol.
+func (b *Bus) tickOccupied() {
 	switch b.state {
 	case busIdle:
 		var pending []int
@@ -152,13 +258,15 @@ func (b *Bus) Tick(cycle uint64) {
 			return
 		}
 		gi := b.arb.Pick(pending)
-		req, ok := b.masters[gi].TakeRequest()
+		tx, ok := b.masters[gi].Pop()
 		if !ok {
 			return // unreachable if Pending was true, but stay safe
 		}
+		req := tx.Req
 		req.Master = gi
 		b.cur = req
 		b.curMaster = gi
+		b.curTag = tx.Tag
 		b.stats.Transactions++
 		b.stats.PerMaster[gi]++
 		b.stats.PerOp[req.Op]++
@@ -177,24 +285,26 @@ func (b *Bus) Tick(cycle uint64) {
 		}
 		if b.cur.SM < 0 || b.cur.SM >= len(b.slaves) {
 			b.stats.NoSlave++
-			b.masters[b.curMaster].Complete(Response{Err: ErrNoSlave})
+			b.masters[b.curMaster].Complete(b.curTag, Response{Err: ErrNoSlave})
 			b.state = busIdle
 			return
 		}
 		b.stats.PerSlave[b.cur.SM]++
+		// Single outstanding end-to-end: curMaster/curTag already route
+		// the response, so the slave-port tag needs no pending table.
 		b.slaves[b.cur.SM].Issue(b.cur)
 		b.state = busWaitSlave
 
 	case busWaitSlave:
 		b.stats.BusyCycles++
-		resp, ok := b.slaves[b.cur.SM].Response()
+		c, ok := b.slaves[b.cur.SM].TakeCompletion()
 		if !ok {
 			return
 		}
 		b.cur = Request{SM: b.cur.SM} // keep routing info, drop payload
-		b.stats.Words += uint64(resp.WireWords())
-		b.counter = b.wordCycles(resp.WireWords())
-		b.masters[b.curMaster].Complete(resp)
+		b.stats.Words += uint64(c.Resp.WireWords())
+		b.counter = b.wordCycles(c.Resp.WireWords())
+		b.masters[b.curMaster].Complete(b.curTag, c.Resp)
 		b.state = busRespXfer
 
 	case busRespXfer:
@@ -209,4 +319,114 @@ func (b *Bus) Tick(cycle uint64) {
 			b.state = busIdle
 		}
 	}
+}
+
+// tickSplit is the split-transaction engine. Response phases have
+// priority over address phases: a finished transaction ties up a slave
+// queue slot (and a master credit) until its response drains, so
+// returning results first maximizes the concurrency both ends can
+// sustain.
+func (b *Bus) tickSplit() {
+	switch b.sstate {
+	case sbIdle:
+		if b.startResponse() {
+			return
+		}
+		b.startRequest()
+
+	case sbReqXfer:
+		b.stats.BusyCycles++
+		if b.scounter > 0 {
+			b.scounter--
+		}
+		if b.scounter > 0 {
+			return
+		}
+		if b.sreq.SM < 0 || b.sreq.SM >= len(b.slaves) {
+			b.stats.NoSlave++
+			b.masters[b.sreqFrom.master].Complete(b.sreqFrom.tag, Response{Err: ErrNoSlave})
+		} else {
+			b.stats.PerSlave[b.sreq.SM]++
+			stag := b.slaves[b.sreq.SM].Issue(b.sreq)
+			b.pend[b.sreq.SM][stag] = b.sreqFrom
+		}
+		b.sreq = Request{}
+		b.sstate = sbIdle
+
+	case sbRespXfer:
+		b.stats.BusyCycles++
+		if b.scounter > 0 {
+			b.scounter--
+		}
+		if b.scounter == 0 {
+			b.sstate = sbIdle
+		}
+	}
+}
+
+// startResponse arbitrates the response phase among slaves with a
+// deliverable completion and, on a grant, routes the completion back to
+// its master and occupies the bus for the response words.
+func (b *Bus) startResponse() bool {
+	var cands []int
+	for si, s := range b.slaves {
+		if _, ok := s.PeekCompletion(); ok {
+			cands = append(cands, si)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	si := b.respArb().Pick(cands)
+	c, ok := b.slaves[si].TakeCompletion()
+	if !ok {
+		return false // unreachable if HasCompletion was true
+	}
+	src := b.pend[si][c.Tag]
+	delete(b.pend[si], c.Tag)
+	b.stats.RespGrants[si]++
+	b.stats.Words += uint64(c.Resp.WireWords())
+	b.masters[src.master].Complete(src.tag, c.Resp)
+	b.scounter = b.wordCycles(c.Resp.WireWords())
+	b.sstate = sbRespXfer
+	b.stats.BusyCycles++
+	return true
+}
+
+// startRequest arbitrates the address phase among masters whose head
+// request can actually be accepted (slave queue credit free, or a
+// nonexistent slave — rejected after the transfer, as the occupied
+// engine does) and, on a grant, pops the request and occupies the bus
+// for its words.
+func (b *Bus) startRequest() {
+	var cands []int
+	for mi, m := range b.masters {
+		req, ok := m.Peek()
+		if !ok {
+			continue
+		}
+		if req.SM >= 0 && req.SM < len(b.slaves) && !b.slaves[req.SM].CanAccept() {
+			continue
+		}
+		cands = append(cands, mi)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	gi := b.arb.Pick(cands)
+	tx, ok := b.masters[gi].Pop()
+	if !ok {
+		return
+	}
+	req := tx.Req
+	req.Master = gi
+	b.sreq = req
+	b.sreqFrom = pendSrc{master: gi, tag: tx.Tag}
+	b.stats.Transactions++
+	b.stats.PerMaster[gi]++
+	b.stats.PerOp[req.Op]++
+	b.stats.Words += uint64(req.WireWords())
+	b.scounter = b.wordCycles(req.WireWords())
+	b.sstate = sbReqXfer
+	b.stats.BusyCycles++
 }

@@ -11,7 +11,7 @@ import (
 func buildBusSystem(t *testing.T, nMasters, nSlaves, slaveLatency int, reqsFor func(m int) []Request) (*sim.Kernel, *Bus, []*scriptMaster, []*echoSlave) {
 	t.Helper()
 	k := sim.New()
-	var mLinks, sLinks []*Link
+	var mLinks, sLinks []*Port
 	var masters []*scriptMaster
 	var slaves []*echoSlave
 	for i := 0; i < nMasters; i++ {
@@ -170,7 +170,7 @@ func TestCrossbarParallelism(t *testing.T) {
 	// The same two-master/two-slave workload on a crossbar overlaps; the
 	// completion gap collapses compared to the shared bus.
 	k := sim.New()
-	var mLinks, sLinks []*Link
+	var mLinks, sLinks []*Port
 	var masters []*scriptMaster
 	for i := 0; i < 2; i++ {
 		l := NewLink(k, "m")
@@ -205,7 +205,7 @@ func TestCrossbarNoSlave(t *testing.T) {
 	sm := &scriptMaster{name: "m", link: ml, reqs: []Request{{Op: OpRead, SM: 5}}}
 	k.Add(sm)
 	k.Add(&echoSlave{name: "s", link: sl})
-	NewCrossbar(k, "xbar", []*Link{ml}, []*Link{sl}, func() Arbiter { return NewFixedPriority() })
+	NewCrossbar(k, "xbar", []*Port{ml}, []*Port{sl}, func() Arbiter { return NewFixedPriority() })
 	if _, err := k.RunUntil(sm.Done, 100); err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestCrossbarNoSlave(t *testing.T) {
 func TestCrossbarContentionSameSlave(t *testing.T) {
 	// Two masters to the same slave must still serialize on a crossbar.
 	k := sim.New()
-	var mLinks []*Link
+	var mLinks []*Port
 	var masters []*scriptMaster
 	for i := 0; i < 2; i++ {
 		l := NewLink(k, "m")
@@ -228,7 +228,7 @@ func TestCrossbarContentionSameSlave(t *testing.T) {
 	}
 	sl := NewLink(k, "s")
 	k.Add(&echoSlave{name: "s", link: sl, latency: 5})
-	NewCrossbar(k, "xbar", mLinks, []*Link{sl}, func() Arbiter { return NewRoundRobin() })
+	NewCrossbar(k, "xbar", mLinks, []*Port{sl}, func() Arbiter { return NewRoundRobin() })
 	if _, err := k.RunUntil(allDone(masters), 1000); err != nil {
 		t.Fatal(err)
 	}

@@ -5,35 +5,63 @@ import (
 )
 
 // Crossbar is a full crossbar interconnect: each slave has an independent
-// transaction channel, so transactions to different memories proceed in
+// transaction lane, so transactions to different memories proceed in
 // parallel. Masters competing for the same slave are arbitrated per
-// slave. Used by the A1 ablation to quantify how much of the multi-memory
-// slowdown of experiment E1 is interconnect serialization versus kernel
-// per-module overhead.
+// lane.
+//
+// Occupied mode (Split=false, the default) runs the same four-state
+// end-to-end engine as the shared Bus on every lane and is
+// cycle-identical to the pre-port protocol. Even so, a master with a
+// multi-outstanding port already overlaps lanes: once lane A pops its
+// head request, the next queued request becomes poppable by lane B in
+// the same cycle.
+//
+// Split mode decomposes each lane into two concurrently running engines:
+// a request engine that transfers address phases into the slave port's
+// queue (per-lane queueing up to the port depth), and a response engine
+// that drains slave completions back to the masters. A lane can accept
+// request N+1 while its slave processes request N and while response N−1
+// is still in flight — pipelined transactions to the same memory.
 type Crossbar struct {
 	name    string
-	masters []*Link
-	slaves  []*Link
+	masters []*Port
+	slaves  []*Port
 	arbs    []Arbiter
 
 	// WordCycles is the per-word occupancy of each crossbar lane.
 	WordCycles uint32
+
+	// Split selects the pipelined two-engine lanes. Configure before
+	// simulation starts.
+	Split bool
 
 	lanes []xbarLane
 	stats Stats
 }
 
 type xbarLane struct {
+	// occupied-engine state
 	state     busState
 	cur       Request
 	curMaster int
+	curTag    Tag
 	counter   uint32
+
+	// split-engine state: independent request and response channels.
+	rqState   splitState // sbIdle or sbReqXfer
+	rqCounter uint32
+	rqCur     Request
+	rqFrom    pendSrc
+	rsState   splitState // sbIdle or sbRespXfer
+	rsCounter uint32
+
+	pend map[Tag]pendSrc // slave-port tag → origin
 }
 
 // NewCrossbar creates a crossbar connecting masters to slaves. newArb is
 // invoked once per slave to create that lane's arbiter (arbiters are
 // stateful, so they cannot be shared).
-func NewCrossbar(k *sim.Kernel, name string, masters, slaves []*Link, newArb func() Arbiter) *Crossbar {
+func NewCrossbar(k *sim.Kernel, name string, masters, slaves []*Port, newArb func() Arbiter) *Crossbar {
 	x := &Crossbar{
 		name:       name,
 		masters:    masters,
@@ -41,9 +69,13 @@ func NewCrossbar(k *sim.Kernel, name string, masters, slaves []*Link, newArb fun
 		WordCycles: 1,
 		lanes:      make([]xbarLane, len(slaves)),
 		stats: Stats{
-			PerMaster: make([]uint64, len(masters)),
-			PerSlave:  make([]uint64, len(slaves)),
+			PerMaster:  make([]uint64, len(masters)),
+			PerSlave:   make([]uint64, len(slaves)),
+			RespGrants: make([]uint64, len(slaves)),
 		},
+	}
+	for i := range x.lanes {
+		x.lanes[i].pend = make(map[Tag]pendSrc)
 	}
 	for range slaves {
 		x.arbs = append(x.arbs, newArb())
@@ -56,11 +88,13 @@ func NewCrossbar(k *sim.Kernel, name string, masters, slaves []*Link, newArb fun
 func (x *Crossbar) Name() string { return x.name }
 
 // Stats returns a snapshot of the accumulated counters. BusyCycles counts
-// lane-cycles (two lanes busy in one cycle count twice).
+// lane-engine-cycles (two lanes busy in one cycle count twice; in split
+// mode a lane's request and response engines count separately).
 func (x *Crossbar) Stats() Stats {
 	s := x.stats
 	s.PerMaster = append([]uint64(nil), x.stats.PerMaster...)
 	s.PerSlave = append([]uint64(nil), x.stats.PerSlave...)
+	s.RespGrants = append([]uint64(nil), x.stats.RespGrants...)
 	return s
 }
 
@@ -73,8 +107,9 @@ func (x *Crossbar) wordCycles(words uint32) uint32 {
 }
 
 // ConcurrentTick implements sim.Concurrent: same confinement argument
-// as Bus — lanes, arbiters and stats are the crossbar's own, and its
-// link-side accesses are the interconnect half of the link protocol.
+// as Bus — lanes, arbiters, pending tables and stats are the crossbar's
+// own, and its port-side accesses are the interconnect half of the port
+// protocol.
 func (x *Crossbar) ConcurrentTick() bool { return true }
 
 // TickWeight implements sim.Weighted: one cheap lane FSM per slave.
@@ -85,71 +120,116 @@ func (x *Crossbar) TickWeight() int {
 	return 2
 }
 
-// Tick implements sim.Module. Each lane runs the same four-state engine
-// as the shared Bus, restricted to requests targeting its slave. A master
-// with an in-flight request on one lane cannot issue on another (the Link
-// enforces single-outstanding), so no cross-lane conflict handling is
-// needed on the master side. Requests to nonexistent slaves are rejected
-// by lane 0 to keep error semantics identical to Bus.
-func (x *Crossbar) Tick(cycle uint64) {
-	// Reject out-of-range sm_addr centrally (lane 0 duty).
+// rejectNoSlave pops master head requests addressed to nonexistent
+// slaves and rejects them centrally (lane 0 duty), keeping error
+// semantics identical to Bus in both modes.
+func (x *Crossbar) rejectNoSlave() {
 	for mi, m := range x.masters {
-		if m.Pending() {
-			if sm := m.PeekRequest().SM; sm < 0 || sm >= len(x.slaves) {
-				if req, ok := m.TakeRequest(); ok {
-					_ = req
-					x.stats.NoSlave++
-					x.stats.Transactions++
-					x.stats.PerMaster[mi]++
-					m.Complete(Response{Err: ErrNoSlave})
-				}
+		for {
+			req, ok := m.Peek()
+			if !ok || (req.SM >= 0 && req.SM < len(x.slaves)) {
+				break
 			}
+			tx, ok := m.Pop()
+			if !ok {
+				break
+			}
+			x.stats.NoSlave++
+			x.stats.Transactions++
+			x.stats.PerMaster[mi]++
+			m.Complete(tx.Tag, Response{Err: ErrNoSlave})
 		}
-	}
-	for si := range x.lanes {
-		x.tickLane(si)
 	}
 }
 
-// NextWake implements sim.Sleeper: the earliest wake over all lanes. A
-// pending master targeting an idle lane (or a nonexistent slave, which
-// the central reject loop handles) demands an immediate tick; a lane in
-// a transfer state wakes when its word counter expires; idle and
-// response-waiting lanes wake on signal commits.
+// Tick implements sim.Module.
+func (x *Crossbar) Tick(cycle uint64) {
+	x.rejectNoSlave()
+	for si := range x.lanes {
+		if x.Split {
+			x.tickLaneSplit(si)
+		} else {
+			x.tickLaneOccupied(si)
+		}
+	}
+}
+
+// NextWake implements sim.Sleeper: the earliest wake over all lane
+// engines. A poppable master head targeting a lane that could serve it
+// (or a nonexistent slave, which the central reject loop handles)
+// demands an immediate tick; engines in a transfer state wake when their
+// word counter expires; idle and response-waiting engines wake on signal
+// commits.
 func (x *Crossbar) NextWake(now uint64) uint64 {
 	for _, m := range x.masters {
-		if m.Pending() {
-			sm := m.PeekRequest().SM
-			if sm < 0 || sm >= len(x.slaves) || x.lanes[sm].state == busIdle {
+		req, ok := m.Peek()
+		if !ok {
+			continue
+		}
+		if req.SM < 0 || req.SM >= len(x.slaves) {
+			return now
+		}
+		ln := &x.lanes[req.SM]
+		if x.Split {
+			if ln.rqState == sbIdle && x.slaves[req.SM].CanAccept() {
 				return now
 			}
+		} else if ln.state == busIdle {
+			return now
 		}
 	}
 	wake := uint64(sim.WakeNever)
+	min := func(w uint64) {
+		if w < wake {
+			wake = w
+		}
+	}
+	counterWake := func(counter uint32) uint64 {
+		if counter <= 1 {
+			return now
+		}
+		return now + uint64(counter) - 1
+	}
 	for i := range x.lanes {
 		ln := &x.lanes[i]
+		if x.Split {
+			if ln.rqState != sbIdle {
+				min(counterWake(ln.rqCounter))
+			}
+			if ln.rsState != sbIdle {
+				min(counterWake(ln.rsCounter))
+			} else if x.slaves[i].HasCompletion() {
+				return now
+			}
+			continue
+		}
 		switch ln.state {
 		case busIdle, busWaitSlave:
-			// Signal-driven; pending demand was handled above.
+			// Signal-driven; poppable demand was handled above.
 		default: // busReqXfer, busRespXfer
-			w := now
-			if ln.counter > 1 {
-				w = now + uint64(ln.counter) - 1
-			}
-			if w < wake {
-				wake = w
-			}
+			min(counterWake(ln.counter))
 		}
 	}
 	return wake
 }
 
-// Skip implements sim.Sleeper: per busy lane, n busy cycles (and counter
-// ticks in the transfer states). BusyCycles counts lane-cycles, so each
-// busy lane contributes n.
+// Skip implements sim.Sleeper: per busy lane engine, n busy cycles (and
+// counter ticks in the transfer states). BusyCycles counts
+// lane-engine-cycles, so each busy engine contributes n.
 func (x *Crossbar) Skip(n uint64) {
 	for i := range x.lanes {
 		ln := &x.lanes[i]
+		if x.Split {
+			if ln.rqState != sbIdle {
+				ln.rqCounter -= uint32(n)
+				x.stats.BusyCycles += n
+			}
+			if ln.rsState != sbIdle {
+				ln.rsCounter -= uint32(n)
+				x.stats.BusyCycles += n
+			}
+			continue
+		}
 		switch ln.state {
 		case busIdle:
 		case busWaitSlave:
@@ -161,27 +241,42 @@ func (x *Crossbar) Skip(n uint64) {
 	}
 }
 
-func (x *Crossbar) tickLane(si int) {
+// pickRequest arbitrates among masters whose visible head request
+// targets lane si and pops the winner's head. ok is false when no master
+// demands this lane.
+func (x *Crossbar) pickRequest(si int) (Txn, int, bool) {
+	var pending []int
+	for mi, m := range x.masters {
+		if req, ok := m.Peek(); ok && req.SM == si {
+			pending = append(pending, mi)
+		}
+	}
+	if len(pending) == 0 {
+		return Txn{}, 0, false
+	}
+	gi := x.arbs[si].Pick(pending)
+	tx, ok := x.masters[gi].Pop()
+	if !ok {
+		return Txn{}, 0, false
+	}
+	return tx, gi, true
+}
+
+// tickLaneOccupied runs the same four-state engine as the shared Bus,
+// restricted to requests targeting its slave.
+func (x *Crossbar) tickLaneOccupied(si int) {
 	ln := &x.lanes[si]
 	switch ln.state {
 	case busIdle:
-		var pending []int
-		for mi, m := range x.masters {
-			if m.Pending() && m.PeekRequest().SM == si {
-				pending = append(pending, mi)
-			}
-		}
-		if len(pending) == 0 {
-			return
-		}
-		gi := x.arbs[si].Pick(pending)
-		req, ok := x.masters[gi].TakeRequest()
+		tx, gi, ok := x.pickRequest(si)
 		if !ok {
 			return
 		}
+		req := tx.Req
 		req.Master = gi
 		ln.cur = req
 		ln.curMaster = gi
+		ln.curTag = tx.Tag
 		x.stats.Transactions++
 		x.stats.PerMaster[gi]++
 		x.stats.PerOp[req.Op]++
@@ -199,18 +294,20 @@ func (x *Crossbar) tickLane(si int) {
 		if ln.counter > 0 {
 			return
 		}
+		// Single outstanding per lane: curMaster/curTag already route the
+		// response, so the slave-port tag needs no pending table.
 		x.slaves[si].Issue(ln.cur)
 		ln.state = busWaitSlave
 
 	case busWaitSlave:
 		x.stats.BusyCycles++
-		resp, ok := x.slaves[si].Response()
+		c, ok := x.slaves[si].TakeCompletion()
 		if !ok {
 			return
 		}
-		x.stats.Words += uint64(resp.WireWords())
-		ln.counter = x.wordCycles(resp.WireWords())
-		x.masters[ln.curMaster].Complete(resp)
+		x.stats.Words += uint64(c.Resp.WireWords())
+		ln.counter = x.wordCycles(c.Resp.WireWords())
+		x.masters[ln.curMaster].Complete(ln.curTag, c.Resp)
 		ln.cur = Request{}
 		ln.state = busRespXfer
 
@@ -222,5 +319,71 @@ func (x *Crossbar) tickLane(si int) {
 		if ln.counter == 0 {
 			ln.state = busIdle
 		}
+	}
+}
+
+// tickLaneSplit runs the lane's two independent engines. The response
+// engine runs first, so a completion taken this tick frees its slave
+// queue slot in time for the same tick's request-engine credit check.
+func (x *Crossbar) tickLaneSplit(si int) {
+	ln := &x.lanes[si]
+
+	// Response engine: drain slave completions back to the masters.
+	switch ln.rsState {
+	case sbIdle:
+		if c, ok := x.slaves[si].TakeCompletion(); ok {
+			src := ln.pend[c.Tag]
+			delete(ln.pend, c.Tag)
+			x.stats.RespGrants[si]++
+			x.stats.Words += uint64(c.Resp.WireWords())
+			x.masters[src.master].Complete(src.tag, c.Resp)
+			ln.rsCounter = x.wordCycles(c.Resp.WireWords())
+			ln.rsState = sbRespXfer
+			x.stats.BusyCycles++
+		}
+	case sbRespXfer:
+		x.stats.BusyCycles++
+		if ln.rsCounter > 0 {
+			ln.rsCounter--
+		}
+		if ln.rsCounter == 0 {
+			ln.rsState = sbIdle
+		}
+	}
+
+	// Request engine: transfer address phases into the slave queue.
+	switch ln.rqState {
+	case sbIdle:
+		if !x.slaves[si].CanAccept() {
+			return
+		}
+		tx, gi, ok := x.pickRequest(si)
+		if !ok {
+			return
+		}
+		req := tx.Req
+		req.Master = gi
+		ln.rqCur = req
+		ln.rqFrom = pendSrc{master: gi, tag: tx.Tag}
+		x.stats.Transactions++
+		x.stats.PerMaster[gi]++
+		x.stats.PerOp[req.Op]++
+		x.stats.PerSlave[si]++
+		x.stats.Words += uint64(req.WireWords())
+		ln.rqCounter = x.wordCycles(req.WireWords())
+		ln.rqState = sbReqXfer
+		x.stats.BusyCycles++
+	case sbReqXfer:
+		x.stats.BusyCycles++
+		if ln.rqCounter > 0 {
+			ln.rqCounter--
+		}
+		if ln.rqCounter > 0 {
+			return
+		}
+		stag := x.slaves[si].Issue(ln.rqCur)
+		ln.pend[stag] = ln.rqFrom
+		ln.rqCur = Request{}
+		ln.rqState = sbIdle
 	}
 }

@@ -1,6 +1,7 @@
 // Package bus provides the on-chip interconnect of the simulated MPSoC:
-// transaction types, cycle-true master/slave handshake links, a shared bus
-// with pluggable arbitration, and a crossbar used for ablation studies.
+// transaction types, cycle-true split-transaction ports, a shared bus
+// with pluggable arbitration in both phases, and a crossbar with
+// pipelined lanes.
 //
 // The paper's system connects several ISSs (masters) to several shared
 // memory modules (slaves) through an interconnect. Every transaction
@@ -9,13 +10,70 @@
 // operation (allocation carries a size and data type, writes carry a
 // virtual pointer and data, and so on). This package models that
 // transaction vocabulary in the Request/Response pair, and the
-// cycle-by-cycle handshake in Link.
+// cycle-by-cycle wiring in Port.
 //
-// Handshake discipline. A Link is a single-outstanding-transaction
-// connection. The master issues a request; one cycle later the slave can
-// observe and latch it; after the slave completes, one further cycle
-// elapses before the master observes the response. The two-cycle minimum
-// round trip is the cost of registered (cycle-true) communication and is
-// deliberate: it matches the paper's statement that "incoming signals are
-// evaluated cycle by cycle".
+// # Ports, tags, credits
+//
+// A Port is a credit-based connection between one master and one slave
+// side (usually the interconnect). The master issues up to Depth tagged
+// requests without waiting — Issue consumes a credit and returns the
+// transaction's Tag — and drains completions through the per-cycle
+// Completions iterator (or TakeCompletion), which returns the credit.
+// The slave side serves a request queue: Peek inspects the visible head,
+// Pop removes it, Complete publishes the response under the popped tag.
+// Peek couples payload and validity in one call, so a caller can never
+// read a stale request — the footgun of the older Pending/PeekRequest
+// pair.
+//
+// Delivery order is selectable per port: in-order (default) buffers
+// early completions and releases them in issue order, so masters that
+// ignore tags keep the classic FIFO contract; out-of-order delivers in
+// completion order for masters that track tags themselves.
+//
+// Timing discipline is unchanged from the paper: requests issued in
+// cycle c are visible to the slave side from c+1, completions published
+// in cycle c are visible to the master from c+1 — registered
+// communication, "incoming signals are evaluated cycle by cycle". At
+// Depth 1 with in-order delivery a port is cycle-identical to the
+// original single-outstanding Link handshake (NewLink still builds
+// exactly that configuration).
+//
+// # Phases: occupied versus split
+//
+// Both interconnects run one of two protocols, selected by their Split
+// field:
+//
+// Occupied (default) is the paper's bus: a granted transaction holds the
+// channel end-to-end — request words, slave wait, response words. It is
+// the 2005-faithful reference and remains bit-identical to the
+// pre-split implementation.
+//
+// Split decomposes a transaction into an address phase and a response
+// phase. The address phase occupies the channel only while the request
+// words move (WireWords × WordCycles), then deposits the request in the
+// slave port's queue — bounded by the port depth, the protocol's credit
+// pool — and releases the channel. Slaves process their queues
+// autonomously. A finished transaction re-arbitrates for the channel
+// (the Bus's RespArb; response phases have priority over address phases,
+// since a parked response pins both a slave queue slot and a master
+// credit) and occupies it only for the response words. Transactions to
+// different memories, and pipelined transactions to the same memory,
+// therefore overlap in simulated time — the memory-level parallelism
+// experiment E10 measures exactly this.
+//
+// The Crossbar gives every slave an independent lane. In occupied mode
+// each lane runs the end-to-end engine; in split mode a lane splits into
+// concurrently running request and response engines, so a lane can
+// accept request N+1 while its slave processes N and response N−1
+// drains. Requests to nonexistent slaves are rejected centrally with
+// ErrNoSlave in every mode.
+//
+// # Arbitration
+//
+// Arbiters see the indices of requesters with visible demand and pick
+// one per grant. RoundRobin is starvation-free under sustained
+// saturation; FixedPriority is cheap and documents the classic
+// starvation pathology (see the fairness tests). The split Bus
+// arbitrates the response phase with a second, independent arbiter
+// instance.
 package bus

@@ -7,14 +7,17 @@ import (
 )
 
 // echoSlave serves any request after a fixed latency, echoing VPtr+1 in
-// Data. It is a minimal stand-in for a memory module.
+// Data. It is a minimal stand-in for a memory module: it pops its port's
+// request queue one transaction at a time and completes under the popped
+// tag.
 type echoSlave struct {
 	name    string
-	link    *Link
+	link    *Port
 	latency int
 
 	busy   int
 	cur    Request
+	curTag Tag
 	Served []Request
 }
 
@@ -24,15 +27,16 @@ func (s *echoSlave) Tick(cycle uint64) {
 	if s.busy > 0 {
 		s.busy--
 		if s.busy == 0 {
-			s.link.Complete(Response{Err: OK, Data: s.cur.VPtr + 1})
+			s.link.Complete(s.curTag, Response{Err: OK, Data: s.cur.VPtr + 1})
 		}
 		return
 	}
-	if req, ok := s.link.TakeRequest(); ok {
-		s.cur = req
-		s.Served = append(s.Served, req)
+	if tx, ok := s.link.Pop(); ok {
+		s.cur = tx.Req
+		s.curTag = tx.Tag
+		s.Served = append(s.Served, tx.Req)
 		if s.latency <= 0 {
-			s.link.Complete(Response{Err: OK, Data: req.VPtr + 1})
+			s.link.Complete(tx.Tag, Response{Err: OK, Data: tx.Req.VPtr + 1})
 		} else {
 			s.busy = s.latency
 		}
@@ -43,7 +47,7 @@ func (s *echoSlave) Tick(cycle uint64) {
 // the cycle at which each response arrived.
 type scriptMaster struct {
 	name string
-	link *Link
+	link *Port
 	reqs []Request
 
 	next      int
@@ -60,7 +64,7 @@ func (m *scriptMaster) Tick(cycle uint64) {
 		m.Responses = append(m.Responses, resp)
 		m.DoneAt = append(m.DoneAt, cycle)
 	}
-	if m.next < len(m.reqs) && m.link.Idle() {
+	if m.next < len(m.reqs) && m.link.CanIssue() {
 		m.link.Issue(m.reqs[m.next])
 		m.next++
 	}
@@ -137,14 +141,14 @@ func TestLinkTakeRequestOnce(t *testing.T) {
 	if !l.Pending() {
 		t.Fatal("request not visible after one cycle")
 	}
-	if _, ok := l.TakeRequest(); !ok {
-		t.Fatal("TakeRequest failed")
+	if _, ok := l.Pop(); !ok {
+		t.Fatal("Pop failed")
 	}
-	if _, ok := l.TakeRequest(); ok {
-		t.Error("request latched twice")
+	if _, ok := l.Pop(); ok {
+		t.Error("request popped twice")
 	}
 	if l.Pending() {
-		t.Error("Pending true after latch")
+		t.Error("Pending true after pop")
 	}
 }
 

@@ -1,0 +1,292 @@
+package bus
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPortPeekNeverStale is the regression test for the PeekRequest
+// footgun the port API folds away: the old Pending/PeekRequest pair let
+// a caller read the previous request's payload after the pop. Peek
+// couples validity and payload in one call, so an empty queue yields
+// ok=false — never a stale request — and a non-empty queue yields the
+// actual head, never the previously popped entry.
+func TestPortPeekNeverStale(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 2})
+	p.Issue(Request{Op: OpRead, VPtr: 0x111})
+	p.Issue(Request{Op: OpWrite, VPtr: 0x222})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if req, ok := p.Peek(); !ok || req.VPtr != 0x111 {
+		t.Fatalf("Peek = %v/%v, want head 0x111", req, ok)
+	}
+	tx, ok := p.Pop()
+	if !ok || tx.Req.VPtr != 0x111 {
+		t.Fatalf("Pop = %v/%v, want 0x111", tx, ok)
+	}
+	// The head is now the second request — not the popped one.
+	if req, ok := p.Peek(); !ok || req.VPtr != 0x222 {
+		t.Fatalf("Peek after pop = %v/%v, want 0x222 (stale head?)", req, ok)
+	}
+	if _, ok := p.Pop(); !ok {
+		t.Fatal("second Pop failed")
+	}
+	// Queue drained: Peek must report empty, with a zero request — the
+	// old API would have kept returning the last payload here.
+	if req, ok := p.Peek(); ok || req.VPtr != 0 || req.Op != OpRead {
+		t.Fatalf("Peek on empty queue = %v/%v, want zero/false", req, ok)
+	}
+	if p.Pending() {
+		t.Error("Pending true on empty queue")
+	}
+}
+
+// TestPortCredits pins the credit-based flow control: Issue consumes a
+// credit immediately (same cycle), completion alone does not return it —
+// only delivery to the master does.
+func TestPortCredits(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 2})
+	if !p.CanIssue() || p.Outstanding() != 0 {
+		t.Fatal("fresh port must have all credits")
+	}
+	t1 := p.Issue(Request{Op: OpRead, VPtr: 1})
+	t2 := p.Issue(Request{Op: OpRead, VPtr: 2})
+	if t2 != t1+1 {
+		t.Fatalf("tags not sequential: %d then %d", t1, t2)
+	}
+	if p.CanIssue() {
+		t.Fatal("CanIssue true with all credits consumed")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Issue beyond depth did not panic")
+			}
+		}()
+		p.Issue(Request{Op: OpRead, VPtr: 3})
+	}()
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Serve and complete both; until the master drains them the credits
+	// stay consumed.
+	for i := 0; i < 2; i++ {
+		tx, ok := p.Pop()
+		if !ok {
+			t.Fatal("Pop failed")
+		}
+		p.Complete(tx.Tag, Response{Data: tx.Req.VPtr})
+	}
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanIssue() {
+		t.Fatal("credits returned before delivery")
+	}
+	if _, ok := p.TakeCompletion(); !ok {
+		t.Fatal("no completion after commit")
+	}
+	if !p.CanIssue() {
+		t.Fatal("credit not returned on delivery")
+	}
+	if p.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", p.Outstanding())
+	}
+}
+
+// TestPortVisibilityClock pins the registered timing: requests issued in
+// cycle c are invisible to the slave side until c+1; completions
+// published in cycle c are invisible to the master until c+1. Both
+// members of a same-cycle issue pair become visible together.
+func TestPortVisibilityClock(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 4})
+	p.Issue(Request{Op: OpRead, VPtr: 1})
+	p.Issue(Request{Op: OpRead, VPtr: 2})
+	if p.Pending() {
+		t.Fatal("requests visible in the issue cycle")
+	}
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if p.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2 (pair must commit together)", p.QueueLen())
+	}
+	tx, _ := p.Pop()
+	p.Complete(tx.Tag, Response{Data: 10})
+	if p.HasCompletion() {
+		t.Fatal("completion visible in the completing cycle")
+	}
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasCompletion() {
+		t.Fatal("completion not visible after commit")
+	}
+}
+
+// TestPortInOrderDelivery: completions published out of issue order are
+// buffered and delivered in issue order, each under its own tag.
+func TestPortInOrderDelivery(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 3})
+	ta := p.Issue(Request{Op: OpRead, VPtr: 0xA})
+	tb := p.Issue(Request{Op: OpRead, VPtr: 0xB})
+	tc := p.Issue(Request{Op: OpRead, VPtr: 0xC})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var txs []Txn
+	for {
+		tx, ok := p.Pop()
+		if !ok {
+			break
+		}
+		txs = append(txs, tx)
+	}
+	// Complete in reverse order: C, B, A.
+	for i := len(txs) - 1; i >= 0; i-- {
+		p.Complete(txs[i].Tag, Response{Data: txs[i].Req.VPtr})
+	}
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Completion
+	for tag, resp := range p.Completions() {
+		got = append(got, Completion{Tag: tag, Resp: resp})
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered %d completions, want 3", len(got))
+	}
+	wantTags := []Tag{ta, tb, tc}
+	wantData := []uint32{0xA, 0xB, 0xC}
+	for i, c := range got {
+		if c.Tag != wantTags[i] || c.Resp.Data != wantData[i] {
+			t.Errorf("delivery %d = tag %d data %#x, want tag %d data %#x",
+				i, c.Tag, c.Resp.Data, wantTags[i], wantData[i])
+		}
+	}
+}
+
+// TestPortOutOfOrderDelivery: in OOO mode completions surface in
+// completion order, and an early completion is deliverable while an
+// older transaction is still in flight.
+func TestPortOutOfOrderDelivery(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 2, OutOfOrder: true})
+	ta := p.Issue(Request{Op: OpRead, VPtr: 0xA})
+	tb := p.Issue(Request{Op: OpRead, VPtr: 0xB})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	txA, _ := p.Pop()
+	txB, _ := p.Pop()
+	// Only B completes; A stays in flight.
+	p.Complete(txB.Tag, Response{Data: 0xB})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := p.TakeCompletion()
+	if !ok || c.Tag != tb {
+		t.Fatalf("OOO delivery = %+v/%v, want tag %d first", c, ok, tb)
+	}
+	if _, ok := p.TakeCompletion(); ok {
+		t.Fatal("delivered a completion for an in-flight transaction")
+	}
+	p.Complete(txA.Tag, Response{Data: 0xA})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := p.TakeCompletion(); !ok || c.Tag != ta {
+		t.Fatalf("second OOO delivery = %+v/%v, want tag %d", c, ok, ta)
+	}
+}
+
+// TestPortInOrderBlocksEarlyCompletion is the in-order counterpart: the
+// early completion must wait for the older one.
+func TestPortInOrderBlocksEarlyCompletion(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 2})
+	p.Issue(Request{Op: OpRead, VPtr: 0xA})
+	p.Issue(Request{Op: OpRead, VPtr: 0xB})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	txA, _ := p.Pop()
+	txB, _ := p.Pop()
+	p.Complete(txB.Tag, Response{Data: 0xB})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasCompletion() {
+		t.Fatal("in-order port delivered the younger completion first")
+	}
+	p.Complete(txA.Tag, Response{Data: 0xA})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	c1, ok1 := p.TakeCompletion()
+	c2, ok2 := p.TakeCompletion()
+	if !ok1 || !ok2 || c1.Resp.Data != 0xA || c2.Resp.Data != 0xB {
+		t.Fatalf("in-order release = %+v/%v then %+v/%v", c1, ok1, c2, ok2)
+	}
+}
+
+// TestPortCompleteUnknownTagPanics: completing a tag that was never
+// popped (or twice) is a protocol violation.
+func TestPortCompleteUnknownTagPanics(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 1})
+	p.Issue(Request{Op: OpRead})
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := p.Pop()
+	p.Complete(tx.Tag, Response{})
+	defer func() {
+		if recover() == nil {
+			t.Error("double Complete did not panic")
+		}
+	}()
+	p.Complete(tx.Tag, Response{})
+}
+
+// TestPortRingReuse drives many transactions through a shallow port to
+// exercise ring-slot reuse across wrap-arounds.
+func TestPortRingReuse(t *testing.T) {
+	k := sim.New()
+	p := NewPort(k, "p", PortConfig{Depth: 3})
+	const total = 50
+	issued, delivered := 0, 0
+	next := uint32(0)
+	for cycle := 0; delivered < total && cycle < 10*total; cycle++ {
+		for p.CanIssue() && issued < total {
+			p.Issue(Request{Op: OpRead, VPtr: next})
+			next++
+			issued++
+		}
+		for {
+			tx, ok := p.Pop()
+			if !ok {
+				break
+			}
+			p.Complete(tx.Tag, Response{Data: tx.Req.VPtr + 1})
+		}
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, resp := range p.Completions() {
+			if resp.Data != uint32(delivered)+1 {
+				t.Fatalf("delivery %d carries data %d", delivered, resp.Data)
+			}
+			delivered++
+		}
+	}
+	if delivered != total {
+		t.Fatalf("delivered %d/%d", delivered, total)
+	}
+}

@@ -81,6 +81,19 @@ type SystemConfig struct {
 	FixedPriority bool
 	// BusWordCycles is the interconnect's per-word occupancy (default 1).
 	BusWordCycles uint32
+	// OutstandingDepth is the per-port outstanding-transaction capacity
+	// (the credit pool of the split-transaction protocol). Zero and 1
+	// select the classic single-outstanding ports, bit-identical to the
+	// pre-port Link protocol.
+	OutstandingDepth int
+	// SplitBus selects the split-transaction interconnect engine: the
+	// address phase releases the bus (or crossbar lane) while the slave
+	// processes, and completed transactions re-arbitrate for the response
+	// phase. Off by default — the occupied protocol of the paper.
+	SplitBus bool
+	// OutOfOrder lets master ports deliver completions in completion
+	// order instead of issue order. Off by default (in-order delivery).
+	OutOfOrder bool
 	// WrapperDelays overrides the wrapper timing (nil → DefaultDelays).
 	WrapperDelays *core.DelayParams
 	// StaticDelays overrides static RAM timing (nil → DefaultDelays).
@@ -127,8 +140,8 @@ type Interconnect interface {
 // System is a fully wired simulated platform.
 type System struct {
 	Kernel      *sim.Kernel
-	MasterLinks []*bus.Link
-	SlaveLinks  []*bus.Link
+	MasterPorts []*bus.Port
+	SlavePorts  []*bus.Port
 	Inter       Interconnect
 
 	Wrappers []*core.Wrapper
@@ -141,8 +154,8 @@ type System struct {
 	Cfg SystemConfig
 }
 
-// Build wires a system. Masters are created as bare links; attach
-// software with AddProcs or AddCPUs (or drive the links directly).
+// Build wires a system. Masters are created as bare ports; attach
+// software with AddProcs or AddCPUs (or drive the ports directly).
 func Build(cfg SystemConfig) (*System, error) {
 	if cfg.Masters <= 0 {
 		return nil, fmt.Errorf("config: need at least one master, got %d", cfg.Masters)
@@ -153,6 +166,9 @@ func Build(cfg SystemConfig) (*System, error) {
 	if cfg.MemBytes == 0 {
 		cfg.MemBytes = 1 << 20
 	}
+	if cfg.OutstandingDepth < 0 {
+		return nil, fmt.Errorf("config: negative OutstandingDepth %d", cfg.OutstandingDepth)
+	}
 	k := sim.New()
 	k.SetLockstep(cfg.Lockstep)
 	if cfg.Workers != 0 {
@@ -160,12 +176,15 @@ func Build(cfg SystemConfig) (*System, error) {
 	}
 	sys := &System{Kernel: k, Cfg: cfg}
 
+	portCfg := bus.PortConfig{Depth: cfg.OutstandingDepth, OutOfOrder: cfg.OutOfOrder}
 	for i := 0; i < cfg.Masters; i++ {
-		sys.MasterLinks = append(sys.MasterLinks, bus.NewLink(k, fmt.Sprintf("m%d", i)))
+		sys.MasterPorts = append(sys.MasterPorts, bus.NewPort(k, fmt.Sprintf("m%d", i), portCfg))
 	}
 	for i := 0; i < cfg.Memories; i++ {
-		link := bus.NewLink(k, fmt.Sprintf("s%d", i))
-		sys.SlaveLinks = append(sys.SlaveLinks, link)
+		// Slave-side ports always deliver in order: the interconnect is
+		// their only consumer and memory FSMs complete FIFO anyway.
+		link := bus.NewPort(k, fmt.Sprintf("s%d", i), bus.PortConfig{Depth: cfg.OutstandingDepth})
+		sys.SlavePorts = append(sys.SlavePorts, link)
 		name := fmt.Sprintf("%s%d", cfg.MemKind, i)
 		switch cfg.MemKind {
 		case MemWrapper:
@@ -221,16 +240,21 @@ func Build(cfg SystemConfig) (*System, error) {
 	}
 	switch cfg.Interconnect {
 	case InterBus:
-		b := bus.NewBus(k, "bus", sys.MasterLinks, sys.SlaveLinks, newArb())
+		b := bus.NewBus(k, "bus", sys.MasterPorts, sys.SlavePorts, newArb())
 		if cfg.BusWordCycles > 0 {
 			b.WordCycles = cfg.BusWordCycles
 		}
+		if cfg.SplitBus {
+			b.Split = true
+			b.RespArb = newArb()
+		}
 		sys.Inter = b
 	case InterCrossbar:
-		x := bus.NewCrossbar(k, "xbar", sys.MasterLinks, sys.SlaveLinks, newArb)
+		x := bus.NewCrossbar(k, "xbar", sys.MasterPorts, sys.SlavePorts, newArb)
 		if cfg.BusWordCycles > 0 {
 			x.WordCycles = cfg.BusWordCycles
 		}
+		x.Split = cfg.SplitBus
 		sys.Inter = x
 	default:
 		return nil, fmt.Errorf("config: unknown interconnect %d", cfg.Interconnect)
@@ -238,41 +262,41 @@ func Build(cfg SystemConfig) (*System, error) {
 	return sys, nil
 }
 
-// attached returns the number of master links already claimed by Procs
+// attached returns the number of master ports already claimed by Procs
 // and CPUs; further masters attach after them.
 func (s *System) attached() int { return len(s.Procs) + len(s.CPUs) }
 
-// AddProcs attaches one native software task per free master link, in
-// order after any already-attached masters. Leaving links bare is legal
+// AddProcs attaches one native software task per free master port, in
+// order after any already-attached masters. Leaving ports bare is legal
 // (for DMA engines or direct driving).
 func (s *System) AddProcs(tasks ...smapi.Task) error {
 	base := s.attached()
-	if base+len(tasks) > len(s.MasterLinks) {
+	if base+len(tasks) > len(s.MasterPorts) {
 		return fmt.Errorf("config: %d tasks but only %d of %d masters free",
-			len(tasks), len(s.MasterLinks)-base, len(s.MasterLinks))
+			len(tasks), len(s.MasterPorts)-base, len(s.MasterPorts))
 	}
 	for i, task := range tasks {
 		idx := base + i
-		p := smapi.NewProc(s.Kernel, fmt.Sprintf("pe%d", idx), idx, s.MasterLinks[idx], task)
+		p := smapi.NewProc(s.Kernel, fmt.Sprintf("pe%d", idx), idx, s.MasterPorts[idx], task)
 		s.Procs = append(s.Procs, p)
 	}
 	return nil
 }
 
-// AddCPUs attaches one ISS per free master link running the given
+// AddCPUs attaches one ISS per free master port running the given
 // program images, in order after any already-attached masters.
 func (s *System) AddCPUs(progs ...[]byte) error {
 	base := s.attached()
-	if base+len(progs) > len(s.MasterLinks) {
+	if base+len(progs) > len(s.MasterPorts) {
 		return fmt.Errorf("config: %d programs but only %d of %d masters free",
-			len(progs), len(s.MasterLinks)-base, len(s.MasterLinks))
+			len(progs), len(s.MasterPorts)-base, len(s.MasterPorts))
 	}
 	for i, prog := range progs {
 		idx := base + i
 		cpu, err := iss.New(s.Kernel, iss.Config{
 			Name: fmt.Sprintf("iss%d", idx),
 			Prog: prog,
-			Link: s.MasterLinks[idx],
+			Port: s.MasterPorts[idx],
 		})
 		if err != nil {
 			return fmt.Errorf("config: cpu %d: %w", idx, err)
@@ -282,12 +306,12 @@ func (s *System) AddCPUs(progs ...[]byte) error {
 	return nil
 }
 
-// NextFreeMaster returns the index of the first master link with no
+// NextFreeMaster returns the index of the first master port with no
 // Proc or CPU attached, for wiring additional devices (DMA engines,
-// custom masters). It returns -1 when every link is taken. Devices
+// custom masters). It returns -1 when every port is taken. Devices
 // claimed this way are not tracked; attach them last.
 func (s *System) NextFreeMaster() int {
-	if used := s.attached(); used < len(s.MasterLinks) {
+	if used := s.attached(); used < len(s.MasterPorts) {
 		return used
 	}
 	return -1

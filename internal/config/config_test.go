@@ -29,8 +29,8 @@ func TestBuildShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sys.MasterLinks) != 3 || len(sys.SlaveLinks) != 2 || len(sys.Wrappers) != 2 {
-		t.Errorf("shapes wrong: %d/%d/%d", len(sys.MasterLinks), len(sys.SlaveLinks), len(sys.Wrappers))
+	if len(sys.MasterPorts) != 3 || len(sys.SlavePorts) != 2 || len(sys.Wrappers) != 2 {
+		t.Errorf("shapes wrong: %d/%d/%d", len(sys.MasterPorts), len(sys.SlavePorts), len(sys.Wrappers))
 	}
 	if sys.Inter.Name() != "bus" {
 		t.Errorf("interconnect = %q", sys.Inter.Name())

@@ -77,7 +77,10 @@ type ioRegs struct {
 
 // Wrapper is the dynamic shared memory module: the cycle-true FSM of the
 // paper's Figure 2 driving the functional part (pointer table +
-// translator + host calls). It serves one bus.Link as a slave.
+// translator + host calls). It serves one bus.Port as a slave: requests
+// queue on the port (up to its depth) and the FSM pops the next one the
+// moment it returns to Idle, so back-to-back split transactions pipeline
+// through the memory without a bus turnaround in between.
 //
 // FSM shape: Idle –(request)→ Decode –(Decode cycles)→ Exec –(op
 // cycles)→ complete, back to Idle. The functional effect happens at the
@@ -85,22 +88,23 @@ type ioRegs struct {
 // as the configured hardware timing says.
 type Wrapper struct {
 	cfg   Config
-	link  *bus.Link
+	port  *bus.Port
 	table *PointerTable
 	tr    Translator
 
-	state wrapperState
-	wait  uint32
-	cur   bus.Request
-	in    ioRegs
+	state  wrapperState
+	wait   uint32
+	cur    bus.Request
+	curTag bus.Tag
+	in     ioRegs
 
 	stats Stats
 }
 
 // NewWrapper creates a wrapper with config cfg serving requests from
-// link, and registers it with the kernel. It errors when the placement
+// port, and registers it with the kernel. It errors when the placement
 // policy configuration is unsatisfiable (no or too small TotalSize).
-func NewWrapper(k *sim.Kernel, cfg Config, link *bus.Link) (*Wrapper, error) {
+func NewWrapper(k *sim.Kernel, cfg Config, port *bus.Port) (*Wrapper, error) {
 	if cfg.Name == "" {
 		cfg.Name = "wrapper"
 	}
@@ -110,7 +114,7 @@ func NewWrapper(k *sim.Kernel, cfg Config, link *bus.Link) (*Wrapper, error) {
 	}
 	w := &Wrapper{
 		cfg:   cfg,
-		link:  link,
+		port:  port,
 		table: table,
 		tr:    Translator{Target: cfg.Endian},
 	}
@@ -131,10 +135,11 @@ func (w *Wrapper) Table() *PointerTable { return w.table }
 func (w *Wrapper) Stats() Stats { return w.stats }
 
 // sampleInputs latches the input port into the I/O registers, as the
-// cycle-true FSM does on every clock edge.
+// cycle-true FSM does on every clock edge. Peek returns the head of the
+// port's request queue together with its validity, so an idle queue can
+// never alias a previously latched request.
 func (w *Wrapper) sampleInputs() {
-	if w.link.Pending() {
-		r := w.link.PeekRequest()
+	if r, ok := w.port.Peek(); ok {
 		w.in = ioRegs{
 			pending: true,
 			op:      r.Op,
@@ -155,11 +160,12 @@ func (w *Wrapper) Tick(cycle uint64) {
 	w.sampleInputs()
 	switch w.state {
 	case wsIdle:
-		req, ok := w.link.TakeRequest()
+		tx, ok := w.port.Pop()
 		if !ok {
 			return
 		}
-		w.cur = req
+		w.cur = tx.Req
+		w.curTag = tx.Tag
 		w.stats.BusyCycles++
 		w.wait = w.cfg.Delays.Decode
 		w.state = wsDecode
@@ -190,7 +196,7 @@ func (w *Wrapper) Tick(cycle uint64) {
 // `wait-1` cycles from now.
 func (w *Wrapper) NextWake(now uint64) uint64 {
 	if w.state == wsIdle {
-		if w.link.Pending() {
+		if w.port.Pending() {
 			return now
 		}
 		return sim.WakeNever
@@ -203,7 +209,7 @@ func (w *Wrapper) NextWake(now uint64) uint64 {
 
 // ConcurrentTick implements sim.Concurrent: the wrapper's Tick touches
 // only its own FSM registers, pointer table, translator, host allocator
-// and stats, plus the slave side of its link. Safe to tick concurrently.
+// and stats, plus the slave side of its port. Safe to tick concurrently.
 func (w *Wrapper) ConcurrentTick() bool { return true }
 
 // TickWeight implements sim.Weighted: the wrapper latches its input
@@ -241,7 +247,7 @@ func (w *Wrapper) maybeFinish() {
 			w.stats.Errors[op]++
 		}
 	}
-	w.link.Complete(resp)
+	w.port.Complete(w.curTag, resp)
 	w.cur = bus.Request{}
 	w.state = wsIdle
 }

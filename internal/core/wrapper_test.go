@@ -13,7 +13,7 @@ import (
 type harness struct {
 	t    *testing.T
 	k    *sim.Kernel
-	link *bus.Link
+	link *bus.Port
 	w    *Wrapper
 }
 
@@ -324,7 +324,7 @@ func TestWrapperMultipleInstances(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	do := func(l *bus.Link, req bus.Request) bus.Response {
+	do := func(l *bus.Port, req bus.Request) bus.Response {
 		l.Issue(req)
 		for i := 0; i < 1000; i++ {
 			if err := k.Step(); err != nil {

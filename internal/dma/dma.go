@@ -10,6 +10,15 @@
 // touches a CPU, including across *different* wrapper instances (the
 // virtual pointers of source and destination belong to separate virtual
 // address spaces; only the sm_addr distinguishes them).
+//
+// The engine adapts to its port's outstanding depth. At depth 1 it runs
+// the classic strictly alternating read→write FSM (cycle-identical to
+// the pre-port engine). At depth ≥ 2 it pipelines: burst reads run
+// ahead of burst writes, keeping a read and a write in flight
+// concurrently (and, at higher depths, several reads buffered), so the
+// source and destination memories overlap their work. Descriptors whose
+// source and destination ranges overlap in one memory always run on the
+// serial FSM — read-ahead would change what the later chunks observe.
 package dma
 
 import (
@@ -20,12 +29,30 @@ import (
 // Descriptor is one copy job: Elems elements of type DType from
 // (SrcSM, SrcVPtr) to (DstSM, DstVPtr), moved in bursts of at most
 // Chunk elements (default 32).
+//
+// When source and destination ranges overlap within one memory, the
+// engine serializes the descriptor chunk by chunk regardless of port
+// depth (reads of chunk k+1 must observe writes of chunk k), so the
+// chunked-memmove semantics of the classic engine are preserved at
+// every depth.
 type Descriptor struct {
 	SrcSM, DstSM     int
 	SrcVPtr, DstVPtr uint32
 	Elems            uint32
 	DType            bus.DataType
 	Chunk            uint32
+}
+
+// overlaps reports whether the source and destination byte ranges
+// intersect within the same memory — the case the pipelined engine
+// must not reorder.
+func (d Descriptor) overlaps() bool {
+	if d.SrcSM != d.DstSM {
+		return false
+	}
+	n := uint64(d.Elems) * uint64(d.DType.Size())
+	s, t := uint64(d.SrcVPtr), uint64(d.DstVPtr)
+	return s < t+n && t < s+n
 }
 
 // Status is a completed descriptor's outcome.
@@ -55,35 +82,62 @@ const (
 	dmaReadWait
 	dmaWriteIssue
 	dmaWriteWait
+	// dmaPipeline is the single active state of the depth ≥ 2 engine:
+	// reads and writes are tracked per in-flight tag, not by FSM phase.
+	dmaPipeline
+	// dmaDrain waits for outstanding transactions after an error before
+	// retiring the failed descriptor.
+	dmaDrain
 )
+
+// chunk is one burst-sized slice of the current descriptor as it moves
+// through the pipelined engine: read issued → data buffered → write
+// issued → retired.
+type chunk struct {
+	off  uint32 // element offset within the descriptor
+	n    uint32 // elements in this chunk
+	data []uint32
+}
 
 // Engine is the DMA module. Descriptors are enqueued from host code
 // (tests, examples, experiment harnesses) before or during simulation;
-// the engine processes them in order, one burst transaction at a time.
+// the engine processes them in order.
 type Engine struct {
 	name string
-	link *bus.Link
+	port *bus.Port
 
 	queue []Descriptor
 	done  []Status
 
 	state dmaState
 	cur   Descriptor
-	off   uint32 // elements completed of cur
-	chunk uint32 // elements in flight
+	off   uint32 // depth-1 engine: elements completed of cur
+	chunk uint32 // depth-1 engine: elements in flight
 	data  []uint32
 	err   bus.ErrCode
+
+	// pipelined-engine state
+	readOff  uint32             // next element offset to issue a read for
+	written  uint32             // elements confirmed written
+	inflight map[bus.Tag]*chunk // outstanding reads and writes by tag
+	isWrite  map[bus.Tag]bool
+	ready    []*chunk // read data buffered, write not yet issued
 
 	stats Stats
 }
 
-// New creates a DMA engine mastering the given link and registers it
+// New creates a DMA engine mastering the given port and registers it
 // with the kernel.
-func New(k *sim.Kernel, name string, link *bus.Link) *Engine {
+func New(k *sim.Kernel, name string, port *bus.Port) *Engine {
 	if name == "" {
 		name = "dma"
 	}
-	e := &Engine{name: name, link: link}
+	e := &Engine{
+		name:     name,
+		port:     port,
+		inflight: make(map[bus.Tag]*chunk),
+		isWrite:  make(map[bus.Tag]bool),
+	}
 	k.Add(e)
 	return e
 }
@@ -108,8 +162,10 @@ func (e *Engine) Idle() bool { return e.state == dmaIdle && len(e.queue) == 0 }
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// Tick implements sim.Module: a five-state engine alternating burst
-// reads from the source with burst writes to the destination.
+// pipelined reports whether the port depth admits the overlapped engine.
+func (e *Engine) pipelined() bool { return e.port.Depth() >= 2 }
+
+// Tick implements sim.Module.
 func (e *Engine) Tick(cycle uint64) {
 	switch e.state {
 	case dmaIdle:
@@ -121,6 +177,13 @@ func (e *Engine) Tick(cycle uint64) {
 		e.off = 0
 		e.err = bus.OK
 		e.stats.BusyCycles++
+		if e.pipelined() && !e.cur.overlaps() {
+			e.readOff, e.written = 0, 0
+			e.ready = nil
+			e.state = dmaPipeline
+			e.tickPipeline(cycle)
+			return
+		}
 		e.state = dmaReadIssue
 		e.issueRead(cycle)
 
@@ -130,7 +193,7 @@ func (e *Engine) Tick(cycle uint64) {
 
 	case dmaReadWait:
 		e.stats.BusyCycles++
-		resp, ok := e.link.Response()
+		resp, ok := e.port.Response()
 		if !ok {
 			return
 		}
@@ -148,7 +211,7 @@ func (e *Engine) Tick(cycle uint64) {
 
 	case dmaWriteWait:
 		e.stats.BusyCycles++
-		resp, ok := e.link.Response()
+		resp, ok := e.port.Response()
 		if !ok {
 			return
 		}
@@ -164,14 +227,117 @@ func (e *Engine) Tick(cycle uint64) {
 		}
 		e.state = dmaReadIssue
 		e.issueRead(cycle)
+
+	case dmaPipeline:
+		e.stats.BusyCycles++
+		e.tickPipeline(cycle)
+
+	case dmaDrain:
+		e.stats.BusyCycles++
+		e.drainCompletions(cycle)
+		if len(e.inflight) == 0 {
+			e.off = e.written
+			e.fail(e.err, cycle)
+		}
+	}
+}
+
+// tickPipeline advances the overlapped engine one cycle: drain every
+// completion the port delivers, then issue at most one write and one
+// read (a hardware engine with one issue slot per direction).
+func (e *Engine) tickPipeline(cycle uint64) {
+	e.drainCompletions(cycle)
+	if e.state != dmaPipeline {
+		return // completed or moved to drain
+	}
+	if e.readOff >= e.cur.Elems && len(e.inflight) == 0 && len(e.ready) == 0 {
+		// Nothing left to issue or await — the empty-descriptor case.
+		e.off = e.written
+		e.complete(cycle)
+		return
+	}
+	// Writes first: retiring data frees buffer space and keeps the
+	// destination memory fed.
+	if len(e.ready) > 0 && e.port.CanIssue() {
+		c := e.ready[0]
+		e.ready = e.ready[1:]
+		es := e.cur.DType.Size()
+		tag := e.port.Issue(bus.Request{
+			Op:    bus.OpWriteBurst,
+			SM:    e.cur.DstSM,
+			VPtr:  e.cur.DstVPtr + c.off*es,
+			Dim:   uint32(len(c.data)),
+			Burst: c.data,
+			DType: e.cur.DType,
+		})
+		e.inflight[tag] = c
+		e.isWrite[tag] = true
+	}
+	// Read ahead while the window (port depth) has room: each buffered or
+	// in-flight chunk occupies one window slot.
+	if e.readOff < e.cur.Elems && e.port.CanIssue() &&
+		len(e.inflight)+len(e.ready) < e.port.Depth() {
+		n := e.cur.Elems - e.readOff
+		if n > e.cur.Chunk {
+			n = e.cur.Chunk
+		}
+		es := e.cur.DType.Size()
+		tag := e.port.Issue(bus.Request{
+			Op:    bus.OpReadBurst,
+			SM:    e.cur.SrcSM,
+			VPtr:  e.cur.SrcVPtr + e.readOff*es,
+			Dim:   n,
+			DType: e.cur.DType,
+		})
+		e.inflight[tag] = &chunk{off: e.readOff, n: n}
+		e.readOff += n
+	}
+}
+
+// drainCompletions consumes every completion deliverable this cycle and
+// retires or advances the matching chunks.
+func (e *Engine) drainCompletions(cycle uint64) {
+	for tag, resp := range e.port.Completions() {
+		c := e.inflight[tag]
+		write := e.isWrite[tag]
+		delete(e.inflight, tag)
+		delete(e.isWrite, tag)
+		if resp.Err != bus.OK {
+			if e.state != dmaDrain {
+				e.err = resp.Err
+				e.ready = nil
+				e.state = dmaDrain
+			}
+			continue
+		}
+		if e.state == dmaDrain {
+			if write {
+				e.written += c.n
+				e.stats.ElemsMoved += uint64(c.n)
+			}
+			continue
+		}
+		if write {
+			e.written += c.n
+			e.stats.ElemsMoved += uint64(c.n)
+			if e.written >= e.cur.Elems {
+				e.off = e.written
+				e.complete(cycle)
+				return
+			}
+		} else {
+			c.data = resp.Burst
+			e.ready = append(e.ready, c)
+		}
 	}
 }
 
 // NextWake implements sim.Sleeper. With an empty queue the engine is
 // fully drained (Enqueue happens between steps, and NextWake is
 // re-queried at every skip opportunity, so host-side enqueues are seen
-// immediately). In the wait states the engine resumes on the completion
-// signal; in the transient issue-retry states it ticks every cycle.
+// immediately). Blocked purely on completions, the engine resumes on the
+// completion signal; whenever an issue slot could fire it ticks every
+// cycle.
 func (e *Engine) NextWake(now uint64) uint64 {
 	switch e.state {
 	case dmaIdle:
@@ -180,6 +346,26 @@ func (e *Engine) NextWake(now uint64) uint64 {
 		}
 		return sim.WakeNever
 	case dmaReadWait, dmaWriteWait:
+		return sim.WakeNever
+	case dmaDrain:
+		if len(e.inflight) == 0 {
+			return now // retire the failed descriptor
+		}
+		return sim.WakeNever
+	case dmaPipeline:
+		if e.port.HasCompletion() {
+			return now
+		}
+		if len(e.ready) > 0 && e.port.CanIssue() {
+			return now
+		}
+		if e.readOff < e.cur.Elems && e.port.CanIssue() &&
+			len(e.inflight)+len(e.ready) < e.port.Depth() {
+			return now
+		}
+		if e.readOff >= e.cur.Elems && len(e.inflight) == 0 && len(e.ready) == 0 {
+			return now // empty descriptor retires on the next tick
+		}
 		return sim.WakeNever
 	default:
 		return now
@@ -200,13 +386,13 @@ func (e *Engine) TickWeight() int { return 3 }
 // Skip implements sim.Sleeper: waiting on a burst response is busy time.
 func (e *Engine) Skip(n uint64) {
 	switch e.state {
-	case dmaReadWait, dmaWriteWait:
+	case dmaReadWait, dmaWriteWait, dmaPipeline, dmaDrain:
 		e.stats.BusyCycles += n
 	}
 }
 
 func (e *Engine) issueRead(cycle uint64) {
-	if !e.link.Idle() {
+	if !e.port.CanIssue() {
 		e.state = dmaReadIssue
 		return
 	}
@@ -215,7 +401,7 @@ func (e *Engine) issueRead(cycle uint64) {
 		e.chunk = e.cur.Chunk
 	}
 	es := e.cur.DType.Size()
-	e.link.Issue(bus.Request{
+	e.port.Issue(bus.Request{
 		Op:    bus.OpReadBurst,
 		SM:    e.cur.SrcSM,
 		VPtr:  e.cur.SrcVPtr + e.off*es,
@@ -226,12 +412,12 @@ func (e *Engine) issueRead(cycle uint64) {
 }
 
 func (e *Engine) issueWrite(cycle uint64) {
-	if !e.link.Idle() {
+	if !e.port.CanIssue() {
 		e.state = dmaWriteIssue
 		return
 	}
 	es := e.cur.DType.Size()
-	e.link.Issue(bus.Request{
+	e.port.Issue(bus.Request{
 		Op:    bus.OpWriteBurst,
 		SM:    e.cur.DstSM,
 		VPtr:  e.cur.DstVPtr + e.off*es,

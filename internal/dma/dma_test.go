@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/smapi"
 )
 
@@ -21,7 +22,7 @@ func buildDMASystem(t *testing.T, nMem int, task smapi.Task) (*config.System, *E
 	if err := sys.AddProcs(task); err != nil { // master 0: PE
 		t.Fatal(err)
 	}
-	eng := New(sys.Kernel, "dma0", sys.MasterLinks[1]) // master 1: DMA
+	eng := New(sys.Kernel, "dma0", sys.MasterPorts[1]) // master 1: DMA
 	return sys, eng
 }
 
@@ -227,5 +228,152 @@ func TestDMADeterministicCompletion(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("completion cycles differ: %d vs %d", a, b)
+	}
+}
+
+// buildCopySystem wires one DMA engine over two wrapper memories with
+// pre-placed buffers (host-side, zero simulated cycles) and returns the
+// cycle count of a full copy plus the destination contents.
+func runCopy(t *testing.T, depth int, split bool, elems uint32) (uint64, []uint32) {
+	t.Helper()
+	sys, err := config.Build(config.SystemConfig{
+		Masters: 1, Memories: 2, MemKind: config.MemWrapper,
+		OutstandingDepth: depth, SplitBus: split,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr core.Translator
+	src, code := sys.Wrappers[0].Table().Alloc(elems, bus.U32)
+	if code != bus.OK {
+		t.Fatal(code)
+	}
+	dst, code := sys.Wrappers[1].Table().Alloc(elems, bus.U32)
+	if code != bus.OK {
+		t.Fatal(code)
+	}
+	se, _, _ := sys.Wrappers[0].Table().Resolve(src)
+	for j := uint32(0); j < elems; j++ {
+		tr.WriteElem(se.Host, bus.U32, j, 0xC0DE0000+j)
+	}
+	eng := New(sys.Kernel, "dma0", sys.MasterPorts[0])
+	eng.Enqueue(Descriptor{SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst, Elems: elems, DType: bus.U32, Chunk: 16})
+	if _, err := sys.Kernel.RunUntil(eng.Idle, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Done(); len(d) != 1 || d[0].Err != bus.OK || d[0].Moved != elems {
+		t.Fatalf("outcome %+v", eng.Done())
+	}
+	de, _, _ := sys.Wrappers[1].Table().Resolve(dst)
+	out := make([]uint32, elems)
+	for j := uint32(0); j < elems; j++ {
+		out[j] = tr.ReadElem(de.Host, bus.U32, j)
+	}
+	return sys.Kernel.Cycle(), out
+}
+
+// TestDMAPipelinedFasterThanSerial is the double-buffering claim: with
+// depth ≥ 2 the engine keeps a read from the source memory and a write
+// to the destination memory in flight concurrently, so on a
+// split-transaction bus the same copy finishes in fewer simulated
+// cycles than the strictly alternating depth-1 engine. On the occupied
+// bus the extra depth must at least never hurt (the bus serializes
+// end-to-end, so the queued request only hides the turnaround the
+// legacy engine already hid). The copied data must be identical in
+// every mode.
+func TestDMAPipelinedFasterThanSerial(t *testing.T) {
+	const elems = 256
+	serial, serialData := runCopy(t, 1, false, elems)
+	for _, tc := range []struct {
+		name   string
+		depth  int
+		split  bool
+		strict bool // must be strictly faster than depth 1
+	}{
+		{"depth2-occupied", 2, false, false},
+		{"depth2-split", 2, true, true},
+		{"depth4-split", 4, true, true},
+	} {
+		cycles, data := runCopy(t, tc.depth, tc.split, elems)
+		if tc.strict && cycles >= serial {
+			t.Errorf("%s: %d cycles, not faster than depth-1 %d", tc.name, cycles, serial)
+		}
+		if cycles > serial {
+			t.Errorf("%s: %d cycles, slower than depth-1 %d", tc.name, cycles, serial)
+		}
+		for j := range data {
+			if data[j] != serialData[j] {
+				t.Fatalf("%s: element %d differs: %#x vs %#x", tc.name, j, data[j], serialData[j])
+			}
+		}
+		t.Logf("%s: %d cycles vs depth-1 %d (%.2fx)", tc.name, cycles, serial, float64(serial)/float64(cycles))
+	}
+	// The split+depth≥2 configuration must overlap substantially, not
+	// just shave the turnaround.
+	overlapped, _ := runCopy(t, 2, true, elems)
+	if float64(serial)/float64(overlapped) < 1.2 {
+		t.Errorf("depth-2 split copy only improved %d → %d cycles", serial, overlapped)
+	}
+}
+
+// TestDMAOverlappingCopyDepthInvariant pins the overlap guard: a
+// forward-overlapping same-memory copy (dst = src + one chunk) has
+// chunked-memmove semantics on the classic serial engine — chunk k+1's
+// read observes chunk k's write. The pipelined engine must not change
+// that, so overlapping descriptors serialize at every depth and the
+// copied bytes are identical.
+func TestDMAOverlappingCopyDepthInvariant(t *testing.T) {
+	const elems, chunk = 64, 16
+	run := func(depth int) []uint32 {
+		sys, err := config.Build(config.SystemConfig{
+			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
+			OutstandingDepth: depth, SplitBus: depth > 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr core.Translator
+		buf, code := sys.Wrappers[0].Table().Alloc(elems+chunk, bus.U32)
+		if code != bus.OK {
+			t.Fatal(code)
+		}
+		e, _, _ := sys.Wrappers[0].Table().Resolve(buf)
+		for j := uint32(0); j < elems+chunk; j++ {
+			tr.WriteElem(e.Host, bus.U32, j, 0x11110000+j)
+		}
+		eng := New(sys.Kernel, "dma0", sys.MasterPorts[0])
+		eng.Enqueue(Descriptor{
+			SrcSM: 0, DstSM: 0, SrcVPtr: buf, DstVPtr: buf + 4*chunk,
+			Elems: elems, DType: bus.U32, Chunk: chunk,
+		})
+		if _, err := sys.Kernel.RunUntil(eng.Idle, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint32, elems+chunk)
+		for j := range out {
+			out[j] = tr.ReadElem(e.Host, bus.U32, uint32(j))
+		}
+		return out
+	}
+	ref := run(1)
+	for _, depth := range []int{2, 4, 8} {
+		got := run(depth)
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatalf("depth %d: element %d = %#x, depth-1 engine wrote %#x", depth, j, got[j], ref[j])
+			}
+		}
+	}
+	// Sanity: the overlap really propagated (memmove-with-chunks smears
+	// the first chunk forward), so the guard is actually being tested.
+	smeared := false
+	for j := chunk; j < elems; j++ {
+		if ref[j+4] != 0x11110000+uint32(j) {
+			smeared = true
+			break
+		}
+	}
+	if !smeared {
+		t.Fatal("workload did not exercise the overlap semantics")
 	}
 }

@@ -178,3 +178,45 @@ func TestE9PolicyShape(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestE10MLPAcceptance pins the tentpole's quantitative claim: on the
+// multi-memory MLP configuration, depth-4 split-bus transactions beat
+// the single-outstanding occupied protocol by at least 1.3× simulated
+// cycles, and the split crossbar scales further with depth. Quick-sized
+// so CI replays it on every run.
+func TestE10MLPAcceptance(t *testing.T) {
+	elems := E10Elems(Options{Quick: true})
+	streams := E10Streams()
+	ref, err := RunMLP(streams, elems, config.InterBus, Mode{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := RunMLP(streams, elems, config.InterBus, Mode{Depth: 4, Split: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(ref.Cycles) / float64(deep.Cycles); ratio < 1.3 {
+		t.Errorf("depth-4 split bus improved only %.2fx over the occupied protocol (%d vs %d cycles), want ≥ 1.3x",
+			ratio, ref.Cycles, deep.Cycles)
+	} else {
+		t.Logf("depth-4 split bus: %.2fx (%d → %d cycles)", ratio, ref.Cycles, deep.Cycles)
+	}
+	x1, err := RunMLP(streams, elems, config.InterCrossbar, Mode{Depth: 1, Split: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x4, err := RunMLP(streams, elems, config.InterCrossbar, Mode{Depth: 4, Split: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x4.Cycles >= x1.Cycles {
+		t.Errorf("split crossbar did not scale with depth: %d cycles at d=1, %d at d=4", x1.Cycles, x4.Cycles)
+	}
+}
+
+// TestE10Table smoke-runs the full E10 sweep at quick scale.
+func TestE10Table(t *testing.T) {
+	if _, err := E10(Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}

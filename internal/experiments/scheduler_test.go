@@ -312,7 +312,7 @@ func TestSchedDiffDMA(t *testing.T) {
 		if err := sys.AddProcs(peTask); err != nil {
 			return nil, err
 		}
-		eng = dma.New(sys.Kernel, "dma", sys.MasterLinks[1])
+		eng = dma.New(sys.Kernel, "dma", sys.MasterPorts[1])
 		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
 			return nil, err
 		}
@@ -498,6 +498,79 @@ func TestSchedDiffAllocPolicy(t *testing.T) {
 				return nil, err
 			}
 			if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		})
+	}
+}
+
+// TestSchedDiffSplitPort extends the matrix along the transaction-
+// protocol axes: outstanding depth {1, 4} × {occupied, split} × {bus,
+// crossbar}, each replayed across the full kernel-mode matrix (lockstep
+// × event-driven × workers {1, 4}) on two workloads that exercise the
+// port machinery end-to-end — the 4-ISS GSM configuration (single-
+// outstanding masters over multi-depth ports) and a DMA copy pipeline
+// (genuinely multi-outstanding at depth 4). Depth 1 occupied is the
+// pre-refactor Link protocol, already pinned bit-identically by the
+// unit tests and ISS goldens; here every (depth, protocol) point must
+// additionally be scheduler- and worker-count-invariant.
+func TestSchedDiffSplitPort(t *testing.T) {
+	for _, inter := range []config.InterconnectKind{config.InterBus, config.InterCrossbar} {
+		for _, depth := range []int{1, 4} {
+			for _, split := range []bool{false, true} {
+				name := fmt.Sprintf("gsm-%s-d%d-split%v", inter, depth, split)
+				runBoth(t, name, func(m Mode) (*config.System, error) {
+					sys, err := config.Build(config.SystemConfig{
+						Masters: 4, Memories: 4, MemKind: config.MemWrapper,
+						Interconnect: inter, OutstandingDepth: depth, SplitBus: split,
+						Lockstep: m.Lockstep, Workers: m.Workers,
+					})
+					if err != nil {
+						return nil, err
+					}
+					var progs [][]byte
+					for i := 0; i < 4; i++ {
+						p, err := isa.Assemble(workload.GSMKernelSource(workload.GSMKernelConfig{
+							Frames: 1, SM: i, Seed: uint32(i + 1),
+						}))
+						if err != nil {
+							return nil, err
+						}
+						progs = append(progs, p.Code)
+					}
+					if err := sys.AddCPUs(progs...); err != nil {
+						return nil, err
+					}
+					if _, err := sys.Kernel.RunUntil(sys.CPUsHalted, runLimit); err != nil {
+						return nil, err
+					}
+					return sys, nil
+				})
+			}
+		}
+	}
+}
+
+// TestSchedDiffMLP replays the E10 memory-level-parallelism workload —
+// the deepest exercise of multi-outstanding ports, split response
+// re-arbitration and DMA double-buffering — across the kernel-mode
+// matrix at the interesting protocol points.
+func TestSchedDiffMLP(t *testing.T) {
+	for _, tc := range []struct {
+		inter config.InterconnectKind
+		depth int
+		split bool
+	}{
+		{config.InterBus, 1, false},
+		{config.InterBus, 4, true},
+		{config.InterCrossbar, 4, true},
+	} {
+		name := fmt.Sprintf("mlp-%s-d%d-split%v", tc.inter, tc.depth, tc.split)
+		runBoth(t, name, func(m Mode) (*config.System, error) {
+			m.Depth, m.Split = tc.depth, tc.split
+			sys, err := buildMLP(2, 512, tc.inter, m)
+			if err != nil {
 				return nil, err
 			}
 			return sys, nil

@@ -62,13 +62,14 @@ const (
 // the paper displaces did not have them either.
 type HeapMem struct {
 	cfg  Config
-	link *bus.Link
+	port *bus.Port
 	heap *Heap
 
-	state hmState
-	wait  uint32
-	resp  bus.Response
-	curOp bus.Op
+	state  hmState
+	wait   uint32
+	resp   bus.Response
+	curOp  bus.Op
+	curTag bus.Tag
 
 	// in holds the input registers sampled every cycle; like the other
 	// memory modules, HeapMem is a cycle-true module evaluated
@@ -88,7 +89,7 @@ type HeapMem struct {
 // NewHeapMem creates the module and registers it with the kernel. It
 // errors when the arena is too small for the configured policy's
 // metadata plus one block (see alloc.MinArena).
-func NewHeapMem(k *sim.Kernel, cfg Config, link *bus.Link) (*HeapMem, error) {
+func NewHeapMem(k *sim.Kernel, cfg Config, port *bus.Port) (*HeapMem, error) {
 	if cfg.Name == "" {
 		cfg.Name = "heapsim"
 	}
@@ -99,7 +100,7 @@ func NewHeapMem(k *sim.Kernel, cfg Config, link *bus.Link) (*HeapMem, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &HeapMem{cfg: cfg, link: link, heap: heap}
+	m := &HeapMem{cfg: cfg, port: port, heap: heap}
 	k.Add(m)
 	return m, nil
 }
@@ -119,8 +120,7 @@ func (m *HeapMem) Stats() Stats { return m.stats }
 // the response is published, so eager execution is indistinguishable
 // from end-of-delay execution.
 func (m *HeapMem) Tick(cycle uint64) {
-	if m.link.Pending() {
-		q := m.link.PeekRequest()
+	if q, ok := m.port.Peek(); ok {
 		m.in.pending = true
 		m.in.op, m.in.vptr, m.in.data, m.in.dim, m.in.dtype = q.Op, q.VPtr, q.Data, q.Dim, q.DType
 	} else {
@@ -129,10 +129,12 @@ func (m *HeapMem) Tick(cycle uint64) {
 	}
 	switch m.state {
 	case hmIdle:
-		req, ok := m.link.TakeRequest()
+		tx, ok := m.port.Pop()
 		if !ok {
 			return
 		}
+		req := tx.Req
+		m.curTag = tx.Tag
 		m.stats.BusyCycles++
 		before := m.heap.Accesses
 		resp, dataCycles := m.execute(req)
@@ -162,7 +164,7 @@ func (m *HeapMem) Tick(cycle uint64) {
 // for a pure delay countdown of `wait` more ticks.
 func (m *HeapMem) NextWake(now uint64) uint64 {
 	if m.state == hmIdle {
-		if m.link.Pending() {
+		if m.port.Pending() {
 			return now
 		}
 		return sim.WakeNever
@@ -175,7 +177,7 @@ func (m *HeapMem) NextWake(now uint64) uint64 {
 
 // ConcurrentTick implements sim.Concurrent: HeapMem's Tick touches only
 // its own arena, free-list allocator, FSM registers and stats, plus the
-// slave side of its link. Safe to tick concurrently.
+// slave side of its port. Safe to tick concurrently.
 func (m *HeapMem) ConcurrentTick() bool { return true }
 
 // TickWeight implements sim.Weighted: the detailed allocator walks its
@@ -199,7 +201,7 @@ func (m *HeapMem) finish() {
 			m.stats.Errors[op]++
 		}
 	}
-	m.link.Complete(m.resp)
+	m.port.Complete(m.curTag, m.resp)
 	m.resp = bus.Response{}
 	m.state = hmIdle
 }

@@ -11,7 +11,7 @@ import (
 type harness struct {
 	t    *testing.T
 	k    *sim.Kernel
-	link *bus.Link
+	link *bus.Port
 	m    *HeapMem
 }
 

@@ -19,9 +19,9 @@ type Config struct {
 	MemSize uint32
 	// Prog is the memory image produced by isa.Assemble.
 	Prog []byte
-	// Link is the master port toward the interconnect; nil is legal for
+	// Port is the master port toward the interconnect; nil is legal for
 	// pure-compute programs (touching the bridge then faults).
-	Link *bus.Link
+	Port *bus.Port
 	// MMIOBase overrides the bridge window base (default MMIOBase).
 	MMIOBase uint32
 }
@@ -42,7 +42,7 @@ type CPU struct {
 	name     string
 	k        *sim.Kernel
 	mem      []byte
-	link     *bus.Link
+	port     *bus.Port
 	mmioBase uint32
 
 	regs       [16]uint32
@@ -86,7 +86,7 @@ func New(k *sim.Kernel, cfg Config) (*CPU, error) {
 		name:     cfg.Name,
 		k:        k,
 		mem:      make([]byte, cfg.MemSize),
-		link:     cfg.Link,
+		port:     cfg.Port,
 		mmioBase: cfg.MMIOBase,
 	}
 	copy(c.mem, cfg.Prog)
@@ -127,7 +127,7 @@ func (c *CPU) Tick(cycle uint64) {
 	case cpuStalled:
 		c.Cycles++
 		c.StallCycles++
-		resp, ok := c.link.Response()
+		resp, ok := c.port.Response()
 		if !ok {
 			return
 		}
@@ -154,7 +154,7 @@ func (c *CPU) NextWake(now uint64) uint64 {
 
 // ConcurrentTick implements sim.Concurrent: a CPU's Tick is confined to
 // its own registers, local memory, console buffer and stats counters,
-// plus its master link (whose request slot it exclusively drives); the
+// plus its master port (whose request ring it exclusively drives); the
 // only kernel state it touches is the read-only cycle counter and the
 // mutex-guarded fault channel. Safe to tick concurrently.
 func (c *CPU) ConcurrentTick() bool { return true }
@@ -395,7 +395,7 @@ func (c *CPU) bridgeAccess(in isa.Instr, off uint32) bool {
 // and stalls the CPU. pc advances first so execution resumes after the
 // GO store.
 func (c *CPU) issueBridge() bool {
-	if c.link == nil {
+	if c.port == nil {
 		c.fault("bridge GO with no interconnect attached")
 		return false
 	}
@@ -425,7 +425,7 @@ func (c *CPU) issueBridge() bool {
 			return true
 		}
 	}
-	c.link.Issue(req)
+	c.port.Issue(req)
 	c.pc += 4 // resume after the GO store once unstalled
 	c.state = cpuStalled
 	return false

@@ -43,7 +43,7 @@ func runWithWrapper(t *testing.T, src string, cfg core.Config) (*CPU, *core.Wrap
 	if err != nil {
 		t.Fatal(err)
 	}
-	cpu, err := New(k, Config{Prog: prog.Code, Link: link})
+	cpu, err := New(k, Config{Prog: prog.Code, Port: link})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,12 +54,13 @@ const (
 // addressed directly by VPtr. Dynamic operations answer ErrBadOp.
 type StaticRAM struct {
 	cfg  Config
-	link *bus.Link
+	port *bus.Port
 	data []byte
 
-	state ramState
-	wait  uint32
-	cur   bus.Request
+	state  ramState
+	wait   uint32
+	cur    bus.Request
+	curTag bus.Tag
 
 	// in holds the input registers sampled every cycle; like the
 	// wrapper, the static RAM is a cycle-true module evaluated
@@ -78,11 +79,11 @@ type StaticRAM struct {
 
 // NewStaticRAM creates the module, allocates its full table, and
 // registers it with the kernel.
-func NewStaticRAM(k *sim.Kernel, cfg Config, link *bus.Link) *StaticRAM {
+func NewStaticRAM(k *sim.Kernel, cfg Config, port *bus.Port) *StaticRAM {
 	if cfg.Name == "" {
 		cfg.Name = "sram"
 	}
-	r := &StaticRAM{cfg: cfg, link: link, data: make([]byte, cfg.Size)}
+	r := &StaticRAM{cfg: cfg, port: port, data: make([]byte, cfg.Size)}
 	k.Add(r)
 	return r
 }
@@ -118,8 +119,7 @@ func (r *StaticRAM) opCycles(req bus.Request) uint32 {
 // Tick implements sim.Module with the same three-state engine as the
 // wrapper, so the two models differ only functionally.
 func (r *StaticRAM) Tick(cycle uint64) {
-	if r.link.Pending() {
-		q := r.link.PeekRequest()
+	if q, ok := r.port.Peek(); ok {
 		r.in.pending = true
 		r.in.op, r.in.vptr, r.in.data, r.in.dim, r.in.dtype = q.Op, q.VPtr, q.Data, q.Dim, q.DType
 	} else {
@@ -128,11 +128,12 @@ func (r *StaticRAM) Tick(cycle uint64) {
 	}
 	switch r.state {
 	case ramIdle:
-		req, ok := r.link.TakeRequest()
+		tx, ok := r.port.Pop()
 		if !ok {
 			return
 		}
-		r.cur = req
+		r.cur = tx.Req
+		r.curTag = tx.Tag
 		r.stats.BusyCycles++
 		r.wait = r.cfg.Delays.Decode
 		r.state = ramDecode
@@ -159,7 +160,7 @@ func (r *StaticRAM) Tick(cycle uint64) {
 // applies: idle waits on a signal, Decode/Exec are pure countdowns.
 func (r *StaticRAM) NextWake(now uint64) uint64 {
 	if r.state == ramIdle {
-		if r.link.Pending() {
+		if r.port.Pending() {
 			return now
 		}
 		return sim.WakeNever
@@ -204,7 +205,7 @@ func (r *StaticRAM) maybeFinish() {
 			r.stats.Errors[op]++
 		}
 	}
-	r.link.Complete(resp)
+	r.port.Complete(r.curTag, resp)
 	r.cur = bus.Request{}
 	r.state = ramIdle
 }

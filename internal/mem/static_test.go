@@ -10,7 +10,7 @@ import (
 type harness struct {
 	t    *testing.T
 	k    *sim.Kernel
-	link *bus.Link
+	link *bus.Port
 	r    *StaticRAM
 }
 

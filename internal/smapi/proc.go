@@ -28,7 +28,7 @@ const (
 type Proc struct {
 	name string
 	id   int
-	link *bus.Link
+	port *bus.Port
 	task Task
 
 	state   procState
@@ -52,14 +52,14 @@ type Proc struct {
 	k        *sim.Kernel
 }
 
-// NewProc creates a processing element named name with master link link,
+// NewProc creates a processing element named name with master port port,
 // running task. id is the master identity stamped on reservations (use
 // the PE's index on the interconnect).
-func NewProc(k *sim.Kernel, name string, id int, link *bus.Link, task Task) *Proc {
+func NewProc(k *sim.Kernel, name string, id int, port *bus.Port, task Task) *Proc {
 	p := &Proc{
 		name: name,
 		id:   id,
-		link: link,
+		port: port,
 		task: task,
 		step: make(chan uint64),
 		done: make(chan struct{}),
@@ -84,7 +84,7 @@ func (p *Proc) Tick(cycle uint64) {
 		return
 	case procWaitResp:
 		p.WaitCycles++
-		resp, ok := p.link.Response()
+		resp, ok := p.port.Response()
 		if !ok {
 			return
 		}
@@ -187,12 +187,12 @@ func (p *Proc) yield() {
 	p.cycle = <-p.step
 }
 
-// transact issues req on the PE's link and blocks (in simulated time)
+// transact issues req on the PE's port and blocks (in simulated time)
 // until the response arrives.
 func (p *Proc) transact(req bus.Request) bus.Response {
 	req.Master = p.id
 	p.OpsIssued++
-	p.link.Issue(req)
+	p.port.Issue(req)
 	p.state = procWaitResp
 	p.yield()
 	return p.resp

@@ -15,7 +15,7 @@ import (
 func buildSystem(t *testing.T, tasks []Task, wcfg core.Config) (*sim.Kernel, []*Proc, *core.Wrapper) {
 	t.Helper()
 	k := sim.New()
-	var mLinks []*bus.Link
+	var mLinks []*bus.Port
 	var procs []*Proc
 	for i, task := range tasks {
 		l := bus.NewLink(k, "pe")
@@ -27,7 +27,7 @@ func buildSystem(t *testing.T, tasks []Task, wcfg core.Config) (*sim.Kernel, []*
 	if err != nil {
 		panic(err)
 	}
-	bus.NewBus(k, "bus", mLinks, []*bus.Link{sl}, bus.NewRoundRobin())
+	bus.NewBus(k, "bus", mLinks, []*bus.Port{sl}, bus.NewRoundRobin())
 	return k, procs, w
 }
 
@@ -339,7 +339,7 @@ func TestRuntimeAssemblyRoundTrip(t *testing.T) {
 	if _, err := core.NewWrapper(k, core.Config{Delays: core.DefaultDelays()}, link); err != nil {
 		t.Fatal(err)
 	}
-	cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Link: link})
+	cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Port: link})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestRuntimeAssemblyBurst(t *testing.T) {
 	if _, err := core.NewWrapper(k, core.Config{Delays: core.DefaultDelays()}, link); err != nil {
 		t.Fatal(err)
 	}
-	cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Link: link})
+	cpu, err := iss.New(k, iss.Config{Prog: prog.Code, Port: link})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -574,3 +574,40 @@ func BenchmarkMLP(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) { benchMLP(b, tc.depth, tc.split, tc.inter) })
 	}
 }
+
+// --- E11: coherent cache hierarchy ----------------------------------------
+
+// benchCache replays the E11 coherence/locality workload (quick size,
+// the exact TestE11CacheAcceptance scenario). The deterministic
+// "simcycles" metric lets benchjson gate protocol regressions
+// host-independently.
+func benchCache(b *testing.B, w experiments.CacheWorkload, cached bool) {
+	b.Helper()
+	var total, cycles uint64
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiments.RunCache(w, cached, config.InterBus, experiments.Mode{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.Cycles
+		cycles = r.Cycles
+	}
+	reportSimSpeed(b, total)
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+func BenchmarkCache(b *testing.B) {
+	locality, sharing := experiments.E11Workload(experiments.Options{Quick: true})
+	for _, tc := range []struct {
+		name   string
+		w      experiments.CacheWorkload
+		cached bool
+	}{
+		{"locality/uncached", locality, false},
+		{"locality/coherent-l1", locality, true},
+		{"sharing/uncached", sharing, false},
+		{"sharing/coherent-l1", sharing, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchCache(b, tc.w, tc.cached) })
+	}
+}

@@ -22,12 +22,14 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,e10,ev,par,a1,a2) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,ev,par,a1,a2) or 'all'")
 	lockstep := flag.Bool("lockstep", false, "pin every measured kernel to lockstep stepping (EV always compares both)")
 	workers := flag.Int("workers", 1, "tick-phase parallelism for every measured kernel (0 = GOMAXPROCS, 1 = sequential; PAR sweeps its own counts)")
 	allocFlag := flag.String("alloc", "default", "allocation policy for every measured memory: default | first-fit | best-fit | buddy | segregated (E9 sweeps all)")
 	depth := flag.Int("depth", 1, "per-port outstanding-transaction depth for every measured system (E10 sweeps its own depths)")
 	split := flag.Bool("split", false, "run every measured interconnect in split-transaction mode (E10 sweeps both protocols)")
+	ooo := flag.Bool("ooo", false, "deliver completions out of order on every measured master port (default: in issue order)")
+	cacheOn := flag.Bool("cache", false, "front every measured master with a coherent private L1 cache (E11 sweeps cached vs uncached)")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -38,10 +40,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers, Alloc: policy, Depth: *depth, Split: *split}
+	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers,
+		Alloc: policy, Depth: *depth, Split: *split, OOO: *ooo, Cache: *cacheOn}
 
 	// Run header: the tables below are attributable to this scheduler
-	// configuration.
+	// configuration — including the completion-delivery order, so the
+	// header reports the full port configuration mpsim prints.
 	mode := "event-driven"
 	if *lockstep {
 		mode = "lockstep"
@@ -50,8 +54,16 @@ func main() {
 	if *split {
 		proto = "split"
 	}
-	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s × port depth=%d × %s protocol (host GOMAXPROCS %d)\n\n",
-		mode, *workers, policy, *depth, proto, runtime.GOMAXPROCS(0))
+	order := "in-order"
+	if *ooo {
+		order = "out-of-order"
+	}
+	caches := "uncached"
+	if *cacheOn {
+		caches = "coherent L1"
+	}
+	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s × port depth=%d × %s protocol × %s × %s (host GOMAXPROCS %d)\n\n",
+		mode, *workers, policy, *depth, proto, order, caches, runtime.GOMAXPROCS(0))
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(strings.ToLower(id))] = true
@@ -83,6 +95,7 @@ func main() {
 		{"e8", one(experiments.E8)},
 		{"e9", one(experiments.E9)},
 		{"e10", one(experiments.E10)},
+		{"e11", one(experiments.E11)},
 		{"ev", one(experiments.EV)},
 		{"par", one(experiments.PAR)},
 		{"a1", one(experiments.A1)},

@@ -54,6 +54,12 @@ func run() error {
 		depth    = flag.Int("depth", 1, "per-port outstanding-transaction depth (credit pool; 1 = classic single-outstanding)")
 		split    = flag.Bool("split", false, "split-transaction interconnect: address phase releases the bus, responses re-arbitrate")
 		ooo      = flag.Bool("ooo", false, "deliver completions out of order (default: in issue order)")
+		cacheOn  = flag.Bool("cache", false, "front every master with a private write-back L1 cache (MESI-snooped when -coherent)")
+		coherent = flag.Bool("coherent", true, "attach the L1s to a MESI snoop domain (only meaningful with -cache)")
+		l1sets   = flag.Int("l1sets", 0, "L1 sets (0 = default 64)")
+		l1ways   = flag.Int("l1ways", 0, "L1 ways (0 = default 2)")
+		l1line   = flag.Uint("l1line", 0, "L1 line size in bytes (0 = default 32)")
+		mshrs    = flag.Int("mshrs", 0, "L1 miss-status-holding registers (0 = default 4)")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
 	)
 	flag.Parse()
@@ -99,6 +105,8 @@ func run() error {
 		Masters: masters, Memories: *memories, MemKind: kind, Interconnect: ic,
 		AllocPolicy: allocKind, Lockstep: *lockstep, Workers: *workers,
 		OutstandingDepth: *depth, SplitBus: *split, OutOfOrder: *ooo,
+		Cache: *cacheOn, Coherent: *cacheOn && *coherent,
+		CacheSets: *l1sets, CacheWays: *l1ways, CacheLineBytes: uint32(*l1line), CacheMSHRs: *mshrs,
 	})
 	if err != nil {
 		return err
@@ -118,8 +126,16 @@ func run() error {
 	if *ooo {
 		order = "out-of-order"
 	}
-	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); %s protocol × depth=%d × %s; scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
-		masters, ic, *memories, kind, allocKind, proto, *depth, order, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
+	cacheDesc := "uncached"
+	if len(sys.Caches) > 0 {
+		coh := "private"
+		if sys.Domain != nil {
+			coh = "MESI-coherent"
+		}
+		cacheDesc = fmt.Sprintf("%s L1 ×%d (%dB lines)", coh, len(sys.Caches), sys.Caches[0].LineBytes())
+	}
+	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); %s; %s protocol × depth=%d × %s; scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
+		masters, ic, *memories, kind, allocKind, cacheDesc, proto, *depth, order, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
 
 	var doneFn func() bool
 	switch {
@@ -258,6 +274,18 @@ func run() error {
 			fmt.Sprint(st.Ops[bus.OpReadBurst]+st.Ops[bus.OpWriteBurst]), fmt.Sprint(errs))
 	}
 	fmt.Println(mt)
+
+	if len(sys.Caches) > 0 {
+		ct := stats.NewTable("L1 caches", "cache", "hits", "misses", "hit rate", "refills", "writebacks", "snoop inv", "snoop flush", "bypassed")
+		for _, c := range sys.Caches {
+			st := c.Stats()
+			ct.Add(c.Name(), fmt.Sprint(st.Hits), fmt.Sprint(st.Misses),
+				fmt.Sprintf("%.1f%%", 100*st.HitRate()), fmt.Sprint(st.Refills),
+				fmt.Sprint(st.Writebacks), fmt.Sprint(st.SnoopInvalidations),
+				fmt.Sprint(st.SnoopFlushes), fmt.Sprint(st.Bypassed))
+		}
+		fmt.Println(ct)
+	}
 
 	if *profile {
 		var total time.Duration

@@ -80,6 +80,11 @@ type Bus struct {
 	// before simulation starts.
 	RespArb Arbiter
 
+	// Snoop, when non-nil, is the cache-coherence domain consulted before
+	// and notified after every address-phase grant (see Snooper).
+	// Configure before simulation starts.
+	Snoop Snooper
+
 	// occupied-engine state
 	state     busState
 	cur       Request
@@ -204,8 +209,10 @@ func (b *Bus) nextWakeSplit(now uint64) uint64 {
 // it only uses the slave side of master ports (peek/pop/complete) and
 // the master side of slave ports (issue/drain), which the port protocol
 // makes exclusive to it within any cycle. Safe to tick concurrently with
-// CPUs and memories.
-func (b *Bus) ConcurrentTick() bool { return true }
+// CPUs and memories — unless a snoop domain is attached, in which case
+// the bus mutates peer cache state during its Tick and must co-schedule
+// with the caches on the serial shard.
+func (b *Bus) ConcurrentTick() bool { return b.Snoop == nil }
 
 // TickWeight implements sim.Weighted: mostly demand polling and word
 // countdowns — cheap relative to the modules it connects.
@@ -250,9 +257,17 @@ func (b *Bus) tickOccupied() {
 	case busIdle:
 		var pending []int
 		for i, m := range b.masters {
-			if m.Pending() {
-				pending = append(pending, i)
+			if !m.Pending() {
+				continue
 			}
+			if b.Snoop != nil {
+				// Only a snooper needs the request payload; the uncached
+				// hot path stays a sequence-counter compare.
+				if req, ok := m.Peek(); !ok || !b.Snoop.CanProceed(req, i) {
+					continue
+				}
+			}
+			pending = append(pending, i)
 		}
 		if len(pending) == 0 {
 			return
@@ -264,6 +279,9 @@ func (b *Bus) tickOccupied() {
 		}
 		req := tx.Req
 		req.Master = gi
+		if b.Snoop != nil {
+			b.Snoop.OnGrant(req, gi, tx.Tag)
+		}
 		b.cur = req
 		b.curMaster = gi
 		b.curTag = tx.Tag
@@ -408,6 +426,9 @@ func (b *Bus) startRequest() {
 		if req.SM >= 0 && req.SM < len(b.slaves) && !b.slaves[req.SM].CanAccept() {
 			continue
 		}
+		if b.Snoop != nil && !b.Snoop.CanProceed(req, mi) {
+			continue
+		}
 		cands = append(cands, mi)
 	}
 	if len(cands) == 0 {
@@ -420,6 +441,9 @@ func (b *Bus) startRequest() {
 	}
 	req := tx.Req
 	req.Master = gi
+	if b.Snoop != nil {
+		b.Snoop.OnGrant(req, gi, tx.Tag)
+	}
 	b.sreq = req
 	b.sreqFrom = pendSrc{master: gi, tag: tx.Tag}
 	b.stats.Transactions++

@@ -35,6 +35,11 @@ type Crossbar struct {
 	// simulation starts.
 	Split bool
 
+	// Snoop, when non-nil, is the cache-coherence domain consulted before
+	// and notified after every lane's address-phase grant (see Snooper).
+	// Configure before simulation starts.
+	Snoop Snooper
+
 	lanes []xbarLane
 	stats Stats
 }
@@ -109,8 +114,10 @@ func (x *Crossbar) wordCycles(words uint32) uint32 {
 // ConcurrentTick implements sim.Concurrent: same confinement argument
 // as Bus — lanes, arbiters, pending tables and stats are the crossbar's
 // own, and its port-side accesses are the interconnect half of the port
-// protocol.
-func (x *Crossbar) ConcurrentTick() bool { return true }
+// protocol. With a snoop domain attached the crossbar mutates peer cache
+// state during its Tick and must co-schedule with the caches on the
+// serial shard.
+func (x *Crossbar) ConcurrentTick() bool { return x.Snoop == nil }
 
 // TickWeight implements sim.Weighted: one cheap lane FSM per slave.
 func (x *Crossbar) TickWeight() int {
@@ -247,9 +254,14 @@ func (x *Crossbar) Skip(n uint64) {
 func (x *Crossbar) pickRequest(si int) (Txn, int, bool) {
 	var pending []int
 	for mi, m := range x.masters {
-		if req, ok := m.Peek(); ok && req.SM == si {
-			pending = append(pending, mi)
+		req, ok := m.Peek()
+		if !ok || req.SM != si {
+			continue
 		}
+		if x.Snoop != nil && !x.Snoop.CanProceed(req, mi) {
+			continue
+		}
+		pending = append(pending, mi)
 	}
 	if len(pending) == 0 {
 		return Txn{}, 0, false
@@ -258,6 +270,11 @@ func (x *Crossbar) pickRequest(si int) (Txn, int, bool) {
 	tx, ok := x.masters[gi].Pop()
 	if !ok {
 		return Txn{}, 0, false
+	}
+	if x.Snoop != nil {
+		req := tx.Req
+		req.Master = gi
+		x.Snoop.OnGrant(req, gi, tx.Tag)
 	}
 	return tx, gi, true
 }

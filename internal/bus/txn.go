@@ -1,6 +1,9 @@
 package bus
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Op identifies a shared-memory operation. The dynamic operations (alloc,
 // free, reserve, release) exist only on dynamic memory modules; static
@@ -66,6 +69,36 @@ const (
 	// I32 is a signed 32-bit element.
 	I32
 )
+
+// ReadElem decodes one element of this type from the little-endian
+// bytes at the front of b, sign-extending I16 — the element codec every
+// byte-backed memory model (static table, heapsim arena, cache line)
+// shares.
+func (t DataType) ReadElem(b []byte) uint32 {
+	switch t {
+	case U8:
+		return uint32(b[0])
+	case U16:
+		return uint32(binary.LittleEndian.Uint16(b))
+	case I16:
+		return uint32(int32(int16(binary.LittleEndian.Uint16(b))))
+	default:
+		return binary.LittleEndian.Uint32(b)
+	}
+}
+
+// WriteElem encodes val as one element of this type into the front of
+// b, little-endian.
+func (t DataType) WriteElem(b []byte, val uint32) {
+	switch t {
+	case U8:
+		b[0] = byte(val)
+	case U16, I16:
+		binary.LittleEndian.PutUint16(b, uint16(val))
+	default:
+		binary.LittleEndian.PutUint32(b, val)
+	}
+}
 
 // Size returns the element size in bytes.
 func (t DataType) Size() uint32 {
@@ -152,6 +185,16 @@ type Request struct {
 	// Master identifies the issuing master. The interconnect stamps it;
 	// the wrapper uses it for reservation ownership.
 	Master int
+
+	// Excl marks a cache line refill that requests exclusive (writable)
+	// ownership — the MESI BusRdX. Set by caches on write misses; the
+	// snoop phase invalidates peer copies. Memories ignore it.
+	Excl bool
+	// WB marks a cache writeback of an owned (Modified) line. Writebacks
+	// are the resolution mechanism of the snoop protocol's dirty-line
+	// deferrals, so the snoop phase never defers or invalidates on them.
+	// Memories treat the request as an ordinary burst write.
+	WB bool
 }
 
 // String renders the request for traces.

@@ -1,0 +1,772 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+// State is a line's MESI state.
+type State uint8
+
+const (
+	// Invalid: the way holds no line.
+	Invalid State = iota
+	// Shared: clean, peers may hold copies.
+	Shared
+	// Exclusive: clean, no peer holds a copy.
+	Exclusive
+	// Modified: dirty, no peer holds a copy; memory is stale.
+	Modified
+)
+
+// String returns the state's MESI letter.
+func (s State) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+// Config parameterizes one cache.
+type Config struct {
+	// Name labels the module.
+	Name string
+	// Sets and Ways are the geometry (defaults 64 sets × 2 ways).
+	Sets, Ways int
+	// LineBytes is the line size in bytes, a multiple of 4 (default 32).
+	LineBytes uint32
+	// MSHRs is the number of miss-status-holding registers — the maximum
+	// number of outstanding line misses (default 4).
+	MSHRs int
+	// Cacheable reports whether scalar accesses to module sm may be
+	// cached. Nil means every module is cacheable. Non-cacheable traffic
+	// passes through untouched (and still participates in snooping at
+	// the interconnect).
+	Cacheable func(sm int) bool
+}
+
+// Stats counts cache activity. All counters are event counts (never
+// per-cycle), so they are identical across every kernel scheduling mode
+// by construction.
+type Stats struct {
+	Hits, Misses uint64
+	// Upgrades counts write hits on Shared lines — coherence misses that
+	// refetch the line exclusively. They are also counted in Misses.
+	Upgrades uint64
+	// Refills counts installed lines; Writebacks counts victim evictions
+	// of Modified lines.
+	Refills, Writebacks uint64
+	// SnoopFlushes counts dirty lines written back on peer demand (snoop
+	// hit M, plus host-requested FlushAll); SnoopInvalidations and
+	// SnoopDowngrades count lines dropped resp. demoted E→S by the snoop
+	// broadcast.
+	SnoopFlushes, SnoopInvalidations, SnoopDowngrades uint64
+	// Bypassed counts requests forwarded downstream uncached.
+	Bypassed uint64
+	// Errors counts refills and forwarded requests completing with an
+	// in-band error (propagated to the master).
+	Errors uint64
+}
+
+// HitRate returns hits over cacheable accesses.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type line struct {
+	state State
+	sm    int
+	base  uint32
+	data  []byte
+	used  uint64 // LRU stamp
+}
+
+type waiter struct {
+	tag bus.Tag
+	req bus.Request
+}
+
+// mshr is one outstanding line miss.
+type mshr struct {
+	sm       int
+	base     uint32
+	excl     bool
+	set, way int
+	// issued: the refill request was issued into the down port.
+	// granted: the interconnect granted its address phase (set by the
+	// Domain at OnGrant) — from then until install this MSHR defers
+	// conflicting peer grants. shared: a peer held a valid copy at grant
+	// time, so a clean install is S rather than E.
+	issued, granted, shared bool
+	tag                     bus.Tag
+	waiters                 []waiter
+}
+
+// wbEntry is one line writeback pending issue or in flight.
+type wbEntry struct {
+	sm   int
+	base uint32
+	data []byte
+}
+
+// bypass is a popped request awaiting downstream forwarding. The wait
+// range [lo, hi) in module sm (needWait) holds the forward back until no
+// writeback overlapping it is queued or in flight.
+type bypass struct {
+	upTag    bus.Tag
+	req      bus.Request
+	needWait bool
+	sm       int
+	lo, hi   uint32
+}
+
+// Cache is the L1 module. See the package documentation for the
+// protocol.
+type Cache struct {
+	name string
+	cfg  Config
+	k    *sim.Kernel
+
+	domain *Domain
+
+	// up faces the master; down carries refills and pass-through
+	// requests; wb is the dedicated writeback channel. Writebacks must
+	// ride their own interconnect port: a writeback queued behind a
+	// snoop-deferred refill in one FIFO would deadlock the protocol (two
+	// caches each deferring the other's refill while holding the
+	// resolving writeback captive behind their own).
+	up, down, wb *bus.Port
+
+	sets     [][]line
+	useClock uint64
+
+	mshrs      []*mshr
+	wbq        []*wbEntry           // writebacks pending issue, FIFO
+	wbInflight map[bus.Tag]*wbEntry // issued, not yet completed
+	fwd        map[bus.Tag]bus.Tag  // forwarded bypass: down tag → up tag
+	pending    *bypass              // popped bypass not yet forwarded
+
+	stats Stats
+}
+
+// New creates a cache between the given up (master-facing, slave side)
+// and interconnect-facing master ports: down carries refills and
+// pass-through requests, wb is the dedicated writeback channel (see the
+// Cache field docs for why it must be separate). The down port should
+// be deep enough for the MSHR count plus pass-through traffic and
+// deliver out of order (the cache routes completions by tag).
+func New(k *sim.Kernel, cfg Config, up, down, wb *bus.Port) (*Cache, error) {
+	if cfg.Name == "" {
+		cfg.Name = "l1"
+	}
+	if cfg.Sets <= 0 {
+		cfg.Sets = 64
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 2
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 32
+	}
+	if cfg.LineBytes%4 != 0 {
+		return nil, fmt.Errorf("cache: line size %d not a multiple of 4", cfg.LineBytes)
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 4
+	}
+	c := &Cache{
+		name:       cfg.Name,
+		cfg:        cfg,
+		k:          k,
+		up:         up,
+		down:       down,
+		wb:         wb,
+		sets:       make([][]line, cfg.Sets),
+		wbInflight: make(map[bus.Tag]*wbEntry),
+		fwd:        make(map[bus.Tag]bus.Tag),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+		for w := range c.sets[i] {
+			c.sets[i][w].data = make([]byte, cfg.LineBytes)
+		}
+	}
+	k.Add(c)
+	return c, nil
+}
+
+// Name implements sim.Module.
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() uint32 { return c.cfg.LineBytes }
+
+func (c *Cache) cacheable(sm int) bool {
+	return sm >= 0 && (c.cfg.Cacheable == nil || c.cfg.Cacheable(sm))
+}
+
+func (c *Cache) lineBase(addr uint32) uint32 { return addr - addr%c.cfg.LineBytes }
+
+func (c *Cache) setIndex(sm int, base uint32) int {
+	return int((base/c.cfg.LineBytes + uint32(sm)) % uint32(c.cfg.Sets))
+}
+
+func (c *Cache) touch(ln *line) {
+	c.useClock++
+	ln.used = c.useClock
+}
+
+// lookup returns the way holding (sm, base), valid or not found.
+func (c *Cache) lookup(sm int, base uint32) (set int, way int, ok bool) {
+	set = c.setIndex(sm, base)
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if ln.state != Invalid && ln.sm == sm && ln.base == base {
+			return set, w, true
+		}
+	}
+	return set, 0, false
+}
+
+// overlaps reports whether line (sm, base) intersects [lo, hi) in module
+// sm.
+func lineOverlaps(lineSM int, base, lineBytes uint32, sm int, lo, hi uint32) bool {
+	return lineSM == sm && base < hi && lo < base+lineBytes
+}
+
+// Tick implements sim.Module.
+func (c *Cache) Tick(cycle uint64) {
+	c.drainCompletions()
+	c.processHead()
+	c.issueDown()
+}
+
+// drainCompletions consumes every down-port completion deliverable this
+// cycle: writeback acknowledgements, forwarded-request responses and
+// line refills (install + waiter service).
+func (c *Cache) drainCompletions() {
+	for tag, resp := range c.wb.Completions() {
+		if _, ok := c.wbInflight[tag]; !ok {
+			c.k.Fault(fmt.Errorf("%s: writeback completion for unknown tag %d", c.name, tag))
+			continue
+		}
+		delete(c.wbInflight, tag)
+		if resp.Err != bus.OK {
+			// A failed writeback silently loses committed data — a
+			// configuration error (non-flat cacheable memory), not a
+			// modelled condition the master could handle.
+			c.k.Fault(fmt.Errorf("%s: writeback failed: %v", c.name, resp.Err))
+		}
+	}
+	for tag, resp := range c.down.Completions() {
+		if upTag, ok := c.fwd[tag]; ok {
+			delete(c.fwd, tag)
+			if resp.Err != bus.OK {
+				c.stats.Errors++
+			}
+			c.up.Complete(upTag, resp)
+			continue
+		}
+		if m := c.mshrByTag(tag); m != nil {
+			c.install(m, resp)
+			continue
+		}
+		c.k.Fault(fmt.Errorf("%s: completion for unknown tag %d", c.name, tag))
+	}
+}
+
+func (c *Cache) mshrByTag(tag bus.Tag) *mshr {
+	for _, m := range c.mshrs {
+		if m.issued && m.tag == tag {
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *Cache) removeMSHR(m *mshr) {
+	for i, x := range c.mshrs {
+		if x == m {
+			c.mshrs = append(c.mshrs[:i], c.mshrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// install writes a completed refill into its target way and serves the
+// MSHR's waiters in arrival order.
+func (c *Cache) install(m *mshr, resp bus.Response) {
+	if resp.Err != bus.OK {
+		for _, w := range m.waiters {
+			c.stats.Errors++
+			c.up.Complete(w.tag, bus.Response{Err: resp.Err})
+		}
+		c.removeMSHR(m)
+		return
+	}
+	ln := &c.sets[m.set][m.way]
+	ln.sm, ln.base = m.sm, m.base
+	for i, v := range resp.Burst {
+		binary.LittleEndian.PutUint32(ln.data[i*4:], v)
+	}
+	switch {
+	case m.excl:
+		// Peers were invalidated at the grant; the first waiter (the
+		// missing write) dirties the line to Modified below.
+		ln.state = Exclusive
+	case m.shared:
+		ln.state = Shared
+	default:
+		ln.state = Exclusive
+	}
+	c.stats.Refills++
+	c.touch(ln)
+	for _, w := range m.waiters {
+		off := w.req.VPtr - m.base
+		if w.req.Op == bus.OpWrite {
+			writeElem(ln.data[off:], w.req.DType, w.req.Data)
+			ln.state = Modified
+			c.up.Complete(w.tag, bus.Response{})
+		} else {
+			c.up.Complete(w.tag, bus.Response{Data: readElem(ln.data[off:], w.req.DType)})
+		}
+	}
+	c.removeMSHR(m)
+}
+
+// cacheableScalar reports whether req is a scalar access the cache may
+// serve from a line: OpRead/OpWrite, cacheable module, and the element
+// contained in one line.
+func (c *Cache) cacheableScalar(req bus.Request) bool {
+	if req.Op != bus.OpRead && req.Op != bus.OpWrite {
+		return false
+	}
+	if !c.cacheable(req.SM) {
+		return false
+	}
+	off := req.VPtr % c.cfg.LineBytes
+	return off+req.DType.Size() <= c.cfg.LineBytes
+}
+
+// processHead examines the up-port queue head and pops at most one
+// request: a hit is served immediately, a miss allocates or joins an
+// MSHR, anything non-cacheable becomes a pending bypass. The head stays
+// queued when the cache cannot act on it yet (MSHRs exhausted, an
+// incompatible in-flight miss, a bypass overlapping an in-flight miss,
+// or an unforwarded bypass occupying the single bypass slot).
+func (c *Cache) processHead() {
+	if c.pending != nil {
+		return
+	}
+	req, ok := c.up.Peek()
+	if !ok {
+		return
+	}
+	if c.cacheableScalar(req) {
+		c.processScalar(req)
+		return
+	}
+	c.processBypass(req)
+}
+
+func (c *Cache) processScalar(req bus.Request) {
+	base := c.lineBase(req.VPtr)
+	isWrite := req.Op == bus.OpWrite
+
+	// An in-flight miss on the line orders every later access to it:
+	// coalesce when compatible, otherwise wait for the install.
+	if m := c.findMSHR(req.SM, base); m != nil {
+		if isWrite && !m.excl {
+			return
+		}
+		tx, _ := c.up.Pop()
+		c.stats.Misses++
+		m.waiters = append(m.waiters, waiter{tag: tx.Tag, req: req})
+		return
+	}
+
+	if set, way, ok := c.lookup(req.SM, base); ok {
+		ln := &c.sets[set][way]
+		if !isWrite {
+			tx, _ := c.up.Pop()
+			c.stats.Hits++
+			c.touch(ln)
+			off := req.VPtr - base
+			c.up.Complete(tx.Tag, bus.Response{Data: readElem(ln.data[off:], req.DType)})
+			return
+		}
+		if ln.state == Modified || ln.state == Exclusive {
+			tx, _ := c.up.Pop()
+			c.stats.Hits++
+			c.touch(ln)
+			writeElem(ln.data[req.VPtr-base:], req.DType, req.Data)
+			ln.state = Modified
+			c.up.Complete(tx.Tag, bus.Response{})
+			return
+		}
+		// Write hit on Shared: an upgrade — refetch the line exclusively
+		// into the same way. The local copy stays S until the install.
+		if c.allocMSHR(req, base, set, way) {
+			c.stats.Upgrades++
+		}
+		return
+	}
+
+	set := c.setIndex(req.SM, base)
+	way, ok := c.victimWay(set)
+	if !ok {
+		return // every way's line has an in-flight miss installing into it
+	}
+	c.allocMSHR(req, base, set, way)
+}
+
+// victimWay picks the way a refill will install into: an invalid way if
+// one exists, otherwise the least-recently-used way that is not already
+// the target of an in-flight MSHR.
+func (c *Cache) victimWay(set int) (int, bool) {
+	best, bestUsed, ok := 0, ^uint64(0), false
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if c.wayReserved(set, w) {
+			continue
+		}
+		if ln.state == Invalid {
+			return w, true
+		}
+		if ln.used < bestUsed {
+			best, bestUsed, ok = w, ln.used, true
+		}
+	}
+	return best, ok
+}
+
+func (c *Cache) wayReserved(set, way int) bool {
+	for _, m := range c.mshrs {
+		if m.set == set && m.way == way {
+			return true
+		}
+	}
+	return false
+}
+
+// allocMSHR pops the head request into a fresh MSHR for (sm, base)
+// installing into (set, way), evicting a dirty victim to the writeback
+// queue. No-op (head stays queued) when every MSHR is in use.
+func (c *Cache) allocMSHR(req bus.Request, base uint32, set, way int) bool {
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		return false
+	}
+	tx, _ := c.up.Pop()
+	ln := &c.sets[set][way]
+	if ln.state == Modified {
+		c.evict(ln)
+	} else if ln.state != Invalid && !(ln.sm == req.SM && ln.base == base) {
+		ln.state = Invalid
+	}
+	c.stats.Misses++
+	c.mshrs = append(c.mshrs, &mshr{
+		sm: req.SM, base: base, excl: req.Op == bus.OpWrite,
+		set: set, way: way,
+		waiters: []waiter{{tag: tx.Tag, req: req}},
+	})
+	return true
+}
+
+func (c *Cache) findMSHR(sm int, base uint32) *mshr {
+	for _, m := range c.mshrs {
+		if m.sm == sm && m.base == base {
+			return m
+		}
+	}
+	return nil
+}
+
+// evict moves a Modified line onto the writeback queue and invalidates
+// the way. The queued range keeps deferring peer grants (via the Domain)
+// until the writeback has landed in memory.
+func (c *Cache) evict(ln *line) {
+	c.stats.Writebacks++
+	c.wbq = append(c.wbq, &wbEntry{
+		sm: ln.sm, base: ln.base,
+		data: append([]byte(nil), ln.data...),
+	})
+	ln.state = Invalid
+}
+
+// dataRange returns the byte range [lo, hi) in module sm that a data
+// operation touches. ok is false for operations without one (alloc,
+// free, reserve, release).
+func dataRange(req bus.Request) (sm int, lo, hi uint32, ok bool) {
+	es := req.DType.Size()
+	switch req.Op {
+	case bus.OpRead, bus.OpWrite:
+		return req.SM, req.VPtr, req.VPtr + es, true
+	case bus.OpReadBurst:
+		return req.SM, req.VPtr, req.VPtr + req.Dim*es, true
+	case bus.OpWriteBurst:
+		return req.SM, req.VPtr, req.VPtr + uint32(len(req.Burst))*es, true
+	default:
+		return 0, 0, 0, false
+	}
+}
+
+// processBypass pops a non-cacheable request into the bypass slot after
+// making the cache's own copies safe: overlapping dirty lines are
+// written back (and FIFO issue order puts those writebacks ahead of the
+// forwarded request), and overlapping lines are invalidated when the
+// request writes. OpFree conservatively flushes and invalidates every
+// line of its module — the cache cannot know the freed extent, and the
+// address range may be reused by a later allocation.
+func (c *Cache) processBypass(req bus.Request) {
+	sm, lo, hi, data := dataRange(req)
+	if data && c.cacheable(sm) {
+		// An in-flight miss overlapping the range must install first;
+		// forwarding now could reorder the bypass around the refill.
+		for _, m := range c.mshrs {
+			if lineOverlaps(m.sm, m.base, c.cfg.LineBytes, sm, lo, hi) {
+				return
+			}
+		}
+	}
+	if req.Op == bus.OpFree && c.cacheable(req.SM) {
+		// A free's invalidation sweep cannot cover a refill that has not
+		// installed yet — it would re-create a valid line over freed
+		// memory. The freed extent is unknown, so wait out every miss in
+		// the module.
+		for _, m := range c.mshrs {
+			if m.sm == req.SM {
+				return
+			}
+		}
+	}
+	tx, ok := c.up.Pop()
+	if !ok {
+		return
+	}
+	p := &bypass{upTag: tx.Tag, req: req}
+	if data && c.cacheable(sm) {
+		write := req.Op == bus.OpWrite || req.Op == bus.OpWriteBurst
+		c.flushRange(sm, lo, hi, write)
+		p.needWait, p.sm, p.lo, p.hi = true, sm, lo, hi
+	}
+	if req.Op == bus.OpFree && c.cacheable(req.SM) {
+		c.flushRange(req.SM, 0, ^uint32(0), true)
+		p.needWait, p.sm, p.lo, p.hi = true, req.SM, 0, ^uint32(0)
+	}
+	c.stats.Bypassed++
+	c.pending = p
+}
+
+// visitOverlapping calls f for every valid line overlapping [lo, hi) in
+// module sm. Ranges within one line — the scalar, refill and
+// whole-line-writeback cases that dominate snoop traffic — resolve with
+// a single set lookup; only multi-line ranges (line-crossing bursts,
+// the unbounded OpFree flush) walk the full geometry.
+func (c *Cache) visitOverlapping(sm int, lo, hi uint32, f func(ln *line)) {
+	if lo < hi && (hi-1)/c.cfg.LineBytes == lo/c.cfg.LineBytes {
+		if set, way, ok := c.lookup(sm, c.lineBase(lo)); ok {
+			f(&c.sets[set][way])
+		}
+		return
+	}
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if ln.state != Invalid && lineOverlaps(ln.sm, ln.base, c.cfg.LineBytes, sm, lo, hi) {
+				f(ln)
+			}
+		}
+	}
+}
+
+// flushRange writes back every dirty line overlapping [lo, hi) in module
+// sm (M→S) and, when invalidate is set, drops every overlapping line.
+func (c *Cache) flushRange(sm int, lo, hi uint32, invalidate bool) {
+	c.visitOverlapping(sm, lo, hi, func(ln *line) {
+		if ln.state == Modified {
+			c.evict(ln)
+			if !invalidate {
+				// evict invalidated; restore the clean copy.
+				ln.state = Shared
+			}
+			return
+		}
+		if invalidate {
+			ln.state = Invalid
+		}
+	})
+}
+
+// wbOverlap reports whether a queued or in-flight writeback intersects
+// [lo, hi) in module sm. Refills and forwarded requests must not issue
+// while one does: writebacks travel on their own port, so only
+// completion — not FIFO position — orders them ahead of dependent
+// reads.
+func (c *Cache) wbOverlap(sm int, lo, hi uint32) bool {
+	for _, e := range c.wbq {
+		if lineOverlaps(e.sm, e.base, c.cfg.LineBytes, sm, lo, hi) {
+			return true
+		}
+	}
+	for _, e := range c.wbInflight {
+		if lineOverlaps(e.sm, e.base, c.cfg.LineBytes, sm, lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// issueDown issues at most one writeback (on the dedicated wb port) and
+// one request (on the down port) per cycle. Refills issue in MSHR
+// creation order, each held back while a writeback of its own line is
+// outstanding; the pending bypass goes last, held back the same way.
+func (c *Cache) issueDown() {
+	if len(c.wbq) > 0 && c.wb.CanIssue() {
+		e := c.wbq[0]
+		c.wbq = c.wbq[1:]
+		words := make([]uint32, c.cfg.LineBytes/4)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint32(e.data[i*4:])
+		}
+		tag := c.wb.Issue(bus.Request{
+			Op: bus.OpWriteBurst, SM: e.sm, VPtr: e.base,
+			Dim: uint32(len(words)), DType: bus.U32, Burst: words, WB: true,
+		})
+		c.wbInflight[tag] = e
+	}
+	if !c.down.CanIssue() {
+		return
+	}
+	for _, m := range c.mshrs {
+		if m.issued {
+			continue
+		}
+		if c.wbOverlap(m.sm, m.base, m.base+c.cfg.LineBytes) {
+			continue
+		}
+		m.tag = c.down.Issue(bus.Request{
+			Op: bus.OpReadBurst, SM: m.sm, VPtr: m.base,
+			Dim: c.cfg.LineBytes / 4, DType: bus.U32, Excl: m.excl,
+		})
+		m.issued = true
+		return
+	}
+	if c.pending != nil {
+		if c.pending.needWait && c.wbOverlap(c.pending.sm, c.pending.lo, c.pending.hi) {
+			return
+		}
+		tag := c.down.Issue(c.pending.req)
+		c.fwd[tag] = c.pending.upTag
+		c.pending = nil
+	}
+}
+
+// NextWake implements sim.Sleeper. Every condition the cache acts on is
+// either already visible (pending requests, deliverable completions,
+// queued work — wake now) or arrives via a port signal commit, which
+// wakes every sleeper.
+func (c *Cache) NextWake(now uint64) uint64 {
+	if c.down.HasCompletion() || c.wb.HasCompletion() || c.up.Pending() ||
+		len(c.wbq) > 0 || c.pending != nil || c.unissuedMSHR() {
+		return now
+	}
+	return sim.WakeNever
+}
+
+func (c *Cache) unissuedMSHR() bool {
+	for _, m := range c.mshrs {
+		if !m.issued {
+			return true
+		}
+	}
+	return false
+}
+
+// Skip implements sim.Sleeper. The cache keeps no per-cycle counters, so
+// skipped idle cycles need no accounting.
+func (c *Cache) Skip(n uint64) {}
+
+// ConcurrentTick implements sim.Concurrent: a standalone cache touches
+// only its own state plus the slave side of its up port and the master
+// sides of its down and writeback ports, so it ticks concurrently.
+// Attached to a snoop domain, its state is also mutated by the
+// interconnect's Tick, so it must co-schedule on the serial shard.
+func (c *Cache) ConcurrentTick() bool { return c.domain == nil }
+
+// TickWeight implements sim.Weighted: a tag lookup plus queue headwork
+// per cycle.
+func (c *Cache) TickWeight() int { return 4 }
+
+// --- host-side inspection and drain ---
+
+// FlushAll queues a writeback for every Modified line (M→S), as the
+// snoop phase would. Call between kernel steps, then run until Synced to
+// guarantee memory holds every committed write — the experiment
+// harnesses verify final memory images this way.
+func (c *Cache) FlushAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if ln := &c.sets[s][w]; ln.state == Modified {
+				c.stats.SnoopFlushes++
+				c.evict(ln)
+				ln.state = Shared
+			}
+		}
+	}
+}
+
+// Synced reports whether no dirty state is outstanding: no Modified
+// line, no queued and no in-flight writeback.
+func (c *Cache) Synced() bool {
+	if len(c.wbq) > 0 || len(c.wbInflight) > 0 {
+		return false
+	}
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].state == Modified {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Idle reports whether the cache has no work at all: synced, no MSHR, no
+// bypass in flight and nothing queued on the up port.
+func (c *Cache) Idle() bool {
+	return c.Synced() && len(c.mshrs) == 0 && c.pending == nil &&
+		len(c.fwd) == 0 && !c.up.Pending()
+}
+
+// VisitLines calls f for every valid line (tests and invariant
+// checkers).
+func (c *Cache) VisitLines(f func(sm int, base uint32, st State)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if ln := &c.sets[s][w]; ln.state != Invalid {
+				f(ln.sm, ln.base, ln.state)
+			}
+		}
+	}
+}
+
+// Element access within a line uses the shared bus.DataType codec, so
+// the cache returns bit-for-bit what the byte-backed memories it fronts
+// would.
+func readElem(b []byte, dt bus.DataType) uint32       { return dt.ReadElem(b) }
+func writeElem(b []byte, dt bus.DataType, val uint32) { dt.WriteElem(b, val) }

@@ -1,0 +1,110 @@
+// Package cache implements a private, write-back, write-allocate,
+// set-associative L1 cache with MESI snooping coherence, built on the
+// split-transaction port protocol of internal/bus.
+//
+// # Position in the system
+//
+// A Cache interposes between one master and the interconnect: on the
+// "up" port it is the slave of its CPU/PE/DMA master (it pops the
+// master's requests and publishes their completions), and toward the
+// interconnect it masters two ports — "down" for tagged refills and
+// pass-through transactions, plus a dedicated "wb" writeback channel.
+// The split matters for liveness: a writeback queued behind a
+// snoop-deferred refill in one FIFO would deadlock the protocol (two
+// caches each deferring the other's refill while holding the resolving
+// writeback captive behind their own deferred head). The master cannot
+// tell a cache from a memory; the interconnect cannot tell a cache
+// from a CPU. At the system level (config.SystemConfig.Cache) every
+// master gets a private L1 and the interconnect's master side becomes
+// the caches' down ports followed by their writeback ports.
+//
+// # What is cached
+//
+// Scalar OpRead/OpWrite accesses to cacheable modules that fall entirely
+// within one line are cached. Everything else — bursts, the dynamic
+// operations (alloc/free/reserve/release), line-crossing scalars, and
+// every access to a non-cacheable module — bypasses: it is forwarded
+// downstream unchanged after the cache has made its own copies safe
+// (dirty overlapping lines are written back first; overlapping lines are
+// additionally invalidated when the bypassing operation writes). Only
+// flat-addressed memories are cacheable in practice: line refills are
+// whole-line U32 bursts at line-aligned addresses, which the static
+// table memory always accepts (config marks wrapper and heapsim modules
+// non-cacheable, because their burst semantics are per-allocation and
+// typed). A line is (sm, line-aligned address); the cache fronts the
+// whole shared address space of its master.
+//
+// # States and transactions
+//
+// Each line is Invalid, Shared, Exclusive or Modified. Misses allocate a
+// miss-status-holding register (MSHR) and issue a whole-line OpReadBurst
+// downstream — with Request.Excl set when the miss is for a write (the
+// MESI BusRdX; a write hitting a Shared line takes the same path as an
+// upgrade). Victim lines in M are written back with OpWriteBurst +
+// Request.WB on the dedicated writeback channel; because that channel
+// is a separate port, position no longer orders a writeback ahead of a
+// same-line read, so refills and forwarded requests are held back until
+// no writeback overlapping their range is queued or in flight. Multiple
+// outstanding misses to distinct lines ride the split protocol
+// concurrently, up to the MSHR count and the down port's credit pool;
+// requests to a line with an in-flight MSHR coalesce onto it (reads onto
+// any MSHR, writes only onto exclusive ones — otherwise the head waits).
+// The cache serves at most one new master request and issues at most one
+// downstream address per cycle; hits complete in the cycle they are
+// popped, so a load hit costs the two port hops (issue visibility +
+// completion visibility) instead of a full interconnect round trip.
+//
+// # Snoop phase
+//
+// Coherence is enforced at the interconnect's address phase through the
+// bus.Snooper hook, implemented by Domain. Before granting an address
+// phase the interconnect asks CanProceed: the Domain scans peer caches
+// for conflicting state — a Modified overlapping line, a pending or
+// in-flight writeback, or a granted-but-not-yet-installed refill — and
+// defers the grant while flagging dirty owners to write their lines
+// back (the line goes M→S, its data queues on the owner's writeback
+// path). This is the classic snoop-hit-dirty retry idiom: dirty data is
+// "supplied" by deferring the requester until the owner's writeback has
+// landed in memory, after which the retried request reads fresh data
+// through the ordinary path. Writebacks themselves (Request.WB) are
+// never deferred — they are the resolution mechanism.
+//
+// After the pop of a winning request the interconnect calls OnGrant, the
+// broadcast peers react to: peers invalidate overlapping lines on writes
+// and exclusive refills (S/E→I; observing M here is a protocol-invariant
+// violation and faults the kernel), and downgrade E→S on reads. The
+// granting cache's own MSHR is marked granted — from then until install
+// it defers conflicting peers, which closes the window in which two
+// caches could both refill the same line exclusively — and records
+// whether any peer held a valid copy, which decides Shared versus
+// Exclusive at install.
+//
+// Known simplification: there is no cache-to-cache transfer, so a writer
+// that keeps re-dirtying a line can in principle starve a deferred peer;
+// the bounded workloads of the experiments always converge.
+//
+// # MSHR rules
+//
+//   - One MSHR per line; secondary misses coalesce as waiters and are
+//     served in arrival order when the refill installs.
+//   - An MSHR is created only when a register is free and holds (sm,
+//     line, exclusivity, target way); its refill issues when the
+//     writeback queue is empty (ordering) and a down-port credit is
+//     free.
+//   - granted (set by the Domain at the interconnect grant) makes the
+//     MSHR defer conflicting peer grants until install; shared (set at
+//     the same moment) selects S over E for clean installs.
+//   - A refill that completes with an in-band error is reported to every
+//     waiter and installs nothing.
+//
+// # Scheduling
+//
+// The cache is a sim.Sleeper (it sleeps exactly when it has no visible
+// requests, completions or queued work; every wake source is a port
+// signal commit) and a sim.Concurrent citizen: standalone caches tick
+// concurrently (their Tick touches only their own state and their two
+// ports), while caches attached to a Domain — whose state the
+// interconnect mutates during its own Tick — co-schedule with the
+// interconnect on the serial shard, keeping every kernel mode
+// (lockstep × event-driven × any worker count) bit-identical.
+package cache

@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/smapi"
+)
+
+// FuzzMESI drives random per-line operation interleavings across three
+// cached PEs and checks the MESI engine against a flat golden memory:
+//
+//   - Single writer per line (the line index fixes the owner), so the
+//     final memory image is exact regardless of interleaving: after a
+//     full flush every word must hold its owner's last written value.
+//   - Owners write strictly increasing sequence numbers and must read
+//     their own writes back exactly (program order through the cache).
+//   - Readers must observe per-location monotonicity: a value older than
+//     one already seen is a staleness/coherence violation, and every
+//     non-zero value must carry its word's tag (dirty data never leaks
+//     across lines or gets lost).
+//   - After every simulated cycle the M/E ownership invariant holds: no
+//     two caches hold the same line unless both are Shared.
+//
+// Byte pairs decode to operations round-robin across the PEs: word
+// index, read/write select, and an occasional whole-line burst read
+// (the bypass path under coherence). The tiny 2×2 geometry forces
+// evictions and writebacks constantly.
+func FuzzMESI(f *testing.F) {
+	f.Add([]byte{0x80, 0, 0x08, 0, 0x10, 0, 0x00, 0, 0x88, 0, 0x90, 0})
+	f.Add([]byte(fuzzPingPong()))
+	f.Add([]byte(fuzzCapacityWalk()))
+	f.Add([]byte(fuzzBurstMix()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runMESI(t, data)
+	})
+}
+
+// fuzzPingPong hammers one line: owner writes, the two peers read.
+func fuzzPingPong() string {
+	var b []byte
+	for i := 0; i < 30; i++ {
+		b = append(b, 0x80|0x01, 0, 0x02, 0, 0x03, 0)
+	}
+	return string(b)
+}
+
+// fuzzCapacityWalk sweeps every line with writes and reads, exceeding
+// the 2×2 geometry many times over.
+func fuzzCapacityWalk() string {
+	var b []byte
+	for pass := 0; pass < 3; pass++ {
+		for w := 0; w < 128; w += 4 {
+			b = append(b, byte(w)|0x80, 0, byte(w), 0)
+		}
+	}
+	return string(b)
+}
+
+// fuzzBurstMix interleaves scalar traffic with whole-line burst reads.
+func fuzzBurstMix() string {
+	var b []byte
+	for i := 0; i < 40; i++ {
+		b = append(b, byte(i*7)|0x80, 0, byte(i*5), 3, byte(i*11), 0)
+	}
+	return string(b)
+}
+
+const (
+	fuzzPEs   = 3
+	fuzzWords = 128 // 512-byte RAM, 16 lines of 32 bytes
+)
+
+type fuzzOp struct {
+	word  int
+	write bool
+	burst bool
+}
+
+// decodeMESI splits the input into one op stream per PE. Writes are
+// forced onto the word's owner so every location keeps a single writer.
+func decodeMESI(data []byte) [][]fuzzOp {
+	streams := make([][]fuzzOp, fuzzPEs)
+	for i := 0; i+1 < len(data) && i/2 < 400; i += 2 {
+		pe := (i / 2) % fuzzPEs
+		op := fuzzOp{
+			word:  int(data[i] & 0x7F),
+			write: data[i]&0x80 != 0,
+			burst: data[i+1]&0x3 == 3,
+		}
+		if op.burst || (op.write && owner(op.word) != pe) {
+			op.write = false
+		}
+		streams[pe] = append(streams[pe], op)
+	}
+	return streams
+}
+
+func owner(word int) int { return (word / 8) % fuzzPEs }
+
+func runMESI(t *testing.T, data []byte) {
+	streams := decodeMESI(data)
+
+	// Golden flat memory: each word's final value is its owner's last
+	// write — exact because each word has one writer.
+	golden := make([]uint32, fuzzWords)
+	seq := make([]uint32, fuzzWords)
+	written := make([][]uint32, fuzzPEs) // per-PE view for self-read checks
+	for pe := range written {
+		written[pe] = make([]uint32, fuzzWords)
+	}
+	for _, ops := range streams {
+		for _, op := range ops {
+			if op.write {
+				seq[op.word]++
+				golden[op.word] = uint32(op.word)<<16 | seq[op.word]
+			}
+		}
+	}
+	// Each word has one writer, so the live run's per-word sequence —
+	// counted in simulation order — ends at the same value.
+	liveSeq := make([]uint32, fuzzWords)
+
+	k := sim.New()
+	slave := bus.NewPort(k, "s0", bus.PortConfig{Depth: 4})
+	ram := mem.NewStaticRAM(k, mem.Config{Name: "ram", Size: fuzzWords * 4, Delays: mem.DefaultDelays()}, slave)
+	dom := NewDomain()
+	var caches []*Cache
+	var downs, wbs []*bus.Port
+	var procs []*smapi.Proc
+	lastSeen := make([][]uint32, fuzzPEs)
+	for pe := 0; pe < fuzzPEs; pe++ {
+		lastSeen[pe] = make([]uint32, fuzzWords)
+		up := bus.NewPort(k, fmt.Sprintf("m%d", pe), bus.PortConfig{Depth: 2})
+		down := bus.NewPort(k, fmt.Sprintf("c%d", pe), bus.PortConfig{Depth: 8, OutOfOrder: true})
+		wbp := bus.NewPort(k, fmt.Sprintf("w%d", pe), bus.PortConfig{Depth: 4, OutOfOrder: true})
+		c, err := New(k, Config{Sets: 2, Ways: 2}, up, down, wbp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom.Attach(c, pe, fuzzPEs+pe)
+		caches = append(caches, c)
+		downs = append(downs, down)
+		wbs = append(wbs, wbp)
+		ops := streams[pe]
+		peID := pe
+		procs = append(procs, smapi.NewProc(k, fmt.Sprintf("pe%d", pe), pe, up, func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			for _, op := range ops {
+				switch {
+				case op.burst:
+					base := uint32(op.word/8) * 32
+					if _, code := m.ReadArray(base, 8); code != bus.OK {
+						panic(fmt.Sprintf("pe%d: burst read: %v", peID, code))
+					}
+				case op.write:
+					liveSeq[op.word]++
+					v := uint32(op.word)<<16 | liveSeq[op.word]
+					written[peID][op.word] = v
+					if code := m.WriteAs(uint32(op.word)*4, v, bus.U32); code != bus.OK {
+						panic(fmt.Sprintf("pe%d: write: %v", peID, code))
+					}
+				default:
+					v, code := m.ReadAs(uint32(op.word)*4, bus.U32)
+					if code != bus.OK {
+						panic(fmt.Sprintf("pe%d: read: %v", peID, code))
+					}
+					if v != 0 && v>>16 != uint32(op.word) {
+						panic(fmt.Sprintf("pe%d: word %d holds foreign value %#x", peID, op.word, v))
+					}
+					if v < lastSeen[peID][op.word] {
+						panic(fmt.Sprintf("pe%d: word %d went backwards: %#x after %#x (staleness)",
+							peID, op.word, v, lastSeen[peID][op.word]))
+					}
+					if owner(op.word) == peID && v != written[peID][op.word] {
+						panic(fmt.Sprintf("pe%d: lost own write to word %d: read %#x, wrote %#x",
+							peID, op.word, v, written[peID][op.word]))
+					}
+					lastSeen[peID][op.word] = v
+				}
+			}
+		}))
+	}
+	b := bus.NewBus(k, "bus", append(downs, wbs...), []*bus.Port{slave}, bus.NewRoundRobin())
+	b.Snoop = dom
+
+	// The ownership invariant must hold after every committed cycle.
+	k.AfterCycle(func(cycle uint64) {
+		if err := CheckExclusivity(caches); err != nil {
+			k.Fault(fmt.Errorf("cycle %d: %w", cycle, err))
+		}
+	})
+
+	done := func() bool {
+		for _, p := range procs {
+			if !p.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := k.RunUntil(done, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range caches {
+		c.FlushAll()
+	}
+	synced := func() bool {
+		for _, c := range caches {
+			if !c.Idle() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := k.RunUntil(synced, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty data never lost, never duplicated: the flat image matches
+	// the golden memory exactly.
+	for w := 0; w < fuzzWords; w++ {
+		got := uint32(ram.Peek(uint32(4*w))) | uint32(ram.Peek(uint32(4*w+1)))<<8 |
+			uint32(ram.Peek(uint32(4*w+2)))<<16 | uint32(ram.Peek(uint32(4*w+3)))<<24
+		if got != golden[w] {
+			t.Fatalf("word %d = %#x after flush, want %#x", w, got, golden[w])
+		}
+	}
+	if err := CheckExclusivity(caches); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bus"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/heapsim"
 	"repro/internal/iss"
@@ -94,6 +95,22 @@ type SystemConfig struct {
 	// OutOfOrder lets master ports deliver completions in completion
 	// order instead of issue order. Off by default (in-order delivery).
 	OutOfOrder bool
+	// Cache inserts a private write-back, write-allocate L1 cache between
+	// every master and the interconnect (see internal/cache). Masters
+	// keep driving MasterPorts; the interconnect's master side moves to
+	// the caches' downstream ports. Scalar accesses to static memories
+	// are cached; everything else passes through. Off by default.
+	Cache bool
+	// Coherent attaches every cache to a MESI snoop domain on the
+	// interconnect, keeping multi-master configurations correct under
+	// shared lines. Implies Cache. Off by default.
+	Coherent bool
+	// CacheSets, CacheWays, CacheLineBytes and CacheMSHRs override the
+	// L1 geometry (zero values select the cache package defaults:
+	// 64 sets × 2 ways × 32-byte lines, 4 MSHRs).
+	CacheSets, CacheWays int
+	CacheLineBytes       uint32
+	CacheMSHRs           int
 	// WrapperDelays overrides the wrapper timing (nil → DefaultDelays).
 	WrapperDelays *core.DelayParams
 	// StaticDelays overrides static RAM timing (nil → DefaultDelays).
@@ -143,6 +160,14 @@ type System struct {
 	MasterPorts []*bus.Port
 	SlavePorts  []*bus.Port
 	Inter       Interconnect
+
+	// Caches are the per-master L1s (nil entries never occur; empty when
+	// SystemConfig.Cache is off), CachePorts their downstream ports (the
+	// interconnect's master side when caching is on), and Domain the
+	// MESI snoop domain (nil unless Coherent).
+	Caches     []*cache.Cache
+	CachePorts []*bus.Port
+	Domain     *cache.Domain
 
 	Wrappers []*core.Wrapper
 	Statics  []*mem.StaticRAM
@@ -232,6 +257,65 @@ func Build(cfg SystemConfig) (*System, error) {
 		}
 	}
 
+	// Interconnect master side: the masters' own ports, or — with caches
+	// interposed — the caches' downstream ports.
+	interMasters := sys.MasterPorts
+	if cfg.Cache || cfg.Coherent {
+		cacheLine := cfg.CacheLineBytes
+		if cacheLine == 0 {
+			cacheLine = 32
+		}
+		if cfg.MemKind == MemStatic && cfg.MemBytes%cacheLine != 0 {
+			return nil, fmt.Errorf("config: MemBytes %d not a multiple of the %d-byte cache line", cfg.MemBytes, cacheLine)
+		}
+		mshrs := cfg.CacheMSHRs
+		if mshrs <= 0 {
+			mshrs = 4
+		}
+		// Only the flat-addressed static table memory is cacheable: line
+		// refills are whole-line typed bursts, which the wrapper and
+		// heapsim interpret per allocation.
+		var cacheable func(sm int) bool
+		if cfg.MemKind != MemStatic {
+			cacheable = func(int) bool { return false }
+		}
+		if cfg.Coherent {
+			sys.Domain = cache.NewDomain()
+		}
+		// The interconnect's master side becomes [down0..downN-1,
+		// wb0..wbN-1]: request ports first (so bypassed traffic keeps the
+		// master indices the wrapper's reservation ownership stamps),
+		// then the dedicated writeback channels.
+		var wbPorts []*bus.Port
+		n := len(sys.MasterPorts)
+		for i, up := range sys.MasterPorts {
+			// Deep enough for every MSHR plus pass-through traffic;
+			// out-of-order because the cache routes completions by tag.
+			down := bus.NewPort(k, fmt.Sprintf("c%d", i), bus.PortConfig{
+				Depth: mshrs + 2, OutOfOrder: true,
+			})
+			wb := bus.NewPort(k, fmt.Sprintf("w%d", i), bus.PortConfig{
+				Depth: 4, OutOfOrder: true,
+			})
+			l1, err := cache.New(k, cache.Config{
+				Name: fmt.Sprintf("l1.%d", i),
+				Sets: cfg.CacheSets, Ways: cfg.CacheWays,
+				LineBytes: cacheLine, MSHRs: mshrs,
+				Cacheable: cacheable,
+			}, up, down, wb)
+			if err != nil {
+				return nil, fmt.Errorf("config: l1 %d: %w", i, err)
+			}
+			if sys.Domain != nil {
+				sys.Domain.Attach(l1, i, n+i)
+			}
+			sys.Caches = append(sys.Caches, l1)
+			sys.CachePorts = append(sys.CachePorts, down)
+			wbPorts = append(wbPorts, wb)
+		}
+		interMasters = append(append([]*bus.Port(nil), sys.CachePorts...), wbPorts...)
+	}
+
 	newArb := func() bus.Arbiter {
 		if cfg.FixedPriority {
 			return bus.NewFixedPriority()
@@ -240,7 +324,7 @@ func Build(cfg SystemConfig) (*System, error) {
 	}
 	switch cfg.Interconnect {
 	case InterBus:
-		b := bus.NewBus(k, "bus", sys.MasterPorts, sys.SlavePorts, newArb())
+		b := bus.NewBus(k, "bus", interMasters, sys.SlavePorts, newArb())
 		if cfg.BusWordCycles > 0 {
 			b.WordCycles = cfg.BusWordCycles
 		}
@@ -248,18 +332,44 @@ func Build(cfg SystemConfig) (*System, error) {
 			b.Split = true
 			b.RespArb = newArb()
 		}
+		if sys.Domain != nil {
+			b.Snoop = sys.Domain
+		}
 		sys.Inter = b
 	case InterCrossbar:
-		x := bus.NewCrossbar(k, "xbar", sys.MasterPorts, sys.SlavePorts, newArb)
+		x := bus.NewCrossbar(k, "xbar", interMasters, sys.SlavePorts, newArb)
 		if cfg.BusWordCycles > 0 {
 			x.WordCycles = cfg.BusWordCycles
 		}
 		x.Split = cfg.SplitBus
+		if sys.Domain != nil {
+			x.Snoop = sys.Domain
+		}
 		sys.Inter = x
 	default:
 		return nil, fmt.Errorf("config: unknown interconnect %d", cfg.Interconnect)
 	}
 	return sys, nil
+}
+
+// CachesSynced reports whether every cache has drained its dirty state
+// (see cache.Cache.Synced); trivially true without caches.
+func (s *System) CachesSynced() bool {
+	for _, c := range s.Caches {
+		if !c.Synced() {
+			return false
+		}
+	}
+	return true
+}
+
+// FlushCaches queues writebacks for every dirty line of every cache.
+// Call between kernel steps, then run until CachesSynced before
+// inspecting memory contents host-side.
+func (s *System) FlushCaches() {
+	for _, c := range s.Caches {
+		c.FlushAll()
+	}
 }
 
 // attached returns the number of master ports already claimed by Procs

@@ -18,12 +18,14 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bus"
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dma"
 	"repro/internal/gsm"
 	"repro/internal/heapsim"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/smapi"
 	"repro/internal/stats"
@@ -57,6 +59,14 @@ type Options struct {
 	// Split runs every measured interconnect in split-transaction mode
 	// (see config.SystemConfig.SplitBus). E10 sweeps both protocols.
 	Split bool
+	// OOO lets every measured master port deliver completions out of
+	// order (see config.SystemConfig.OutOfOrder). Off keeps the default
+	// in-order delivery.
+	OOO bool
+	// Cache fronts every measured master with a private coherent L1 (see
+	// config.SystemConfig.Cache/Coherent). The E11 experiment sweeps
+	// cached versus uncached regardless.
+	Cache bool
 }
 
 func (o Options) pick(full, quick int) int {
@@ -80,10 +90,23 @@ type Mode struct {
 	Alloc    alloc.Kind
 	Depth    int
 	Split    bool
+	OOO      bool
+	Cache    bool
 }
 
 func (o Options) mode() Mode {
-	return Mode{Lockstep: o.Lockstep, Workers: o.Workers, Alloc: o.Alloc, Depth: o.Depth, Split: o.Split}
+	return Mode{Lockstep: o.Lockstep, Workers: o.Workers, Alloc: o.Alloc,
+		Depth: o.Depth, Split: o.Split, OOO: o.OOO, Cache: o.Cache}
+}
+
+// sysConfig translates the mode's protocol and scheduler axes into the
+// common SystemConfig fields every measured system shares.
+func (m Mode) sysConfig() config.SystemConfig {
+	return config.SystemConfig{
+		Lockstep: m.Lockstep, Workers: m.Workers, AllocPolicy: m.Alloc,
+		OutstandingDepth: m.Depth, SplitBus: m.Split, OutOfOrder: m.OOO,
+		Cache: m.Cache, Coherent: m.Cache,
+	}
 }
 
 // runLimit is the cycle budget for any single measured run.
@@ -94,16 +117,9 @@ const runLimit = 2_000_000_000
 // bus — runs it to completion in kernel mode m and returns the measured
 // result.
 func RunGSMISS(nISS, nMem, frames int, m Mode) (stats.RunResult, error) {
-	sys, err := config.Build(config.SystemConfig{
-		Masters:          nISS,
-		Memories:         nMem,
-		MemKind:          config.MemWrapper,
-		Lockstep:         m.Lockstep,
-		Workers:          m.Workers,
-		AllocPolicy:      m.Alloc,
-		OutstandingDepth: m.Depth,
-		SplitBus:         m.Split,
-	})
+	cfg := m.sysConfig()
+	cfg.Masters, cfg.Memories, cfg.MemKind = nISS, nMem, config.MemWrapper
+	sys, err := config.Build(cfg)
 	if err != nil {
 		return stats.RunResult{}, err
 	}
@@ -191,11 +207,9 @@ func RunGSMPipeline(nMem, frames int, m Mode) (stats.RunResult, error) {
 	tasks, res := gsm.BuildPipeline(gsm.PipelineConfig{
 		Frames: frames, Seed: 42, NumSM: nMem,
 	})
-	sys, err := config.Build(config.SystemConfig{
-		Masters: 4, Memories: nMem, MemKind: config.MemWrapper,
-		Lockstep: m.Lockstep, Workers: m.Workers, AllocPolicy: m.Alloc,
-		OutstandingDepth: m.Depth, SplitBus: m.Split,
-	})
+	cfg := m.sysConfig()
+	cfg.Masters, cfg.Memories, cfg.MemKind = 4, nMem, config.MemWrapper
+	sys, err := config.Build(cfg)
 	if err != nil {
 		return stats.RunResult{}, err
 	}
@@ -290,11 +304,13 @@ func RunTrace(kind config.MemKind, tr *trace.Trace, mode trace.Mode, memBytes ui
 			memBytes = 1 << 20
 		}
 	}
-	sys, err := config.Build(config.SystemConfig{
-		Masters: 1, Memories: maxInt(1, numSMs(tr)), MemKind: kind, MemBytes: memBytes,
-		Lockstep: km.Lockstep, Workers: km.Workers, AllocPolicy: km.Alloc,
-		OutstandingDepth: km.Depth, SplitBus: km.Split,
-	})
+	if km.Cache {
+		// Cached static tables must be line-aligned.
+		memBytes = (memBytes + 63) &^ 63
+	}
+	cfg := km.sysConfig()
+	cfg.Masters, cfg.Memories, cfg.MemKind, cfg.MemBytes = 1, maxInt(1, numSMs(tr)), kind, memBytes
+	sys, err := config.Build(cfg)
 	if err != nil {
 		return stats.RunResult{}, nil, err
 	}
@@ -419,11 +435,9 @@ func E4(o Options) ([]*stats.Table, error) {
 	for _, d := range []uint32{1, 4, 16, 64} {
 		delays := core.DefaultDelays()
 		delays.Read, delays.Write = d, d
-		sys, err := config.Build(config.SystemConfig{
-			Masters: 1, Memories: 1, MemKind: config.MemWrapper, WrapperDelays: &delays,
-			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
-			OutstandingDepth: o.Depth, SplitBus: o.Split,
-		})
+		cfg := o.mode().sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind, cfg.WrapperDelays = 1, 1, config.MemWrapper, &delays
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -479,12 +493,10 @@ func E6(o Options) (*stats.Table, error) {
 				}
 			}
 		}
-		sys, err := config.Build(config.SystemConfig{
-			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
-			MemBytes: target + bufBytes, // capacity sized to the live set
-			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
-			OutstandingDepth: o.Depth, SplitBus: o.Split,
-		})
+		cfg := o.mode().sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = 1, 1, config.MemWrapper
+		cfg.MemBytes = target + bufBytes // capacity sized to the live set
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -615,11 +627,9 @@ func E8(o Options) (*stats.Table, error) {
 		for i := 0; i < pes; i++ {
 			tasks = append(tasks, worker)
 		}
-		sys, err := config.Build(config.SystemConfig{
-			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper,
-			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
-			OutstandingDepth: o.Depth, SplitBus: o.Split,
-		})
+		cfg := o.mode().sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = pes+1, 1, config.MemWrapper
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -646,11 +656,9 @@ func A1(o Options) (*stats.Table, error) {
 		"A1: interconnect ablation — 4 ISSs, 4 memories, GSM workload",
 		"interconnect", "sim cycles", "wall", "cycles/s")
 	for _, ic := range []config.InterconnectKind{config.InterBus, config.InterCrossbar} {
-		sys, err := config.Build(config.SystemConfig{
-			Masters: 4, Memories: 4, MemKind: config.MemWrapper, Interconnect: ic,
-			Lockstep: o.Lockstep, Workers: o.Workers, AllocPolicy: o.Alloc,
-			OutstandingDepth: o.Depth, SplitBus: o.Split,
-		})
+		cfg := o.mode().sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind, cfg.Interconnect = 4, 4, config.MemWrapper, ic
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -732,11 +740,9 @@ func RunEV(events int, m Mode) (stats.RunResult, sim.SchedStats, error) {
 		MinDim: 8, MaxDim: 128, DType: bus.U32, Mix: trace.DefaultMix(),
 	})
 	delays := evDelays()
-	sys, err := config.Build(config.SystemConfig{
-		Masters: 1, Memories: 1, MemKind: config.MemWrapper,
-		WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers, AllocPolicy: m.Alloc,
-		OutstandingDepth: m.Depth, SplitBus: m.Split,
-	})
+	cfg := m.sysConfig()
+	cfg.Masters, cfg.Memories, cfg.MemKind, cfg.WrapperDelays = 1, 1, config.MemWrapper, &delays
+	sys, err := config.Build(cfg)
 	if err != nil {
 		return stats.RunResult{}, sim.SchedStats{}, err
 	}
@@ -1000,12 +1006,10 @@ func RunMLP(streams int, elems uint32, inter config.InterconnectKind, m Mode) (s
 // completion, and verifies the destination buffers before returning the
 // finished system (the differential harness snapshots it).
 func buildMLP(streams int, elems uint32, inter config.InterconnectKind, m Mode) (*config.System, error) {
-	sys, err := config.Build(config.SystemConfig{
-		Masters: streams, Memories: 2 * streams, MemKind: config.MemWrapper,
-		Interconnect: inter, MemBytes: elems*4 + 4096,
-		AllocPolicy: m.Alloc, Lockstep: m.Lockstep, Workers: m.Workers,
-		OutstandingDepth: m.Depth, SplitBus: m.Split,
-	})
+	cfg := m.sysConfig()
+	cfg.Masters, cfg.Memories, cfg.MemKind = streams, 2*streams, config.MemWrapper
+	cfg.Interconnect, cfg.MemBytes = inter, elems*4+4096
+	sys, err := config.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -1059,6 +1063,189 @@ func buildMLP(streams int, elems uint32, inter config.InterconnectKind, m Mode) 
 		}
 	}
 	return sys, nil
+}
+
+// CacheResult is one E11 measurement: the coherence/locality workload
+// with or without private L1 caches.
+type CacheResult struct {
+	Cached bool
+	Cycles uint64
+	Wall   time.Duration
+	// Aggregated over every cache (zero when uncached).
+	Hits, Misses, Invalidations, Flushes, Writebacks uint64
+}
+
+// HitRate returns hits over cacheable accesses, by the cache package's
+// own definition.
+func (r CacheResult) HitRate() float64 {
+	return cache.Stats{Hits: r.Hits, Misses: r.Misses}.HitRate()
+}
+
+// CacheWorkload parameterizes the E11 coherence/locality workload: pes
+// native PEs against one static memory. Each PE first writes and then
+// repeatedly sweeps a private line-aligned working set (PrivWords u32
+// words, Sweeps read passes — the locality phase every private cache
+// turns into hits), rewrites it, and finally enters a sharing phase: for
+// SharedRounds rounds it writes its own word of a shared region and
+// reads a neighbour's word. Neighbouring words share cache lines, so the
+// sharing phase is a false-sharing invalidation storm — the adversarial
+// case for the snoop protocol — while every word still has exactly one
+// writer, which makes the final memory image exact and
+// schedule-independent.
+type CacheWorkload struct {
+	PEs, PrivWords, Sweeps, SharedRounds int
+}
+
+// E11Workload returns the two E11 configurations: locality-heavy (the
+// headline ≥1.5x claim) and sharing-heavy (the coherence stress).
+func E11Workload(o Options) (locality, sharing CacheWorkload) {
+	locality = CacheWorkload{PEs: 4, PrivWords: 64, Sweeps: o.pick(30, 6), SharedRounds: o.pick(40, 10)}
+	sharing = CacheWorkload{PEs: 4, PrivWords: 16, Sweeps: o.pick(2, 1), SharedRounds: o.pick(400, 60)}
+	return locality, sharing
+}
+
+const cacheSharedBytes = 64 // shared region: one u32 slot per PE, line-packed
+
+func (w CacheWorkload) privBase(p int) uint32 {
+	return uint32(cacheSharedBytes + p*w.PrivWords*4)
+}
+
+func (w CacheWorkload) memBytes() uint32 {
+	n := uint32(cacheSharedBytes + w.PEs*w.PrivWords*4)
+	return (n + 63) &^ 63
+}
+
+func (w CacheWorkload) task(p int) smapi.Task {
+	return func(ctx *smapi.Ctx) {
+		m := ctx.Mem(0)
+		base := w.privBase(p)
+		check := func(code bus.ErrCode) {
+			if code != bus.OK {
+				panic(code)
+			}
+		}
+		for i := 0; i < w.PrivWords; i++ {
+			check(m.WriteAs(base+uint32(4*i), uint32(p)<<24|uint32(i), bus.U32))
+		}
+		for s := 0; s < w.Sweeps; s++ {
+			for i := 0; i < w.PrivWords; i++ {
+				v, code := m.ReadAs(base+uint32(4*i), bus.U32)
+				check(code)
+				if v != uint32(p)<<24|uint32(i) {
+					panic(fmt.Sprintf("pe%d: private word %d corrupted: %#x", p, i, v))
+				}
+			}
+		}
+		for i := 0; i < w.PrivWords; i++ {
+			check(m.WriteAs(base+uint32(4*i), uint32(p)<<24|0x10000|uint32(i), bus.U32))
+		}
+		for r := 1; r <= w.SharedRounds; r++ {
+			check(m.WriteAs(uint32(4*p), uint32(p)<<24|uint32(r), bus.U32))
+			_, code := m.ReadAs(uint32(4*((p+1)%w.PEs)), bus.U32)
+			check(code)
+		}
+	}
+}
+
+// verify checks the final memory image against the workload's exact
+// expectation (single writer per word): every private word holds its
+// rewrite value, every shared slot its owner's last round.
+func (w CacheWorkload) verify(ram *mem.StaticRAM) error {
+	word := func(addr uint32) uint32 {
+		return uint32(ram.Peek(addr)) | uint32(ram.Peek(addr+1))<<8 |
+			uint32(ram.Peek(addr+2))<<16 | uint32(ram.Peek(addr+3))<<24
+	}
+	for p := 0; p < w.PEs; p++ {
+		if got, want := word(uint32(4*p)), uint32(p)<<24|uint32(w.SharedRounds); got != want {
+			return fmt.Errorf("shared slot %d = %#x, want %#x", p, got, want)
+		}
+		base := w.privBase(p)
+		for i := 0; i < w.PrivWords; i++ {
+			if got, want := word(base+uint32(4*i)), uint32(p)<<24|0x10000|uint32(i); got != want {
+				return fmt.Errorf("pe%d private word %d = %#x, want %#x", p, i, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// RunCache runs the E11 workload cached (coherent private L1s) or
+// uncached in kernel mode m, flushes the caches, verifies the final
+// memory image and returns the measurement (cycles taken at workload
+// completion, before the host-requested flush) plus the finished system
+// for differential snapshots.
+func RunCache(w CacheWorkload, cached bool, inter config.InterconnectKind, m Mode) (CacheResult, *config.System, error) {
+	cfg := m.sysConfig()
+	cfg.Masters, cfg.Memories, cfg.MemKind = w.PEs, 1, config.MemStatic
+	cfg.MemBytes, cfg.Interconnect = w.memBytes(), inter
+	cfg.Cache, cfg.Coherent = cached, cached
+	sys, err := config.Build(cfg)
+	if err != nil {
+		return CacheResult{}, nil, err
+	}
+	tasks := make([]smapi.Task, w.PEs)
+	for p := range tasks {
+		tasks[p] = w.task(p)
+	}
+	if err := sys.AddProcs(tasks...); err != nil {
+		return CacheResult{}, nil, err
+	}
+	start := time.Now()
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+		return CacheResult{}, nil, err
+	}
+	res := CacheResult{Cached: cached, Cycles: sys.Kernel.Cycle(), Wall: time.Since(start)}
+	// Aggregate stats before the host-requested drain: FlushAll counts
+	// its evictions as flushes/writebacks too, which would conflate the
+	// terminal drain with genuine snoop-demand traffic.
+	for _, c := range sys.Caches {
+		st := c.Stats()
+		res.Hits += st.Hits
+		res.Misses += st.Misses
+		res.Invalidations += st.SnoopInvalidations
+		res.Flushes += st.SnoopFlushes
+		res.Writebacks += st.Writebacks
+	}
+	sys.FlushCaches()
+	if _, err := sys.Kernel.RunUntil(sys.CachesSynced, runLimit); err != nil {
+		return CacheResult{}, nil, fmt.Errorf("cache drain: %w", err)
+	}
+	if err := w.verify(sys.Statics[0]); err != nil {
+		return CacheResult{}, nil, fmt.Errorf("cached=%v: %w", cached, err)
+	}
+	return res, sys, nil
+}
+
+// E11 measures the coherent cache hierarchy end-to-end: the
+// coherence/locality workload with and without private L1s, on the
+// locality-heavy and sharing-heavy configurations. The headline claim:
+// private caches cut simulated cycles by ≥1.5x on the locality-heavy
+// configuration (hits replace full interconnect round trips), while the
+// sharing-heavy false-sharing storm stays correct under MESI snooping
+// (verified final memory image) at a necessarily lower win.
+func E11(o Options) (*stats.Table, error) {
+	locality, sharing := E11Workload(o)
+	t := stats.NewTable(
+		fmt.Sprintf("E11: coherent private L1s — %d PEs, locality vs sharing phases (static memory, shared bus)", locality.PEs),
+		"workload", "caches", "sim cycles", "wall", "hit rate", "invalidations", "snoop flushes", "speedup")
+	for _, tc := range []struct {
+		name string
+		w    CacheWorkload
+	}{{"locality-heavy", locality}, {"sharing-heavy", sharing}} {
+		base, _, err := RunCache(tc.w, false, config.InterBus, o.mode())
+		if err != nil {
+			return nil, err
+		}
+		t.Add(tc.name, "off", fmt.Sprint(base.Cycles), base.Wall.Round(time.Millisecond).String(), "-", "-", "-", "-")
+		r, _, err := RunCache(tc.w, true, config.InterBus, o.mode())
+		if err != nil {
+			return nil, err
+		}
+		t.Add(tc.name, "on", fmt.Sprint(r.Cycles), r.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", 100*r.HitRate()), fmt.Sprint(r.Invalidations), fmt.Sprint(r.Flushes),
+			fmt.Sprintf("%.2fx", float64(base.Cycles)/float64(r.Cycles)))
+	}
+	return t, nil
 }
 
 // E10Streams and E10Elems size the E10 workload; exported so

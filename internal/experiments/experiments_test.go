@@ -220,3 +220,46 @@ func TestE10Table(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestE11CacheAcceptance pins the cache hierarchy's quantitative claim:
+// on the locality-heavy configuration, coherent private L1s cut
+// simulated cycles by at least 1.5x versus the uncached system, with the
+// final memory image verified exactly (RunCache fails on any mismatch).
+// The sharing-heavy configuration must stay correct under the
+// false-sharing invalidation storm and actually exercise the snoop
+// protocol. Quick-sized so CI replays it on every run.
+func TestE11CacheAcceptance(t *testing.T) {
+	locality, sharing := E11Workload(Options{Quick: true})
+	base, _, err := RunCache(locality, false, config.InterBus, Mode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _, err := RunCache(locality, true, config.InterBus, Mode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(base.Cycles) / float64(cached.Cycles); ratio < 1.5 {
+		t.Errorf("coherent L1s improved only %.2fx on the locality-heavy config (%d vs %d cycles), want ≥ 1.5x",
+			ratio, base.Cycles, cached.Cycles)
+	} else {
+		t.Logf("coherent L1s: %.2fx (%d → %d cycles), hit rate %.1f%%",
+			ratio, base.Cycles, cached.Cycles, 100*cached.HitRate())
+	}
+	if cached.HitRate() < 0.5 {
+		t.Errorf("locality-heavy hit rate %.1f%% implausibly low", 100*cached.HitRate())
+	}
+	share, _, err := RunCache(sharing, true, config.InterBus, Mode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share.Invalidations == 0 || share.Flushes == 0 {
+		t.Errorf("sharing-heavy config exercised no snooping: %+v", share)
+	}
+}
+
+// TestE11Table smoke-runs the full E11 sweep at quick scale.
+func TestE11Table(t *testing.T) {
+	if _, err := E11(Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}

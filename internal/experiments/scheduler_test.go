@@ -8,11 +8,14 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bus"
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dma"
 	"repro/internal/gsm"
+	"repro/internal/heapsim"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/smapi"
 	"repro/internal/trace"
@@ -36,6 +39,9 @@ type sysSnapshot struct {
 	Inter  bus.Stats
 
 	Wrappers []core.Stats
+	Statics  []mem.Stats
+	Heaps    []heapsim.Stats
+	Caches   []cache.Stats
 	CPUs     []cpuSnapshot
 	Procs    []procSnapshot
 }
@@ -61,6 +67,15 @@ func snapshot(sys *config.System) sysSnapshot {
 	s := sysSnapshot{Cycles: sys.Kernel.Cycle(), Inter: sys.Inter.Stats()}
 	for _, w := range sys.Wrappers {
 		s.Wrappers = append(s.Wrappers, w.Stats())
+	}
+	for _, r := range sys.Statics {
+		s.Statics = append(s.Statics, r.Stats())
+	}
+	for _, h := range sys.Heaps {
+		s.Heaps = append(s.Heaps, h.Stats())
+	}
+	for _, c := range sys.Caches {
+		s.Caches = append(s.Caches, c.Stats())
 	}
 	for _, c := range sys.CPUs {
 		s.CPUs = append(s.CPUs, cpuSnapshot{
@@ -572,6 +587,67 @@ func TestSchedDiffMLP(t *testing.T) {
 			sys, err := buildMLP(2, 512, tc.inter, m)
 			if err != nil {
 				return nil, err
+			}
+			return sys, nil
+		})
+	}
+}
+
+// TestSchedDiffCache extends the matrix to the coherent cache hierarchy:
+// the E11 coherence/locality workload — private L1s, MESI snooping on
+// the interconnect, false-sharing invalidation traffic — replayed across
+// the kernel-mode matrix at the interesting protocol points. Cache-on
+// runs must be bit-identical (cycles, every cache's hit/miss/snoop
+// counters, static RAM stats, PE accounting) across lockstep ×
+// event-driven × workers {1, 4}; RunCache additionally verifies the
+// final memory image inside every leg. Cache-off equivalence to the
+// PR 4 behavior is pinned by every pre-existing differential and golden
+// test — the uncached build path is untouched.
+func TestSchedDiffCache(t *testing.T) {
+	locality, sharing := E11Workload(Options{Quick: true})
+	for _, tc := range []struct {
+		name  string
+		w     CacheWorkload
+		inter config.InterconnectKind
+		depth int
+		split bool
+	}{
+		{"locality-bus-d1", locality, config.InterBus, 1, false},
+		{"sharing-bus-d1", sharing, config.InterBus, 1, false},
+		{"sharing-bus-d4-split", sharing, config.InterBus, 4, true},
+		{"sharing-xbar-d4-split", sharing, config.InterCrossbar, 4, true},
+	} {
+		runBoth(t, "cache-"+tc.name, func(m Mode) (*config.System, error) {
+			m.Depth, m.Split = tc.depth, tc.split
+			r, sys, err := RunCache(tc.w, true, tc.inter, m)
+			if err != nil {
+				return nil, err
+			}
+			if r.Hits == 0 {
+				return nil, fmt.Errorf("cache-on run served no hits")
+			}
+			return sys, nil
+		})
+	}
+}
+
+// TestSchedDiffCacheTraceReplay covers the single-master cached trace
+// replay (the internal/trace coverage scenario) across the kernel-mode
+// matrix, including out-of-order completion delivery on the master port.
+func TestSchedDiffCacheTraceReplay(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 71, Events: 900, Slots: 16, NumSM: 1,
+		MinDim: 4, MaxDim: 64, DType: bus.U32, Mix: trace.DefaultMix(), PtrArithPct: 20,
+	})
+	for _, ooo := range []bool{false, true} {
+		runBoth(t, fmt.Sprintf("cache-trace-ooo=%v", ooo), func(m Mode) (*config.System, error) {
+			m.Cache, m.OOO = true, ooo
+			_, sys, err := RunTrace(config.MemStatic, tr, trace.ModeStatic, 0, m)
+			if err != nil {
+				return nil, err
+			}
+			if sys.Caches[0].Stats().Hits == 0 {
+				return nil, fmt.Errorf("cached replay served no hits")
 			}
 			return sys, nil
 		})

@@ -1,8 +1,6 @@
 package heapsim
 
 import (
-	"encoding/binary"
-
 	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/sim"
@@ -279,27 +277,9 @@ func (m *HeapMem) inBounds(addr, n uint32) bool {
 }
 
 func (m *HeapMem) readElem(addr uint32, dt bus.DataType) uint32 {
-	a := m.heap.Arena()
-	switch dt {
-	case bus.U8:
-		return uint32(a[addr])
-	case bus.U16:
-		return uint32(binary.LittleEndian.Uint16(a[addr:]))
-	case bus.I16:
-		return uint32(int32(int16(binary.LittleEndian.Uint16(a[addr:]))))
-	default:
-		return binary.LittleEndian.Uint32(a[addr:])
-	}
+	return dt.ReadElem(m.heap.Arena()[addr:])
 }
 
 func (m *HeapMem) writeElem(addr uint32, dt bus.DataType, val uint32) {
-	a := m.heap.Arena()
-	switch dt {
-	case bus.U8:
-		a[addr] = byte(val)
-	case bus.U16, bus.I16:
-		binary.LittleEndian.PutUint16(a[addr:], uint16(val))
-	default:
-		binary.LittleEndian.PutUint32(a[addr:], val)
-	}
+	dt.WriteElem(m.heap.Arena()[addr:], val)
 }

@@ -1,8 +1,6 @@
 package mem
 
 import (
-	"encoding/binary"
-
 	"repro/internal/bus"
 	"repro/internal/sim"
 )
@@ -260,25 +258,9 @@ func (r *StaticRAM) execute(req bus.Request) bus.Response {
 }
 
 func (r *StaticRAM) readElem(addr uint32, dt bus.DataType) uint32 {
-	switch dt {
-	case bus.U8:
-		return uint32(r.data[addr])
-	case bus.U16:
-		return uint32(binary.LittleEndian.Uint16(r.data[addr:]))
-	case bus.I16:
-		return uint32(int32(int16(binary.LittleEndian.Uint16(r.data[addr:]))))
-	default:
-		return binary.LittleEndian.Uint32(r.data[addr:])
-	}
+	return dt.ReadElem(r.data[addr:])
 }
 
 func (r *StaticRAM) writeElem(addr uint32, dt bus.DataType, val uint32) {
-	switch dt {
-	case bus.U8:
-		r.data[addr] = byte(val)
-	case bus.U16, bus.I16:
-		binary.LittleEndian.PutUint16(r.data[addr:], uint16(val))
-	default:
-		binary.LittleEndian.PutUint32(r.data[addr:], val)
-	}
+	dt.WriteElem(r.data[addr:], val)
 }

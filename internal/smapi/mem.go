@@ -43,6 +43,20 @@ func (m *Mem) Write(vptr uint32, val uint32) bus.ErrCode {
 	return m.p.transact(bus.Request{Op: bus.OpWrite, SM: m.sm, VPtr: vptr, Data: val}).Err
 }
 
+// ReadAs reads the element at vptr as type dt. Typed memories (the
+// static table, a cache line) use dt for element width and sign
+// extension; the wrapper resolves the type from its pointer table and
+// ignores dt.
+func (m *Mem) ReadAs(vptr uint32, dt bus.DataType) (uint32, bus.ErrCode) {
+	resp := m.p.transact(bus.Request{Op: bus.OpRead, SM: m.sm, VPtr: vptr, DType: dt})
+	return resp.Data, resp.Err
+}
+
+// WriteAs stores val into the element at vptr as type dt (see ReadAs).
+func (m *Mem) WriteAs(vptr uint32, val uint32, dt bus.DataType) bus.ErrCode {
+	return m.p.transact(bus.Request{Op: bus.OpWrite, SM: m.sm, VPtr: vptr, Data: val, DType: dt}).Err
+}
+
 // ReadArray reads n consecutive elements starting at vptr through the
 // wrapper's I/O array.
 func (m *Mem) ReadArray(vptr, n uint32) ([]uint32, bus.ErrCode) {

@@ -1,0 +1,118 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// replayStatic replays tr on a fresh single-master static-memory system,
+// optionally behind a private L1, and returns the final memory image and
+// replay stats. With a cache the image is read after an explicit flush +
+// drain, so every write-back-deferred byte has landed.
+func replayStatic(t *testing.T, tr *trace.Trace, cached bool) ([]byte, trace.ReplayStats) {
+	t.Helper()
+	memBytes := (tr.StaticBytesNeeded() + 63) &^ 63
+	sys, err := config.Build(config.SystemConfig{
+		Masters: 1, Memories: 1, MemKind: config.MemStatic, MemBytes: memBytes,
+		Cache: cached, Coherent: cached,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st trace.ReplayStats
+	if err := sys.AddProcs(trace.ReplayTask(tr, trace.ModeStatic, &st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	sys.FlushCaches()
+	if _, err := sys.Kernel.RunUntil(sys.CachesSynced, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, memBytes)
+	for i := range img {
+		img[i] = sys.Statics[0].Peek(uint32(i))
+	}
+	if cached {
+		if len(sys.Caches) != 1 {
+			t.Fatalf("expected 1 cache, built %d", len(sys.Caches))
+		}
+		if cst := sys.Caches[0].Stats(); cst.Hits == 0 || cst.Writebacks+cst.SnoopFlushes == 0 {
+			t.Fatalf("cached replay exercised no cache behavior: %+v", cst)
+		}
+	} else if len(sys.Caches) != 0 {
+		t.Fatalf("cache-off build created %d caches", len(sys.Caches))
+	}
+	return img, st
+}
+
+// TestReplayCachedImageIdentical replays the same generated address
+// stream against a static memory with and without a private L1: the
+// final memory image must be byte-identical and every event must
+// execute cleanly in both runs. The mix includes scalar reads/writes
+// (the cached path), interior-pointer offsets and bursts (the
+// flush-and-bypass path), so the write-back and bypass-ordering
+// machinery is what keeps the images equal.
+func TestReplayCachedImageIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mix  trace.Mix
+		pct  int
+	}{
+		{"scalar-heavy", trace.Mix{Alloc: 4, Read: 40, Write: 40}, 30},
+		{"burst-mixed", trace.Mix{Alloc: 4, Read: 30, Write: 30, ReadBurst: 10, WriteBurst: 10}, 20},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := trace.Generate(trace.GenConfig{
+				Seed: 73, Events: 3000, Slots: 16, NumSM: 1,
+				MinDim: 8, MaxDim: 64, DType: bus.U32, Mix: tc.mix, PtrArithPct: tc.pct,
+			})
+			plain, plainStats := replayStatic(t, tr, false)
+			cached, cachedStats := replayStatic(t, tr, true)
+			if plainStats != cachedStats {
+				t.Fatalf("replay stats diverged: uncached %+v, cached %+v", plainStats, cachedStats)
+			}
+			if plainStats.Errors != 0 {
+				t.Fatalf("replay saw %d in-band errors (last %v)", plainStats.Errors, plainStats.LastErr)
+			}
+			for i := range plain {
+				if plain[i] != cached[i] {
+					t.Fatalf("memory image diverged at byte %d: uncached %#x, cached %#x", i, plain[i], cached[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReplayStatsCounting pins the ReplayStats contract: every event is
+// counted exactly once and tolerated contention is not an error.
+func TestReplayStatsCounting(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 5, Events: 500, Slots: 8, NumSM: 1,
+		MinDim: 4, MaxDim: 32, DType: bus.U32,
+		Mix: trace.Mix{Alloc: 5, Free: 4, Read: 30, Write: 30, Reserve: 6},
+	})
+	sys, err := config.Build(config.SystemConfig{
+		Masters: 1, Memories: 1, MemKind: config.MemWrapper,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st trace.ReplayStats
+	if err := sys.AddProcs(trace.ReplayTask(tr, trace.ModeDynamic, &st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Kernel.RunUntil(sys.ProcsDone, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != len(tr.Events) {
+		t.Fatalf("executed %d of %d events", st.Executed, len(tr.Events))
+	}
+	if st.Errors != 0 {
+		t.Fatalf("unexpected replay errors: %d (last %v)", st.Errors, st.LastErr)
+	}
+}

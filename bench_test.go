@@ -196,6 +196,16 @@ func benchPAR(b *testing.B, nISS, nMem int) {
 func BenchmarkPAR_FourISS_FourMem(b *testing.B) { benchPAR(b, 4, 4) }
 func BenchmarkPAR_FourISS_OneMem(b *testing.B)  { benchPAR(b, 4, 1) }
 
+// BenchmarkPAR_PlainISS is the pre-optimization reference: the same 4×4
+// configuration on the sequential kernel with the ISS fast paths
+// (instruction batching, decode cache) disabled. The gap to
+// PAR_FourISS_FourMem/workers=1 is the single-thread interpreter win;
+// the workers=1 → workers=4 gap (CI-gated via benchjson -speedup) is
+// the parallel win on top of it.
+func BenchmarkPAR_PlainISS(b *testing.B) {
+	benchGSMISSMode(b, 4, 4, 10, experiments.Mode{Workers: 1, NoBatch: true, NoDecodeCache: true})
+}
+
 // --- E5: degradation curves ------------------------------------------------
 
 func BenchmarkE5_MemSweep(b *testing.B) {

@@ -9,6 +9,9 @@
 //	benchjson -in bench.txt
 //	benchjson -in bench.txt -out new.json \
 //	    -baseline BENCH_e1.json -check 'BenchmarkE1_' -max-regress 0.20
+//	benchjson -in par.txt -speedup \
+//	    -num 'FourISS_FourMem/workers=4' -den 'FourISS_FourMem/workers=1' \
+//	    -min-ratio 2.0
 //
 // With -baseline, every parsed row whose name starts with the -check
 // prefix and that also exists in the baseline with a simcycles/s metric
@@ -16,6 +19,14 @@
 // (a fraction; 0.20 = 20%) below the baseline's, benchjson exits 1 and
 // lists the regressions — the CI guard against performance decay of the
 // paper's headline metric.
+//
+// With -speedup, the run is gated on the ratio between two rows of the
+// same output: the -num and -den substrings must each select exactly one
+// parsed row (ambiguity is an error, so the gate cannot silently compare
+// the wrong pair), the ratio is den ns/op ÷ num ns/op — how many times
+// faster the numerator row is — and benchjson exits 1 if it falls below
+// -min-ratio. This is how CI proves the parallel tick engine actually
+// wins on a multi-core runner (workers=4 vs workers=1).
 //
 // Each benchmark line becomes one object:
 //
@@ -109,6 +120,45 @@ func parse(r io.Reader) ([]Row, error) {
 	return rows, sc.Err()
 }
 
+// findRow returns the single parsed row whose name contains substr.
+// Zero or several matches are errors: the speedup gate must never
+// silently compare the wrong pair of rows.
+func findRow(rows []Row, substr string) (Row, error) {
+	var hit Row
+	n := 0
+	for _, r := range rows {
+		if strings.Contains(r.Name, substr) {
+			hit = r
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return Row{}, fmt.Errorf("no benchmark row matches %q", substr)
+	case 1:
+		return hit, nil
+	default:
+		return Row{}, fmt.Errorf("%d benchmark rows match %q; use a longer substring", n, substr)
+	}
+}
+
+// speedup computes how many times faster the num row is than the den
+// row: den ns/op ÷ num ns/op (> 1 means num is faster).
+func speedup(rows []Row, num, den string) (float64, Row, Row, error) {
+	nr, err := findRow(rows, num)
+	if err != nil {
+		return 0, Row{}, Row{}, err
+	}
+	dr, err := findRow(rows, den)
+	if err != nil {
+		return 0, Row{}, Row{}, err
+	}
+	if nr.NsPerOp <= 0 {
+		return 0, Row{}, Row{}, fmt.Errorf("numerator row %s has non-positive ns/op", nr.Name)
+	}
+	return dr.NsPerOp / nr.NsPerOp, nr, dr, nil
+}
+
 // regression is one gated benchmark that fell below the allowed band.
 type regression struct {
 	Name               string
@@ -158,15 +208,19 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty: no gating)")
 	check := flag.String("check", "BenchmarkE1_", "benchmark-name prefix the baseline gate applies to")
 	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional simcycles/s drop vs the baseline")
+	doSpeedup := flag.Bool("speedup", false, "gate on the ns/op ratio between the -den and -num rows")
+	num := flag.String("num", "", "speedup numerator: substring selecting exactly one row (the fast one)")
+	den := flag.String("den", "", "speedup denominator: substring selecting exactly one row (the reference)")
+	minRatio := flag.Float64("min-ratio", 1.0, "minimum den/num ns/op ratio the -speedup gate accepts")
 	flag.Parse()
 
-	if err := run(*in, *out, *baseline, *check, *maxRegress); err != nil {
+	if err := run(*in, *out, *baseline, *check, *maxRegress, *doSpeedup, *num, *den, *minRatio); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, baseline, check string, maxRegress float64) error {
+func run(in, out, baseline, check string, maxRegress float64, doSpeedup bool, num, den string, minRatio float64) error {
 	var r io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -194,6 +248,20 @@ func run(in, out, baseline, check string, maxRegress float64) error {
 		}
 	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
+	}
+	if doSpeedup {
+		if num == "" || den == "" {
+			return fmt.Errorf("-speedup needs both -num and -den")
+		}
+		ratio, nr, dr, err := speedup(rows, num, den)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: speedup %s vs %s = %.2fx (%.0f / %.0f ns/op, min %.2fx)\n",
+			nr.Name, dr.Name, ratio, dr.NsPerOp, nr.NsPerOp, minRatio)
+		if ratio < minRatio {
+			return fmt.Errorf("speedup %.2fx below required %.2fx", ratio, minRatio)
+		}
 	}
 	if baseline == "" {
 		return nil

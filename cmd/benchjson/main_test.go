@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -136,5 +137,78 @@ func TestParseSimCyclesMetric(t *testing.T) {
 	}
 	if rate[0].SimCycles != nil {
 		t.Fatalf("rate-only row got SimCycles %v", *rate[0].SimCycles)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	rows := []Row{
+		{Name: "BenchmarkPAR_FourISS_FourMem/workers=1", NsPerOp: 400e6},
+		{Name: "BenchmarkPAR_FourISS_FourMem/workers=2", NsPerOp: 220e6},
+		{Name: "BenchmarkPAR_FourISS_FourMem/workers=4", NsPerOp: 100e6},
+		{Name: "BenchmarkPAR_FourISS_FourMem/workers=8", NsPerOp: 110e6},
+	}
+	ratio, nr, dr, err := speedup(rows, "workers=4", "workers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 4.0 {
+		t.Fatalf("ratio = %v, want 4.0", ratio)
+	}
+	if nr.Name != "BenchmarkPAR_FourISS_FourMem/workers=4" || dr.Name != "BenchmarkPAR_FourISS_FourMem/workers=1" {
+		t.Fatalf("selected rows %q / %q", nr.Name, dr.Name)
+	}
+	// A slowdown yields a ratio below 1, never an error: the gate decides.
+	if ratio, _, _, err := speedup(rows, "workers=1", "workers=4"); err != nil || ratio != 0.25 {
+		t.Fatalf("inverse ratio = %v, %v", ratio, err)
+	}
+}
+
+func TestSpeedupSelectionErrors(t *testing.T) {
+	rows := []Row{
+		{Name: "BenchmarkPAR_FourISS_FourMem/workers=1", NsPerOp: 400e6},
+		{Name: "BenchmarkPAR_FourISS_OneMem/workers=1", NsPerOp: 500e6},
+		{Name: "BenchmarkPAR_FourISS_FourMem/workers=4", NsPerOp: 100e6},
+	}
+	// "workers=1" matches both PAR families: ambiguous.
+	if _, _, _, err := speedup(rows, "workers=4", "workers=1"); err == nil || !strings.Contains(err.Error(), "2 benchmark rows match") {
+		t.Fatalf("ambiguous denominator not rejected: %v", err)
+	}
+	// Longer substrings disambiguate.
+	ratio, _, _, err := speedup(rows, "FourMem/workers=4", "FourMem/workers=1")
+	if err != nil || ratio != 4.0 {
+		t.Fatalf("disambiguated ratio = %v, %v", ratio, err)
+	}
+	// A missing row is an error, not a silent pass.
+	if _, _, _, err := speedup(rows, "workers=16", "FourMem/workers=1"); err == nil || !strings.Contains(err.Error(), "no benchmark row") {
+		t.Fatalf("missing numerator not rejected: %v", err)
+	}
+	// Zero ns/op (malformed input) must not divide through.
+	bad := []Row{{Name: "a/workers=4"}, {Name: "a/workers=1", NsPerOp: 10}}
+	if _, _, _, err := speedup(bad, "workers=4", "workers=1"); err == nil {
+		t.Fatal("zero ns/op numerator not rejected")
+	}
+}
+
+func TestSpeedupEndToEnd(t *testing.T) {
+	// Through run(): parse real bench text, gate on the ratio.
+	const bench = `goos: linux
+BenchmarkPAR_FourISS_FourMem/workers=1-4 	       2	 400000000 ns/op	  391107 simcycles/s
+BenchmarkPAR_FourISS_FourMem/workers=4-4 	       6	 160000000 ns/op	  977769 simcycles/s
+PASS
+`
+	dir := t.TempDir()
+	in := dir + "/bench.txt"
+	if err := os.WriteFile(in, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, dir+"/out.json", "", "BenchmarkE1_", 0.20, true, "workers=4", "workers=1", 2.0); err != nil {
+		t.Fatalf("2.5x speedup failed a 2.0x gate: %v", err)
+	}
+	err := run(in, dir+"/out2.json", "", "BenchmarkE1_", 0.20, true, "workers=4", "workers=1", 3.0)
+	if err == nil || !strings.Contains(err.Error(), "below required") {
+		t.Fatalf("2.5x speedup passed a 3.0x gate: %v", err)
+	}
+	if err := run(in, dir+"/out3.json", "", "BenchmarkE1_", 0.20, true, "", "workers=1", 2.0); err == nil {
+		t.Fatal("missing -num accepted")
 	}
 }

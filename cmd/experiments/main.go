@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/alloc"
@@ -30,6 +31,8 @@ func main() {
 	split := flag.Bool("split", false, "run every measured interconnect in split-transaction mode (E10 sweeps both protocols)")
 	ooo := flag.Bool("ooo", false, "deliver completions out of order on every measured master port (default: in issue order)")
 	cacheOn := flag.Bool("cache", false, "front every measured master with a coherent private L1 cache (E11 sweeps cached vs uncached)")
+	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprof := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -38,6 +41,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers,
@@ -62,8 +78,8 @@ func main() {
 	if *cacheOn {
 		caches = "coherent L1"
 	}
-	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s × port depth=%d × %s protocol × %s × %s (host GOMAXPROCS %d)\n\n",
-		mode, *workers, policy, *depth, proto, order, caches, runtime.GOMAXPROCS(0))
+	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s × port depth=%d × %s protocol × %s × %s (host GOMAXPROCS %d, NumCPU %d)\n\n",
+		mode, *workers, policy, *depth, proto, order, caches, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(strings.ToLower(id))] = true
@@ -115,6 +131,24 @@ func main() {
 		}
 		for _, t := range tables {
 			fmt.Println(t)
+		}
+	}
+	// Flush profiles explicitly: os.Exit below would skip deferred stops.
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			}
+			f.Close()
 		}
 	}
 	if failed {

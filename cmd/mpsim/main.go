@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/alloc"
@@ -61,10 +62,38 @@ func run() error {
 		l1line   = flag.Uint("l1line", 0, "L1 line size in bytes (0 = default 32)")
 		mshrs    = flag.Int("mshrs", 0, "L1 miss-status-holding registers (0 = default 4)")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mpsim:", err)
+			}
+		}()
 	}
 
 	if *isses == 0 && *pes == 0 {
@@ -134,8 +163,8 @@ func run() error {
 		}
 		cacheDesc = fmt.Sprintf("%s L1 ×%d (%dB lines)", coh, len(sys.Caches), sys.Caches[0].LineBytes())
 	}
-	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); %s; %s protocol × depth=%d × %s; scheduler %s × workers=%d (host GOMAXPROCS %d)\n\n",
-		masters, ic, *memories, kind, allocKind, cacheDesc, proto, *depth, order, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0))
+	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); %s; %s protocol × depth=%d × %s; scheduler %s × workers=%d (host GOMAXPROCS %d, NumCPU %d)\n\n",
+		masters, ic, *memories, kind, allocKind, cacheDesc, proto, *depth, order, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	var doneFn func() bool
 	switch {

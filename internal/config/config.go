@@ -146,6 +146,15 @@ type SystemConfig struct {
 	// -workers flags map their conventional "0 = all cores" to a
 	// GOMAXPROCS count before building.)
 	Workers int
+	// DisableISSBatch turns off ISS instruction batching (on by default
+	// for built systems; see iss.Config.Batch). Batching is cycle-exact
+	// at every module and signal boundary — the knob exists as the
+	// plain reference side of differential tests and for host code that
+	// inspects CPU registers or counters between individual cycles.
+	DisableISSBatch bool
+	// DisableISSDecodeCache turns off the per-CPU decode cache (on by
+	// default for built systems; see iss.Config.DecodeCache).
+	DisableISSDecodeCache bool
 }
 
 // Interconnect is the common face of Bus and Crossbar.
@@ -404,9 +413,11 @@ func (s *System) AddCPUs(progs ...[]byte) error {
 	for i, prog := range progs {
 		idx := base + i
 		cpu, err := iss.New(s.Kernel, iss.Config{
-			Name: fmt.Sprintf("iss%d", idx),
-			Prog: prog,
-			Port: s.MasterPorts[idx],
+			Name:        fmt.Sprintf("iss%d", idx),
+			Prog:        prog,
+			Port:        s.MasterPorts[idx],
+			Batch:       !s.Cfg.DisableISSBatch,
+			DecodeCache: !s.Cfg.DisableISSDecodeCache,
 		})
 		if err != nil {
 			return fmt.Errorf("config: cpu %d: %w", idx, err)

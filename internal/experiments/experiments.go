@@ -92,6 +92,12 @@ type Mode struct {
 	Split    bool
 	OOO      bool
 	Cache    bool
+	// NoBatch and NoDecodeCache disable the ISS fast paths (instruction
+	// batching, decode memoization) that built systems enable by default.
+	// Like Lockstep they are observably identical scheduler axes — the
+	// plain-interpreter side of the differential matrix.
+	NoBatch       bool
+	NoDecodeCache bool
 }
 
 func (o Options) mode() Mode {
@@ -106,6 +112,7 @@ func (m Mode) sysConfig() config.SystemConfig {
 		Lockstep: m.Lockstep, Workers: m.Workers, AllocPolicy: m.Alloc,
 		OutstandingDepth: m.Depth, SplitBus: m.Split, OutOfOrder: m.OOO,
 		Cache: m.Cache, Coherent: m.Cache,
+		DisableISSBatch: m.NoBatch, DisableISSDecodeCache: m.NoDecodeCache,
 	}
 }
 
@@ -823,11 +830,15 @@ func EV(o Options) (*stats.Table, error) {
 // The sweep verifies that every worker count simulates the identical
 // cycle count; the full observable equivalence (stats, ISS output, VCD
 // bytes) is asserted by the differential harness in scheduler_test.go.
+// The leading "plain" row disables the ISS fast paths (batching, decode
+// cache) on the sequential kernel — the pre-optimization interpreter —
+// so the table separates the single-thread win (plain → workers=1) from
+// the parallel win (workers=1 → workers=N).
 //
-// Expect speedup only when the host has cores to spare (the table
-// header records GOMAXPROCS): on a single-core host the extra barrier
-// work makes workers > 1 strictly slower, which is why sequential
-// remains the default mode.
+// Expect parallel speedup only when the host has cores to spare (the
+// table header records GOMAXPROCS). Batching keeps the barrier off the
+// per-cycle path, so even on a single core workers > 1 costs only a few
+// tens of percent — but sequential remains the default mode.
 func PAR(o Options) (*stats.Table, error) {
 	frames := o.pick(20, 3)
 	reps := o.pick(3, 1)
@@ -835,6 +846,11 @@ func PAR(o Options) (*stats.Table, error) {
 		fmt.Sprintf("PAR: sharded parallel tick engine — 4 ISS / 4 mem GSM (%d frames/ISS; host GOMAXPROCS=%d)",
 			frames, runtime.GOMAXPROCS(0)),
 		"workers", "sim cycles", "wall", "cycles/s", "speedup vs 1")
+	plain, err := measureGSMISS(4, 4, frames, reps,
+		Mode{Lockstep: o.Lockstep, Workers: 1, NoBatch: true, NoDecodeCache: true})
+	if err != nil {
+		return nil, err
+	}
 	var base stats.RunResult
 	for _, w := range []int{1, 2, 4, 8} {
 		r, err := measureGSMISS(4, 4, frames, reps, Mode{Lockstep: o.Lockstep, Workers: w})
@@ -843,6 +859,11 @@ func PAR(o Options) (*stats.Table, error) {
 		}
 		if w == 1 {
 			base = r
+			if plain.Cycles != r.Cycles {
+				return nil, fmt.Errorf("PAR: plain interpreter diverged: %d cycles vs %d", plain.Cycles, r.Cycles)
+			}
+			t.Add("1 (plain ISS)", fmt.Sprint(plain.Cycles), plain.Wall.Round(time.Millisecond).String(),
+				stats.SI(plain.CyclesPerSec()), fmt.Sprintf("%.2fx", plain.CyclesPerSec()/r.CyclesPerSec()))
 			t.Add("1", fmt.Sprint(r.Cycles), r.Wall.Round(time.Millisecond).String(),
 				stats.SI(r.CyclesPerSec()), "-")
 			continue

@@ -24,14 +24,16 @@ import (
 
 // This file is the differential harness of the kernel's scheduling
 // modes: it replays every experiment configuration class across the
-// kernel-mode matrix — lockstep and event-driven stepping, each with
-// sequential (workers=1) and sharded parallel (workers=4) ticking — and
-// demands bit-identical observable behavior against the lockstep
-// sequential reference: final cycle counts, every module's stats
-// counters, golden ISS outputs (console, exit codes, instruction and
-// stall counts), PE coroutine accounting, DMA outcomes and VCD traces.
-// Run it under -race (CI does, across a GOMAXPROCS matrix) and it is
-// also the race-cleanliness proof of the parallel tick engine.
+// kernel-mode matrix — lockstep and event-driven stepping, worker
+// counts 1/2/4/8 (sequential, sharded commit, subset barrier release),
+// and the ISS fast paths (instruction batching, decode cache) on and
+// off — and demands bit-identical observable behavior against the
+// plain-interpreter lockstep sequential reference: final cycle counts,
+// every module's stats counters, golden ISS outputs (console, exit
+// codes, instruction and stall counts), PE coroutine accounting, DMA
+// outcomes and VCD traces. Run it under -race (CI does, across a
+// GOMAXPROCS matrix) and it is also the race-cleanliness proof of the
+// parallel tick engine.
 
 // sysSnapshot is everything observable about a finished system.
 type sysSnapshot struct {
@@ -93,12 +95,21 @@ func snapshot(sys *config.System) sysSnapshot {
 }
 
 // diffModes is the kernel-mode matrix every scenario replays. The first
-// entry — lockstep, sequential — is the reference everything else must
-// match bit for bit.
+// entry — lockstep, sequential, ISS batching and decode cache disabled,
+// i.e. the plain single-stepping interpreter — is the reference
+// everything else must match bit for bit. The other legs sweep the
+// scheduler (lockstep vs event-driven), the tick-phase parallelism
+// (workers 1/2/4/8, exercising the shard-local commit, the per-shard
+// wake filter and the subset barrier release) and the ISS fast paths
+// (batching and the decode cache, individually and together).
 var diffModes = []Mode{
+	{Lockstep: true, Workers: 1, NoBatch: true, NoDecodeCache: true},
 	{Lockstep: true, Workers: 1},
+	{Lockstep: false, Workers: 1, NoBatch: true, NoDecodeCache: true},
 	{Lockstep: false, Workers: 1},
-	{Lockstep: false, Workers: 4},
+	{Lockstep: false, Workers: 2},
+	{Lockstep: false, Workers: 4, NoBatch: true},
+	{Lockstep: false, Workers: 8},
 	{Lockstep: true, Workers: 4},
 }
 
@@ -107,7 +118,14 @@ func modeName(m Mode) string {
 	if m.Lockstep {
 		n = "lockstep"
 	}
-	return fmt.Sprintf("%s/workers=%d", n, m.Workers)
+	n = fmt.Sprintf("%s/workers=%d", n, m.Workers)
+	if m.NoBatch {
+		n += "/nobatch"
+	}
+	if m.NoDecodeCache {
+		n += "/nodc"
+	}
+	return n
 }
 
 // runBoth builds and runs one scenario in every kernel mode of
@@ -149,9 +167,9 @@ func TestSchedDiffGSMISS(t *testing.T) {
 	for _, tc := range []struct{ nISS, nMem int }{{1, 1}, {4, 1}, {4, 4}} {
 		name := fmt.Sprintf("gsm-iss-%dx%d", tc.nISS, tc.nMem)
 		runBoth(t, name, func(m Mode) (*config.System, error) {
-			sys, err := config.Build(config.SystemConfig{
-				Masters: tc.nISS, Memories: tc.nMem, MemKind: config.MemWrapper, Lockstep: m.Lockstep, Workers: m.Workers,
-			})
+			cfg := m.sysConfig()
+			cfg.Masters, cfg.Memories, cfg.MemKind = tc.nISS, tc.nMem, config.MemWrapper
+			sys, err := config.Build(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -179,10 +197,10 @@ func TestSchedDiffGSMISS(t *testing.T) {
 // TestSchedDiffCrossbar is the A1 ablation topology.
 func TestSchedDiffCrossbar(t *testing.T) {
 	runBoth(t, "crossbar", func(m Mode) (*config.System, error) {
-		sys, err := config.Build(config.SystemConfig{
-			Masters: 2, Memories: 2, MemKind: config.MemWrapper,
-			Interconnect: config.InterCrossbar, Lockstep: m.Lockstep, Workers: m.Workers,
-		})
+		cfg := m.sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = 2, 2, config.MemWrapper
+		cfg.Interconnect = config.InterCrossbar
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -212,9 +230,9 @@ func TestSchedDiffPipeline(t *testing.T) {
 	const frames = 3
 	runBoth(t, "gsm-pipeline", func(m Mode) (*config.System, error) {
 		tasks, res := gsm.BuildPipeline(gsm.PipelineConfig{Frames: frames, Seed: 42, NumSM: 2})
-		sys, err := config.Build(config.SystemConfig{
-			Masters: 4, Memories: 2, MemKind: config.MemWrapper, Lockstep: m.Lockstep, Workers: m.Workers,
-		})
+		cfg := m.sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = 4, 2, config.MemWrapper
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -252,10 +270,9 @@ func TestSchedDiffTraceReplay(t *testing.T) {
 		{"heapsim", config.MemHeapSim, trace.ModeDynamic, false},
 	} {
 		sched := runBoth(t, "trace-"+tc.name, func(m Mode) (*config.System, error) {
-			cfg := config.SystemConfig{
-				Masters: 1, Memories: 1, MemKind: tc.kind, MemBytes: 1 << 22,
-				Lockstep: m.Lockstep, Workers: m.Workers,
-			}
+			cfg := m.sysConfig()
+			cfg.Masters, cfg.Memories, cfg.MemKind = 1, 1, tc.kind
+			cfg.MemBytes = 1 << 22
 			if tc.heavy {
 				d := evDelays()
 				cfg.WrapperDelays = &d
@@ -285,10 +302,10 @@ func TestSchedDiffDMA(t *testing.T) {
 	caps := make([]dmaCapture, 0, len(diffModes))
 	runBoth(t, "dma", func(m Mode) (*config.System, error) {
 		delays := evDelays()
-		sys, err := config.Build(config.SystemConfig{
-			Masters: 2, Memories: 2, MemKind: config.MemWrapper,
-			WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers,
-		})
+		cfg := m.sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = 2, 2, config.MemWrapper
+		cfg.WrapperDelays = &delays
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -384,9 +401,9 @@ func TestSchedDiffReservation(t *testing.T) {
 		for j := 0; j < pes; j++ {
 			tasks = append(tasks, worker)
 		}
-		sys, err := config.Build(config.SystemConfig{
-			Masters: pes + 1, Memories: 1, MemKind: config.MemWrapper, Lockstep: m.Lockstep, Workers: m.Workers,
-		})
+		cfg := m.sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = pes+1, 1, config.MemWrapper
+		sys, err := config.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -410,10 +427,10 @@ func TestSchedDiffVCD(t *testing.T) {
 	dumps := make([]bytes.Buffer, len(diffModes))
 	for i, m := range diffModes {
 		delays := evDelays()
-		sys, err := config.Build(config.SystemConfig{
-			Masters: 1, Memories: 1, MemKind: config.MemWrapper,
-			WrapperDelays: &delays, Lockstep: m.Lockstep, Workers: m.Workers,
-		})
+		cfg := m.sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = 1, 1, config.MemWrapper
+		cfg.WrapperDelays = &delays
+		sys, err := config.Build(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -491,10 +508,11 @@ func TestSchedDiffAllocPolicy(t *testing.T) {
 		{"wrapper-bestfit", config.MemWrapper, alloc.BestFit},
 	} {
 		runBoth(t, "alloc-"+tc.name, func(m Mode) (*config.System, error) {
-			sys, err := config.Build(config.SystemConfig{
-				Masters: 1, Memories: 1, MemKind: tc.kind, MemBytes: 1 << 22,
-				AllocPolicy: tc.policy, Lockstep: m.Lockstep, Workers: m.Workers,
-			})
+			cfg := m.sysConfig()
+			cfg.Masters, cfg.Memories, cfg.MemKind = 1, 1, tc.kind
+			cfg.MemBytes = 1 << 22
+			cfg.AllocPolicy = tc.policy
+			sys, err := config.Build(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -536,11 +554,10 @@ func TestSchedDiffSplitPort(t *testing.T) {
 			for _, split := range []bool{false, true} {
 				name := fmt.Sprintf("gsm-%s-d%d-split%v", inter, depth, split)
 				runBoth(t, name, func(m Mode) (*config.System, error) {
-					sys, err := config.Build(config.SystemConfig{
-						Masters: 4, Memories: 4, MemKind: config.MemWrapper,
-						Interconnect: inter, OutstandingDepth: depth, SplitBus: split,
-						Lockstep: m.Lockstep, Workers: m.Workers,
-					})
+					cfg := m.sysConfig()
+					cfg.Masters, cfg.Memories, cfg.MemKind = 4, 4, config.MemWrapper
+					cfg.Interconnect, cfg.OutstandingDepth, cfg.SplitBus = inter, depth, split
+					sys, err := config.Build(cfg)
 					if err != nil {
 						return nil, err
 					}

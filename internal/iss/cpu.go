@@ -24,6 +24,40 @@ type Config struct {
 	Port *bus.Port
 	// MMIOBase overrides the bridge window base (default MMIOBase).
 	MMIOBase uint32
+	// Batch enables instruction batching: a running CPU executes a whole
+	// run of provably CPU-local instructions inside one Tick and then
+	// sleeps through the cycles the run pre-paid (its "lead"), so the
+	// kernel crosses far fewer scheduling points per retired
+	// instruction. Cycle-exact: any instruction that can touch shared
+	// state — a bridge GO store, HLT, SWI exit, anything that would
+	// fault — ends the run and executes on the tick of its own cycle,
+	// so ports, signals, halts and faults all happen at exactly the
+	// cycles of the unbatched engine. Only host code inspecting a CPU
+	// *between* cycles can tell the difference: Icount, PC and register
+	// state move in run-sized jumps (the same caveat as the kernel's
+	// idle-skip machinery, see sim.Sleeper).
+	Batch bool
+	// DecodeCache memoizes fetch+decode by PC over the program image.
+	// Every hit revalidates by comparing the cached word against local
+	// memory, so self-modifying code invalidates stale entries by
+	// construction.
+	DecodeCache bool
+}
+
+// batchQuantum aligns batched runs to absolute cycle boundaries: a run
+// never crosses a multiple of batchQuantum. Alignment keeps the CPUs of
+// a symmetric multi-core configuration bursting on the same stepped
+// cycles, so under the sharded kernel their runs execute concurrently
+// instead of staggering into serialized singles.
+const batchQuantum = 256
+
+// dcEntry is one decode-cache slot: the instruction word it was filled
+// from and the decoded form. ok distinguishes "never filled" from a
+// cached all-zero word (a valid encoding).
+type dcEntry struct {
+	word uint32
+	ok   bool
+	in   isa.Instr
 }
 
 type cpuState uint8
@@ -51,6 +85,14 @@ type CPU struct {
 
 	state    cpuState
 	exitCode uint32
+
+	// batching state: lead is the number of upcoming cycles already
+	// executed by a batched run (the CPU sleeps through them: Tick and
+	// Skip just consume lead); dc is the decode cache over the program
+	// image (nil when disabled).
+	batch bool
+	lead  uint64
+	dc    []dcEntry
 
 	// bridge registers
 	brOp, brSM, brVPtr, brData, brDim, brDType uint32
@@ -88,8 +130,15 @@ func New(k *sim.Kernel, cfg Config) (*CPU, error) {
 		mem:      make([]byte, cfg.MemSize),
 		port:     cfg.Port,
 		mmioBase: cfg.MMIOBase,
+		batch:    cfg.Batch,
 	}
 	copy(c.mem, cfg.Prog)
+	if cfg.DecodeCache && len(cfg.Prog) >= 4 {
+		// Sized to the program image: that is where the PC lives in
+		// practice, and execution outside it falls back to plain decode
+		// (still correct, just uncached).
+		c.dc = make([]dcEntry, len(cfg.Prog)/4)
+	}
 	k.Add(c)
 	return c, nil
 }
@@ -134,21 +183,33 @@ func (c *CPU) Tick(cycle uint64) {
 		c.completeBridge(resp)
 		c.state = cpuRunning
 	case cpuRunning:
+		if c.lead > 0 {
+			// This cycle was pre-executed by a batched run (Cycles was
+			// counted then); consume the lead.
+			c.lead--
+			return
+		}
+		if c.batch {
+			c.batchRun(cycle)
+			return
+		}
 		c.Cycles++
 		c.step(cycle)
 	}
 }
 
 // NextWake implements sim.Sleeper. A running CPU retires an instruction
-// every cycle and can never sleep; a halted CPU never runs again; a
-// stalled CPU resumes only when the interconnect's completion commits,
-// so WakeNever plus the kernel's dirty-signal wakeup is exact.
+// every cycle and can never sleep — unless a batched run pre-executed
+// its next lead cycles, which makes it a pure-wait module until the
+// lead is consumed. A halted CPU never runs again; a stalled CPU
+// resumes only when the interconnect's completion commits, so WakeNever
+// plus the kernel's dirty-signal wakeup is exact.
 func (c *CPU) NextWake(now uint64) uint64 {
 	switch c.state {
 	case cpuHalted, cpuStalled:
 		return sim.WakeNever
 	default:
-		return now
+		return now + c.lead
 	}
 }
 
@@ -166,12 +227,124 @@ func (c *CPU) ConcurrentTick() bool { return true }
 func (c *CPU) TickWeight() int { return 8 }
 
 // Skip implements sim.Sleeper: skipped stall cycles still count as CPU
-// cycles spent waiting on the interconnect. A halted CPU counts nothing,
-// exactly as its Tick counts nothing.
+// cycles spent waiting on the interconnect; skipped lead cycles were
+// counted when the batched run executed them, so they only consume
+// lead. A halted CPU counts nothing, exactly as its Tick counts
+// nothing.
 func (c *CPU) Skip(n uint64) {
-	if c.state == cpuStalled {
+	switch c.state {
+	case cpuStalled:
 		c.Cycles += n
 		c.StallCycles += n
+	case cpuRunning:
+		if n <= c.lead {
+			c.lead -= n
+		}
+	}
+}
+
+// decode returns the decoded instruction at pc, consulting the decode
+// cache when enabled. ok is false for undefined encodings (the caller
+// owns the fault, with its diagnostic re-derived from a plain Decode).
+func (c *CPU) decode(pc, word uint32) (in isa.Instr, ok bool) {
+	if i := int(pc >> 2); c.dc != nil && i < len(c.dc) {
+		e := &c.dc[i]
+		if e.ok && e.word == word {
+			return e.in, true
+		}
+		in, err := isa.Decode(word)
+		if err != nil {
+			e.ok = false
+			return in, false
+		}
+		*e = dcEntry{word: word, ok: true, in: in}
+		return in, true
+	}
+	in, err := isa.Decode(word)
+	return in, err == nil
+}
+
+// batchRun executes a run of instructions starting at the current
+// cycle, as long as each next instruction is provably local (see
+// localSafe): such instructions touch only CPU-private state, so
+// executing them inside one Tick is indistinguishable — at every module
+// and signal boundary — from executing them one tick at a time. The
+// first non-local instruction either runs immediately (when it is this
+// cycle's instruction) through the plain path, or ends the run and
+// executes on the tick of its own cycle after the lead drains. Runs
+// never cross a batchQuantum boundary, keeping symmetric CPUs aligned.
+func (c *CPU) batchRun(cycle uint64) {
+	j := uint64(0)
+	for {
+		in, safe := c.peekLocal()
+		if !safe {
+			if j == 0 {
+				c.Cycles++
+				c.step(cycle)
+				return
+			}
+			break
+		}
+		c.exec(in, cycle+j)
+		j++
+		if (cycle+j)%batchQuantum == 0 {
+			break
+		}
+	}
+	c.Cycles += j
+	c.lead = j - 1
+}
+
+// peekLocal fetches and decodes the next instruction without executing
+// it and reports whether it is provably local: its execution cannot
+// touch anything outside the CPU (no port traffic, no halt, no fault,
+// no kernel interaction). The check mirrors the fault and shared-state
+// conditions of exec exactly; anything it cannot prove local is
+// reported unsafe and re-executes through the plain per-cycle path.
+func (c *CPU) peekLocal() (isa.Instr, bool) {
+	if c.pc%4 != 0 || uint64(c.pc)+4 > uint64(len(c.mem)) {
+		return isa.Instr{}, false // would fault on fetch
+	}
+	word := binary.LittleEndian.Uint32(c.mem[c.pc:])
+	in, ok := c.decode(c.pc, word)
+	if !ok {
+		return in, false // would fault on decode
+	}
+	if !in.Cond.Holds(c.n, c.z, c.c, c.v) {
+		return in, true // retires as a no-op regardless of class
+	}
+	switch in.Class {
+	case isa.ClassMem:
+		addr := c.regs[in.Rn] + uint32(in.Off)
+		if addr >= c.mmioBase && addr < c.mmioBase+MMIOSize {
+			if in.Mem.Width() != 4 || addr%4 != 0 {
+				return in, false // would fault: bridge access must be word ldr/str
+			}
+			off := addr - c.mmioBase
+			if off >= IOArray {
+				return in, true // staging array: CPU-private
+			}
+			if in.Mem.IsLoad() {
+				return in, off <= RegCycles // defined registers are private reads
+			}
+			// Stores: GO issues a transaction; anything past RegDType
+			// is undefined and would fault.
+			return in, off <= RegDType
+		}
+		return in, uint64(addr)+uint64(in.Mem.Width()) <= uint64(len(c.mem))
+	case isa.ClassSWI:
+		switch in.Imm {
+		case isa.SWIPutc, isa.SWIPutInt, isa.SWICycles:
+			return in, true // console buffer and the tick's own cycle: private
+		default:
+			return in, false // exit, or undefined service (would fault)
+		}
+	case isa.ClassSys:
+		return in, in.Sys == isa.NOP // HLT ends the run
+	default:
+		// Data processing, branches, multiplies, movw/movt: registers
+		// and flags only.
+		return in, true
 	}
 }
 
@@ -182,11 +355,17 @@ func (c *CPU) step(cycle uint64) {
 		return
 	}
 	word := binary.LittleEndian.Uint32(c.mem[c.pc:])
-	in, err := isa.Decode(word)
-	if err != nil {
+	in, ok := c.decode(c.pc, word)
+	if !ok {
+		_, err := isa.Decode(word)
 		c.fault("undefined instruction %#08x: %v", word, err)
 		return
 	}
+	c.exec(in, cycle)
+}
+
+// exec executes one decoded instruction.
+func (c *CPU) exec(in isa.Instr, cycle uint64) {
 	c.Icount++
 	if !in.Cond.Holds(c.n, c.z, c.c, c.v) {
 		c.pc += 4
@@ -203,7 +382,7 @@ func (c *CPU) step(cycle uint64) {
 
 	case isa.ClassMem:
 		addr := c.regs[in.Rn] + uint32(in.Off)
-		if !c.memAccess(in, addr) {
+		if !c.memAccess(in, addr, cycle) {
 			return // fault or stall; pc already handled
 		}
 
@@ -294,9 +473,9 @@ func (c *CPU) dataProcessing(op isa.DPOp, rd uint8, rn, op2 uint32) {
 // memAccess performs a load or store, routing MMIO-window addresses to
 // the bridge. It returns false when the CPU faulted or stalled (in which
 // case pc has been left pointing at the *next* instruction for stalls).
-func (c *CPU) memAccess(in isa.Instr, addr uint32) bool {
+func (c *CPU) memAccess(in isa.Instr, addr uint32, cycle uint64) bool {
 	if addr >= c.mmioBase && addr < c.mmioBase+MMIOSize {
-		return c.bridgeAccess(in, addr-c.mmioBase)
+		return c.bridgeAccess(in, addr-c.mmioBase, cycle)
 	}
 	w := in.Mem.Width()
 	if uint64(addr)+uint64(w) > uint64(len(c.mem)) {
@@ -327,8 +506,10 @@ func (c *CPU) memAccess(in isa.Instr, addr uint32) bool {
 }
 
 // bridgeAccess handles a load/store at the given offset inside the MMIO
-// window.
-func (c *CPU) bridgeAccess(in isa.Instr, off uint32) bool {
+// window. cycle is the cycle the instruction executes at — under a
+// batched run that may be ahead of the kernel's clock, which is why
+// RegCycles reads it rather than the kernel.
+func (c *CPU) bridgeAccess(in isa.Instr, off uint32, cycle uint64) bool {
 	if in.Mem.Width() != 4 || off%4 != 0 {
 		c.fault("bridge access must be word-aligned ldr/str (off=%#x)", off)
 		return false
@@ -361,7 +542,7 @@ func (c *CPU) bridgeAccess(in isa.Instr, off uint32) bool {
 		case RegResult:
 			c.regs[in.Rd] = c.brResult
 		case RegCycles:
-			c.regs[in.Rd] = uint32(c.k.Cycle())
+			c.regs[in.Rd] = uint32(cycle)
 		default:
 			c.fault("read of undefined bridge register %#x", off)
 			return false

@@ -528,3 +528,60 @@ func TestCPUPushPopNestedCalls(t *testing.T) {
 		t.Errorf("fact(5) = %d, want 120", cpu.ExitCode())
 	}
 }
+
+// TestCPUSelfModifyingCode is the decode-cache invalidation regression:
+// a program overwrites one of its own (already executed, already cached)
+// instructions and re-executes it, and must observe the new instruction.
+// The cache validates every hit by comparing the cached word against the
+// word actually fetched, so a store to code memory invalidates by
+// construction — even when the store and the re-execution land in the
+// same batch run. All four fast-path combinations must agree with the
+// plain interpreter on result, instruction count and cycle count.
+func TestCPUSelfModifyingCode(t *testing.T) {
+	prog, err := isa.Assemble(`
+		li   r5, patch       ; address of the instruction to overwrite
+		li   r6, tmpl        ; address of the replacement word
+		mov  r3, #0
+		mov  r0, #0
+	patch:	add  r3, r3, #1      ; second pass: replaced by add r3, r3, #100
+		cmp  r0, #0
+		bne  done
+		ldr  r7, [r6]
+		str  r7, [r5]        ; overwrite the patch slot
+		mov  r0, #1
+		b    patch
+	done:	mov  r0, r3
+		swi  #0
+	tmpl:	add  r3, r3, #100
+	`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	var refIcount, refCycles uint64
+	for i, cfg := range []Config{
+		{}, // plain interpreter reference
+		{Batch: true},
+		{DecodeCache: true},
+		{Batch: true, DecodeCache: true},
+	} {
+		cfg.Prog = prog.Code
+		k := sim.New()
+		cpu, err := New(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.RunUntil(cpu.Halted, 1_000_000); err != nil {
+			t.Fatalf("cfg %d: did not halt: %v (pc=%#x)", i, err, cpu.PC())
+		}
+		if got := cpu.ExitCode(); got != 101 {
+			t.Errorf("cfg %d (batch=%v dc=%v): exit = %d, want 101 (stale decode executed)",
+				i, cfg.Batch, cfg.DecodeCache, got)
+		}
+		if i == 0 {
+			refIcount, refCycles = cpu.Icount, cpu.Cycles
+		} else if cpu.Icount != refIcount || cpu.Cycles != refCycles {
+			t.Errorf("cfg %d: icount/cycles = %d/%d, want %d/%d",
+				i, cpu.Icount, cpu.Cycles, refIcount, refCycles)
+		}
+	}
+}

@@ -67,28 +67,55 @@
 //     packed into shards by an LPT bin-packer using the optional
 //     Weighted capability (ISS CPUs are ~4x a bus tick), so one heavy
 //     module does not serialize the cycle.
-//   - Tick: each cycle the kernel releases the persistent worker pool,
-//     ticks shard 0 on its own goroutine, and barriers. Signal.Set
-//     marks written signals dirty in place instead of appending to the
-//     kernel's shared dirty list.
-//   - Commit: after the barrier, one goroutine merges all next-value
-//     slots by scanning signals in registration order. Everything
+//   - Tick: on cycles that need the pool the kernel releases one epoch,
+//     ticks shard 0 on its own goroutine, and joins. During the phase
+//     Signal.Set enlists each newly dirtied signal in a preallocated
+//     slot array whose cursor is an atomic counter — safe because every
+//     signal has exactly one driver, so the dirty flag itself is never
+//     contended and each signal claims at most one slot per cycle.
+//   - Commit: after the barrier, one goroutine concatenates the
+//     concurrent dirty list with the sequential one (host writes made
+//     between steps), orders the union by signal registration index and
+//     commits — O(signals actually written), not O(all signals), with
+//     the same commit order a sequential run produces. Everything
 //     downstream of the barrier (commit, AfterCycle hooks, the
 //     event-driven skip decisions, NextWake/Skip) stays single-threaded,
 //     so the Sleeper machinery needs no locking.
 //
+// Sharding composes with event-driven scheduling instead of fighting
+// it. Whole-kernel idle jumps still happen exactly as in sequential
+// mode; on stepped cycles the kernel additionally consults each shard's
+// cached Sleeper view (under the same preconditions that allow a skip:
+// event-driven, nothing changed, nothing pending). A shard whose
+// modules all sleep past the cycle takes Skip(1) — observably identical
+// to the pure-wait tick it would have received — and does not cross the
+// barrier at all. When at most one shard is awake its modules tick
+// inline on the kernel goroutine with no pool wake, no epoch, no
+// atomics; when several are awake the pool releases exactly the awake
+// shards' workers (a subset epoch: enrollment is published before the
+// epoch bump, and non-enrolled workers that observe the epoch go back
+// to waiting without touching the barrier). The full wake-all release
+// is reserved for cycles following a signal change, where the
+// dirty-signal wakeup rule wakes everything anyway.
+//
+// The barrier a released epoch pays is a spin-then-park rendezvous on
+// two cache-line-padded atomics (epoch, pending); parked and dead
+// workers are woken or respawned by the release, and idle workers time
+// out and exit so abandoned kernels leak nothing.
+//
 // Parallel runs are bit-identical to sequential ones — same cycles,
 // stats, ISS output, VCD bytes — for any worker count, which the
 // differential harness asserts across the full mode matrix (lockstep ×
-// event-driven × workers ∈ {1, 4}); determinism is preserved because no
-// module can observe tick order and the commit order is fixed. Expect
-// speedup on CPU-bound configurations (several ISSs retiring an
-// instruction every cycle) with host cores to spare; idle-heavy
-// configurations are already served by idle-skip, and serial-module
-// (PE/task) systems pay the barrier without gaining concurrency — which
-// is why workers=1 remains the default. Faults raised concurrently are
-// serialized; when several modules fault in the same cycle the reported
-// error is unspecified (the faulting cycle is still exact).
+// event-driven × workers ∈ {1, 2, 4, 8} × ISS fast paths on/off);
+// determinism is preserved because no module can observe tick order and
+// the commit order is fixed. Expect speedup on CPU-bound configurations
+// (several ISSs executing batched instruction runs) with host cores to
+// spare; idle-heavy configurations are already served by idle-skip, and
+// serial-module (PE/task) systems pay the barrier without gaining
+// concurrency — which is why workers=1 remains the default. Faults
+// raised concurrently are serialized; when several modules fault in the
+// same cycle the reported error is unspecified (the faulting cycle is
+// still exact).
 //
 // The kernel also provides single-cycle control (Step, which never
 // skips), per-cycle hooks for instrumentation, a fault channel through

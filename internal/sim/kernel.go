@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -66,12 +67,19 @@ type Kernel struct {
 	// configured shard budget (0 = never configured = sequential);
 	// shards is the active partition (nil = sequential tick path);
 	// parallelPhase is true while worker goroutines own the tick phase,
-	// rerouting Signal.Set away from the shared dirty list.
+	// rerouting Signal.Set to the concurrent dirty list: parDirty is a
+	// slot array (one slot per signal suffices, each signal enlists at
+	// most once per cycle) whose cursor parDirtyN concurrent drivers
+	// claim slots from.
 	workers       int
-	shards        [][]Module
+	shards        []shardInfo
 	shardsValid   bool
 	pool          *tickPool
 	parallelPhase bool
+	parDirty      []committer
+	parDirtyN     atomic.Int64
+	awakeBuf      []int // scratch: awake shard ids, reused across cycles
+	slotBuf       []int // scratch: worker slots for a subset release
 
 	// profiling state; nil unless EnableProfiling was called.
 	profTime  []time.Duration
@@ -129,11 +137,16 @@ func (k *Kernel) Err() error { return k.fault }
 // Cycle returns the number of fully simulated cycles.
 func (k *Kernel) Cycle() uint64 { return k.cycle }
 
-func (k *Kernel) addSignal(s committer) {
+func (k *Kernel) addSignal(s committer) int {
 	k.signals = append(k.signals, s)
+	return len(k.signals) - 1
 }
 
 func (k *Kernel) markDirty(s committer) {
+	if k.parallelPhase {
+		k.parDirty[k.parDirtyN.Add(1)-1] = s
+		return
+	}
 	k.dirty = append(k.dirty, s)
 }
 
@@ -157,8 +170,10 @@ func (k *Kernel) Step() error {
 			k.reshard()
 		}
 		if k.shards != nil {
-			k.parallelTick(c)
-			par = true
+			// parallelTick reports false when its fast path ticked the
+			// cycle inline on this goroutine — then the sequential
+			// dirty list already holds every write.
+			par = k.parallelTick(c)
 		} else {
 			for _, m := range k.modules {
 				m.Tick(c)
@@ -167,10 +182,10 @@ func (k *Kernel) Step() error {
 	}
 	changed := false
 	if par {
-		// Parallel ticks mark signals dirty in place (no shared list);
-		// merge by scanning all signals in registration order. This also
-		// covers host-written signals pending from before the step.
-		changed = k.commitAll()
+		// Merge the concurrent and sequential dirty lists — host writes
+		// pending from before the step live on the sequential one — and
+		// commit in registration order: O(dirty), deterministic.
+		changed = k.commitMerged()
 	} else {
 		for _, s := range k.dirty {
 			if s.commit() {

@@ -117,6 +117,29 @@ func moduleWeight(m Module) int {
 	return defaultTickWeight
 }
 
+// shardInfo is one shard of the module partition, with its cached
+// Sleeper view: sleepers is non-nil only when every module in the shard
+// participates in event-driven scheduling, which is what allows the
+// kernel to skip the whole shard on cycles it provably sleeps through.
+type shardInfo struct {
+	mods     []Module
+	sleepers []Sleeper
+}
+
+// asleep reports whether every module of the shard sleeps past now —
+// meaning a tick at now would be a pure-wait cycle for each of them.
+func (sh *shardInfo) asleep(now uint64) bool {
+	if sh.sleepers == nil {
+		return false
+	}
+	for _, s := range sh.sleepers {
+		if s.NextWake(now) <= now {
+			return false
+		}
+	}
+	return true
+}
+
 // reshard recomputes the shard partition (and worker pool) for the
 // current module set and worker count. Called lazily from Step; Add and
 // SetWorkers invalidate. k.shards == nil selects the sequential path.
@@ -176,15 +199,24 @@ func (k *Kernel) reshard() {
 		loads[best] += it.weight
 		bins[best] = append(bins[best], it.mods...)
 	}
-	shards := make([][]Module, 0, n)
+	shards := make([]shardInfo, 0, n)
 	for _, bin := range bins {
 		if len(bin) == 0 {
 			continue
 		}
 		sort.Ints(bin)
-		sh := make([]Module, len(bin))
+		sh := shardInfo{mods: make([]Module, len(bin))}
 		for j, idx := range bin {
-			sh[j] = k.modules[idx]
+			sh.mods[j] = k.modules[idx]
+		}
+		sh.sleepers = make([]Sleeper, 0, len(sh.mods))
+		for _, m := range sh.mods {
+			s, ok := m.(Sleeper)
+			if !ok {
+				sh.sleepers = nil
+				break
+			}
+			sh.sleepers = append(sh.sleepers, s)
 		}
 		shards = append(shards, sh)
 	}
@@ -195,30 +227,113 @@ func (k *Kernel) reshard() {
 	k.pool = newTickPool(shards)
 }
 
-// parallelTick runs one tick phase across the shard partition: shard 0
-// on the calling goroutine, the rest on the pool, with a full barrier
-// before returning. Callers commit afterwards via commitAll.
-func (k *Kernel) parallelTick(c uint64) {
+// parallelTick runs one tick phase across the shard partition and
+// reports whether the concurrent path ran (true: commit must merge the
+// concurrent dirty list; false: the cycle was ticked inline on this
+// goroutine and the sequential dirty list holds every write).
+//
+// The full barrier — release every worker, join — is paid only on
+// cycles that need it. When no signal changed (so no sleeping module
+// can have work, by the dirty-signal wakeup rule) the kernel first
+// sorts shards into awake and asleep: asleep shards take Skip(1), which
+// the Sleeper contract makes observably identical to the tick they
+// would have received, and when at most one shard remains awake its
+// modules tick right here on the kernel goroutine — no pool wake, no
+// barrier, no atomics. Multi-awake cycles release exactly the awake
+// shards' workers.
+func (k *Kernel) parallelTick(c uint64) bool {
+	awake := k.awakeBuf[:0]
+	wakeAll := k.lockstep || !k.started || k.anyChange || len(k.dirty) > 0
+	if !wakeAll {
+		for i := range k.shards {
+			if !k.shards[i].asleep(c) {
+				awake = append(awake, i)
+			}
+		}
+		k.awakeBuf = awake
+		if len(awake) <= 1 {
+			// No barrier at all: Skip(1) the sleeping shards — contract-
+			// identical to the pure-wait tick they would have received —
+			// and tick the lone awake shard (if any) right here. The
+			// sequential dirty list collects its writes.
+			k.skipExcept(awake)
+			if len(awake) == 1 {
+				for _, m := range k.shards[awake[0]].mods {
+					m.Tick(c)
+				}
+			}
+			return false
+		}
+		wakeAll = len(awake) == len(k.shards)
+	}
+	if len(k.parDirty) < len(k.signals) {
+		k.parDirty = make([]committer, len(k.signals))
+	}
 	p := k.pool
 	k.parallelPhase = true
-	p.release(c)
-	for _, m := range p.shards[0] {
-		m.Tick(c)
+	if wakeAll {
+		p.release(c, p.allSlots)
+		for _, m := range k.shards[0].mods {
+			m.Tick(c)
+		}
+	} else {
+		// Subset release: workers tick every awake shard except the
+		// lowest-indexed one, which this goroutine ticks inline (shard 0
+		// has no worker slot, and when awake it is awake[0] since indices
+		// ascend). Sleeping shards take their Skip(1) here, overlapping
+		// the workers — disjoint module sets, so there is no contention.
+		slots := k.slotBuf[:0]
+		for _, id := range awake[1:] {
+			slots = append(slots, id-1)
+		}
+		k.slotBuf = slots
+		p.release(c, slots)
+		k.skipExcept(awake)
+		for _, m := range k.shards[awake[0]].mods {
+			m.Tick(c)
+		}
 	}
 	p.join()
 	k.parallelPhase = false
+	return true
 }
 
-// commitAll commits every registered signal in registration order and
-// reports whether any visible value changed. It is the parallel-mode
-// commit: during the parallel phase Signal.Set cannot append to the
-// shared dirty list, so the kernel merges the per-signal next-value
-// slots by scanning all signals instead. Registration order makes the
-// merge deterministic; since each signal has a single driver the commit
-// order across signals is unobservable anyway.
-func (k *Kernel) commitAll() bool {
+// skipExcept applies Skip(1) to every shard not listed in awake (an
+// ascending list of shard indices). Pure-wait by the Sleeper contract:
+// no signal writes, no cross-module state.
+func (k *Kernel) skipExcept(awake []int) {
+	next := 0
+	for i := range k.shards {
+		if next < len(awake) && awake[next] == i {
+			next++
+			continue
+		}
+		for _, s := range k.shards[i].sleepers {
+			s.Skip(1)
+		}
+	}
+}
+
+// commitMerged is the parallel-mode commit: concatenate the concurrent
+// dirty list (slots claimed during the parallel phase) with the
+// sequential one (host writes pending from before the step), order by
+// registration index, and commit. Cost is O(dirty); the ordering makes
+// the merge deterministic, though since each signal has a single driver
+// the commit order across signals is unobservable anyway.
+func (k *Kernel) commitMerged() bool {
+	n := int(k.parDirtyN.Swap(0))
+	list := k.parDirty[:n]
+	// A signal enlists on at most one of the two lists (the dirty flag
+	// guards both), so the concatenation stays within the slot array's
+	// one-slot-per-signal capacity.
+	list = append(list, k.dirty...)
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j].signalIndex() < list[j-1].signalIndex(); j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
 	changed := false
-	for _, s := range k.signals {
+	for _, s := range list {
 		if s.commit() {
 			changed = true
 		}
@@ -251,10 +366,19 @@ const parkTimeout = 25 * time.Millisecond
 // make module state written during the phase visible to the kernel (and
 // keep the engine clean under the race detector).
 type tickPool struct {
-	shards  [][]Module
-	cycle   uint64 // published before the epoch bump
+	shards []shardInfo
+	cycle  uint64 // published before the epoch bump
+
+	// epoch and pending are the barrier's two hot words: every worker
+	// spins on epoch and RMWs pending once per cycle. Padding keeps
+	// them on separate cache lines so the epoch spin of one worker is
+	// not invalidated by another worker's pending decrement.
+	_       [64]byte
 	epoch   atomic.Uint64
+	_       [56]byte
 	pending atomic.Int64
+	_       [56]byte
+
 	stop    atomic.Bool
 	workers []*tickWorker
 	// handled[i] is the last epoch worker slot i completed, stored by
@@ -265,6 +389,16 @@ type tickPool struct {
 	// primed worker there would tick the shard a second time in the
 	// same cycle and drive pending negative.
 	handled []atomic.Uint64
+	// assigned[i] is the last epoch in which worker slot i participates:
+	// a subset release enrolls only the awake shards' workers, and a
+	// worker that observes a new epoch it is not assigned to goes back
+	// to waiting without ticking or touching pending. Written by the
+	// kernel before the epoch bump, read by workers after observing it,
+	// so the epoch's release/acquire pair orders every access.
+	assigned []atomic.Uint64
+	// allSlots enumerates every worker slot, the subset for wake-all
+	// cycles; kept preallocated so release never allocates.
+	allSlots []int
 
 	// spinBudget and yieldEvery throttle the pre-park spin. On hosts
 	// with at least as many schedulable threads as shards, spinning is
@@ -281,7 +415,7 @@ type tickWorker struct {
 	shard int
 }
 
-func newTickPool(shards [][]Module) *tickPool {
+func newTickPool(shards []shardInfo) *tickPool {
 	p := &tickPool{shards: shards}
 	if runtime.GOMAXPROCS(0) >= len(shards) {
 		p.spinBudget = 4096
@@ -292,6 +426,11 @@ func newTickPool(shards [][]Module) *tickPool {
 	}
 	p.workers = make([]*tickWorker, len(shards)-1)
 	p.handled = make([]atomic.Uint64, len(shards)-1)
+	p.assigned = make([]atomic.Uint64, len(shards)-1)
+	p.allSlots = make([]int, len(shards)-1)
+	for i := range p.allSlots {
+		p.allSlots[i] = i
+	}
 	for i := range p.workers {
 		p.spawn(i, p.epoch.Load())
 	}
@@ -324,12 +463,18 @@ func (p *tickPool) respawn(i int) {
 
 // run is the worker body: wait for an epoch, tick the shard, signal
 // completion, repeat. last is the most recent epoch already handled.
+// An epoch the worker is not assigned to (a subset release for other
+// shards) is observed and ignored; assigned epochs can never be missed,
+// because release wakes every assigned worker and join waits for them.
 func (p *tickPool) run(w *tickWorker, slot int, last uint64) {
 	for {
 		if !p.await(w, &last) {
 			return // dead: idle timeout or shutdown
 		}
-		for _, m := range p.shards[w.shard] {
+		if p.assigned[slot].Load() != last {
+			continue // not enrolled in this epoch
+		}
+		for _, m := range p.shards[w.shard].mods {
 			m.Tick(p.cycle)
 		}
 		// Record completion before releasing the barrier: once pending
@@ -391,13 +536,23 @@ func (p *tickPool) await(w *tickWorker, last *uint64) bool {
 	}
 }
 
-// release publishes cycle c to the pool and starts a new epoch, waking
-// parked workers and respawning dead ones. Kernel goroutine only.
-func (p *tickPool) release(c uint64) {
+// release publishes cycle c to the pool and starts a new epoch in which
+// exactly the given worker slots participate, waking those that are
+// parked and respawning those that died; workers outside the subset are
+// left alone (spinning ones observe the epoch, see they are not
+// assigned, and go back to waiting). assigned is written before the
+// epoch bump, so the bump's release/acquire pair publishes it to every
+// worker that observes the new epoch. Kernel goroutine only.
+func (p *tickPool) release(c uint64, slots []int) {
 	p.cycle = c
-	p.pending.Store(int64(len(p.workers)))
-	p.epoch.Add(1)
-	for i, w := range p.workers {
+	e := p.epoch.Load() + 1
+	for _, i := range slots {
+		p.assigned[i].Store(e)
+	}
+	p.pending.Store(int64(len(slots)))
+	p.epoch.Store(e)
+	for _, i := range slots {
+		w := p.workers[i]
 		switch w.state.Load() {
 		case wkParked:
 			if w.state.CompareAndSwap(wkParked, wkLive) {

@@ -4,10 +4,12 @@ import "fmt"
 
 // committer is the kernel-facing side of a signal: commit publishes the
 // pending next value at the end of a cycle and reports whether the visible
-// value changed.
+// value changed. signalIndex is the signal's registration index, the
+// order the commit phase merges dirty lists by.
 type committer interface {
 	commit() (changed bool)
 	signalName() string
+	signalIndex() int
 }
 
 // Signal is a named, clocked wire carrying values of type T between
@@ -30,6 +32,7 @@ type Signal[T comparable] struct {
 	cur   T
 	next  T
 	dirty bool
+	idx   int
 	k     *Kernel
 }
 
@@ -37,7 +40,7 @@ type Signal[T comparable] struct {
 // visible from cycle zero onward.
 func NewSignal[T comparable](k *Kernel, name string, init T) *Signal[T] {
 	s := &Signal[T]{name: name, cur: init, next: init, k: k}
-	k.addSignal(s)
+	s.idx = k.addSignal(s)
 	return s
 }
 
@@ -55,12 +58,13 @@ func (s *Signal[T]) Set(v T) {
 	s.next = v
 	if !s.dirty {
 		s.dirty = true
-		// During a parallel tick phase the shared dirty list cannot be
-		// appended to from concurrent shards; the commit barrier scans
-		// every signal instead, so the in-place flag above suffices.
-		if !s.k.parallelPhase {
-			s.k.markDirty(s)
-		}
+		// A signal has a single driver, so the dirty flag itself is
+		// never contended; only the dirty *list* is shared. During a
+		// parallel tick phase concurrent shards reserve slots in a
+		// preallocated array with an atomic cursor; sequentially, a
+		// plain append. Either way the commit phase receives exactly
+		// the dirtied signals — O(dirty), not O(all signals).
+		s.k.markDirty(s)
 	}
 }
 
@@ -86,6 +90,8 @@ func (s *Signal[T]) commit() bool {
 }
 
 func (s *Signal[T]) signalName() string { return s.name }
+
+func (s *Signal[T]) signalIndex() int { return s.idx }
 
 // String implements fmt.Stringer for diagnostics.
 func (s *Signal[T]) String() string {

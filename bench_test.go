@@ -621,3 +621,44 @@ func BenchmarkCache(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) { benchCache(b, tc.w, tc.cached) })
 	}
 }
+
+// --- WarmBoot: restore-and-run vs cold run -------------------------------
+
+// BenchmarkWarmBoot measures the warm-boot saving the WB experiment
+// reports: "cold" simulates the GSM workload from cycle 0, "resume"
+// restores a half-way snapshot and simulates only the remainder. The
+// gap between the two is the warm-up cost a snapshot-fanned sweep
+// avoids paying per configuration.
+func BenchmarkWarmBoot(b *testing.B) {
+	const frames = 10
+	total, err := experiments.WarmBootColdRun(frames, experiments.Mode{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, _, err := experiments.WarmBootSnapshot(frames, experiments.Mode{}, total)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			n, err := experiments.WarmBootColdRun(frames, experiments.Mode{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += n
+		}
+		reportSimSpeed(b, cycles)
+	})
+	b.Run("resume", func(b *testing.B) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			n, err := experiments.WarmBootResume(experiments.Mode{}, snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += n - total/2
+		}
+		reportSimSpeed(b, cycles)
+	})
+}

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	experiments [-quick] [-run e1,e2,a2] [-workers n] [-alloc buddy]
+//	experiments -run wb -checkpoint warm.snap   # persist the warm-up snapshot
+//	experiments -run wb -restore warm.snap      # sweep from a saved snapshot
 package main
 
 import (
@@ -21,9 +23,55 @@ import (
 	"repro/internal/stats"
 )
 
+// profiles owns the pprof lifecycle so that every exit path — flag
+// errors, failed experiments, clean completion — flushes through the
+// same helper instead of special-casing deferred cleanup around
+// os.Exit (which skips defers).
+type profiles struct {
+	cpuFile *os.File
+	memPath string
+}
+
+func (p *profiles) startCPU(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// exit flushes any active profiles and terminates with code; a failed
+// heap-profile write turns a clean exit into a failing one.
+func (p *profiles) exit(code int) {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,ev,par,a1,a2) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,ev,par,wb,a1,a2) or 'all'")
 	lockstep := flag.Bool("lockstep", false, "pin every measured kernel to lockstep stepping (EV always compares both)")
 	workers := flag.Int("workers", 1, "tick-phase parallelism for every measured kernel (0 = GOMAXPROCS, 1 = sequential; PAR sweeps its own counts)")
 	allocFlag := flag.String("alloc", "default", "allocation policy for every measured memory: default | first-fit | best-fit | buddy | segregated (E9 sweeps all)")
@@ -31,33 +79,31 @@ func main() {
 	split := flag.Bool("split", false, "run every measured interconnect in split-transaction mode (E10 sweeps both protocols)")
 	ooo := flag.Bool("ooo", false, "deliver completions out of order on every measured master port (default: in issue order)")
 	cacheOn := flag.Bool("cache", false, "front every measured master with a coherent private L1 cache (E11 sweeps cached vs uncached)")
+	checkpoint := flag.String("checkpoint", "", "wb: write the shared warm-up snapshot to this file")
+	restore := flag.String("restore", "", "wb: restore the shared warm-up snapshot from this file instead of simulating the warm-up")
 	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprof := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+
+	prof := &profiles{memPath: *memprof}
 	policy, err := alloc.ParseKind(*allocFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		prof.exit(2)
 	}
-
 	if *cpuprof != "" {
-		f, err := os.Create(*cpuprof)
-		if err != nil {
+		if err := prof.startCPU(*cpuprof); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			prof.exit(2)
 		}
 	}
 
 	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers,
-		Alloc: policy, Depth: *depth, Split: *split, OOO: *ooo, Cache: *cacheOn}
+		Alloc: policy, Depth: *depth, Split: *split, OOO: *ooo, Cache: *cacheOn,
+		Checkpoint: *checkpoint, Restore: *restore}
 
 	// Run header: the tables below are attributable to this scheduler
 	// configuration — including the completion-delivery order, so the
@@ -114,6 +160,7 @@ func main() {
 		{"e11", one(experiments.E11)},
 		{"ev", one(experiments.EV)},
 		{"par", one(experiments.PAR)},
+		{"wb", one(experiments.WB)},
 		{"a1", one(experiments.A1)},
 		{"a2", one(experiments.A2)},
 	}
@@ -133,25 +180,8 @@ func main() {
 			fmt.Println(t)
 		}
 	}
-	// Flush profiles explicitly: os.Exit below would skip deferred stops.
-	if *cpuprof != "" {
-		pprof.StopCPUProfile()
-	}
-	if *memprof != "" {
-		f, err := os.Create(*memprof)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			failed = true
-		} else {
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				failed = true
-			}
-			f.Close()
-		}
-	}
 	if failed {
-		os.Exit(1)
+		prof.exit(1)
 	}
+	prof.exit(0)
 }

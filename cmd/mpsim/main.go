@@ -62,6 +62,9 @@ func run() error {
 		l1line   = flag.Uint("l1line", 0, "L1 line size in bytes (0 = default 32)")
 		mshrs    = flag.Int("mshrs", 0, "L1 miss-status-holding registers (0 = default 4)")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
+		ckpt     = flag.Uint64("checkpoint", 0, "write a snapshot after this many cycles, then keep running")
+		ckptFile = flag.String("checkpoint-file", "mpsim.snap", "path the -checkpoint snapshot is written to")
+		restore  = flag.String("restore", "", "resume from a snapshot file instead of starting at cycle 0 (ISS workloads only; scheduler flags may differ from the saving run)")
 		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -130,15 +133,32 @@ func run() error {
 	}
 
 	masters := *isses + *pes
-	sys, err := config.Build(config.SystemConfig{
+	cfg := config.SystemConfig{
 		Masters: masters, Memories: *memories, MemKind: kind, Interconnect: ic,
 		AllocPolicy: allocKind, Lockstep: *lockstep, Workers: *workers,
 		OutstandingDepth: *depth, SplitBus: *split, OutOfOrder: *ooo,
 		Cache: *cacheOn, Coherent: *cacheOn && *coherent,
 		CacheSets: *l1sets, CacheWays: *l1ways, CacheLineBytes: uint32(*l1line), CacheMSHRs: *mshrs,
-	})
-	if err != nil {
-		return err
+	}
+	var sys *config.System
+	if *restore != "" {
+		// Resume: the snapshot carries the programs and all state; the
+		// flags must describe a state-compatible system (scheduler knobs
+		// may differ — that is the warm-boot contract, see docs/SNAPSHOT.md).
+		data, rerr := os.ReadFile(*restore)
+		if rerr != nil {
+			return rerr
+		}
+		sys, err = config.RestoreSystem(cfg, data)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", *restore, err)
+		}
+		fmt.Printf("mpsim: restored %s (%d KiB) at cycle %d\n", *restore, len(data)/1024, sys.Kernel.Cycle())
+	} else {
+		sys, err = config.Build(cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Run header: every number printed below is attributable to this
@@ -168,6 +188,11 @@ func run() error {
 
 	var doneFn func() bool
 	switch {
+	case *restore != "":
+		if len(sys.CPUs) == 0 {
+			return fmt.Errorf("restored snapshot has no CPUs to run")
+		}
+		doneFn = sys.CPUsHalted
 	case *isses > 0:
 		var progs [][]byte
 		for i := 0; i < *isses; i++ {
@@ -237,12 +262,27 @@ func run() error {
 	if *profile {
 		sys.Kernel.EnableProfiling()
 	}
+	if *ckpt > 0 {
+		if err := sys.Kernel.Run(*ckpt); err != nil {
+			return fmt.Errorf("checkpoint warm-up: %w", err)
+		}
+		data, err := sys.Snapshot()
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if err := os.WriteFile(*ckptFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("mpsim: checkpoint at cycle %d: wrote %d KiB to %s\n",
+			sys.Kernel.Cycle(), len(data)/1024, *ckptFile)
+	}
+	startCycle := sys.Kernel.Cycle()
 	start := time.Now()
 	if _, err := sys.Kernel.RunUntil(doneFn, *limit); err != nil {
 		return fmt.Errorf("simulation: %w", err)
 	}
 	wall := time.Since(start)
-	cycles := sys.Kernel.Cycle()
+	cycles := sys.Kernel.Cycle() - startCycle
 
 	sched := sys.Kernel.Sched()
 	mode := "event-driven"

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/snapshot"
+)
+
+func sortedTags[V any](m map[bus.Tag]V) []bus.Tag {
+	tags := make([]bus.Tag, 0, len(m))
+	for t := range m {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	return tags
+}
+
+func encodeWB(enc *snapshot.Encoder, e *wbEntry) {
+	enc.Int(e.sm)
+	enc.U32(e.base)
+	enc.Bytes32(e.data)
+}
+
+func decodeWB(dec *snapshot.Decoder) *wbEntry {
+	return &wbEntry{sm: dec.Int(), base: dec.U32(), data: dec.Bytes32()}
+}
+
+// SaveState implements snapshot.Saver: every line (state, address,
+// LRU stamp, data), the MSHRs with their waiter queues, the writeback
+// queue and in-flight writebacks, bypass tracking, stats — and the
+// embedded state of the private writeback port, which only the cache
+// holds a reference to (config.System tracks the up and down ports,
+// the wb channel is internal wiring).
+//
+// The Domain is deliberately absent: it holds pure topology (which
+// cache owns which MSHR address), all dynamic coherence state lives in
+// the caches themselves.
+func (c *Cache) SaveState(enc *snapshot.Encoder) {
+	enc.Int(len(c.sets))
+	if len(c.sets) > 0 {
+		enc.Int(len(c.sets[0]))
+	} else {
+		enc.Int(0)
+	}
+	enc.Int(len(c.mshrs))
+	enc.U64(c.useClock)
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			enc.U8(uint8(l.state))
+			enc.Int(l.sm)
+			enc.U32(l.base)
+			enc.U64(l.used)
+			enc.Bytes32(l.data)
+		}
+	}
+	for _, m := range c.mshrs {
+		enc.Bool(m != nil)
+		if m == nil {
+			continue
+		}
+		enc.Int(m.sm)
+		enc.U32(m.base)
+		enc.Bool(m.excl)
+		enc.Int(m.set)
+		enc.Int(m.way)
+		enc.Bool(m.issued)
+		enc.Bool(m.granted)
+		enc.Bool(m.shared)
+		enc.U64(uint64(m.tag))
+		enc.U32(uint32(len(m.waiters)))
+		for _, w := range m.waiters {
+			enc.U64(uint64(w.tag))
+			bus.EncodeRequest(enc, w.req)
+		}
+	}
+	enc.U32(uint32(len(c.wbq)))
+	for _, e := range c.wbq {
+		encodeWB(enc, e)
+	}
+	wbTags := sortedTags(c.wbInflight)
+	enc.U32(uint32(len(wbTags)))
+	for _, t := range wbTags {
+		enc.U64(uint64(t))
+		encodeWB(enc, c.wbInflight[t])
+	}
+	fwdTags := sortedTags(c.fwd)
+	enc.U32(uint32(len(fwdTags)))
+	for _, t := range fwdTags {
+		enc.U64(uint64(t))
+		enc.U64(uint64(c.fwd[t]))
+	}
+	enc.Bool(c.pending != nil)
+	if c.pending != nil {
+		enc.U64(uint64(c.pending.upTag))
+		bus.EncodeRequest(enc, c.pending.req)
+		enc.Bool(c.pending.needWait)
+		enc.Int(c.pending.sm)
+		enc.U32(c.pending.lo)
+		enc.U32(c.pending.hi)
+	}
+	enc.U64(c.stats.Hits)
+	enc.U64(c.stats.Misses)
+	enc.U64(c.stats.Upgrades)
+	enc.U64(c.stats.Refills)
+	enc.U64(c.stats.Writebacks)
+	enc.U64(c.stats.SnoopFlushes)
+	enc.U64(c.stats.SnoopInvalidations)
+	enc.U64(c.stats.SnoopDowngrades)
+	enc.U64(c.stats.Bypassed)
+	enc.U64(c.stats.Errors)
+	c.wb.SaveState(enc)
+}
+
+// RestoreState implements snapshot.Restorer. Geometry (sets, ways,
+// MSHR count, line size) must match the rebuilt cache exactly.
+func (c *Cache) RestoreState(dec *snapshot.Decoder) error {
+	nsets := dec.Int()
+	nways := dec.Int()
+	nmshr := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	ways := 0
+	if len(c.sets) > 0 {
+		ways = len(c.sets[0])
+	}
+	if nsets != len(c.sets) || nways != ways || nmshr != len(c.mshrs) {
+		return fmt.Errorf("cache %s geometry mismatch: snapshot has sets=%d ways=%d mshrs=%d, system has sets=%d ways=%d mshrs=%d",
+			c.name, nsets, nways, nmshr, len(c.sets), ways, len(c.mshrs))
+	}
+	c.useClock = dec.U64()
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			l.state = State(dec.U8())
+			l.sm = dec.Int()
+			l.base = dec.U32()
+			l.used = dec.U64()
+			data := dec.Bytes32()
+			if dec.Err() != nil {
+				return dec.Err()
+			}
+			if len(data) != len(l.data) {
+				return fmt.Errorf("cache %s: line size mismatch: snapshot has %d bytes, system has %d", c.name, len(data), len(l.data))
+			}
+			copy(l.data, data)
+		}
+	}
+	for i := range c.mshrs {
+		if !dec.Bool() {
+			c.mshrs[i] = nil
+			continue
+		}
+		m := &mshr{}
+		m.sm = dec.Int()
+		m.base = dec.U32()
+		m.excl = dec.Bool()
+		m.set = dec.Int()
+		m.way = dec.Int()
+		m.issued = dec.Bool()
+		m.granted = dec.Bool()
+		m.shared = dec.Bool()
+		m.tag = bus.Tag(dec.U64())
+		for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+			tag := bus.Tag(dec.U64())
+			m.waiters = append(m.waiters, waiter{tag: tag, req: bus.DecodeRequest(dec)})
+		}
+		c.mshrs[i] = m
+	}
+	c.wbq = nil
+	for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+		c.wbq = append(c.wbq, decodeWB(dec))
+	}
+	c.wbInflight = make(map[bus.Tag]*wbEntry)
+	for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+		tag := bus.Tag(dec.U64())
+		c.wbInflight[tag] = decodeWB(dec)
+	}
+	c.fwd = make(map[bus.Tag]bus.Tag)
+	for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+		down := bus.Tag(dec.U64())
+		c.fwd[down] = bus.Tag(dec.U64())
+	}
+	c.pending = nil
+	if dec.Bool() {
+		b := &bypass{}
+		b.upTag = bus.Tag(dec.U64())
+		b.req = bus.DecodeRequest(dec)
+		b.needWait = dec.Bool()
+		b.sm = dec.Int()
+		b.lo = dec.U32()
+		b.hi = dec.U32()
+		c.pending = b
+	}
+	c.stats.Hits = dec.U64()
+	c.stats.Misses = dec.U64()
+	c.stats.Upgrades = dec.U64()
+	c.stats.Refills = dec.U64()
+	c.stats.Writebacks = dec.U64()
+	c.stats.SnoopFlushes = dec.U64()
+	c.stats.SnoopInvalidations = dec.U64()
+	c.stats.SnoopDowngrades = dec.U64()
+	c.stats.Bypassed = dec.U64()
+	c.stats.Errors = dec.U64()
+	if err := c.wb.RestoreState(dec); err != nil {
+		return fmt.Errorf("cache %s writeback port: %w", c.name, err)
+	}
+	return dec.Finish()
+}

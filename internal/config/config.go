@@ -1,8 +1,3 @@
-// Package config assembles complete simulated systems — processing
-// elements, interconnect and memory modules — from a declarative
-// description. It is the composition root the examples, experiments and
-// benchmarks share, mirroring the paper's Figure 2 topology: n masters
-// (ISSs or native PEs) × one interconnect × p shared memories.
 package config
 
 import (
@@ -12,6 +7,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/dma"
 	"repro/internal/heapsim"
 	"repro/internal/iss"
 	"repro/internal/mem"
@@ -184,6 +180,11 @@ type System struct {
 
 	Procs []*smapi.Proc
 	CPUs  []*iss.CPU
+
+	// DMAs are the engines attached through AddDMA, with dmaPorts their
+	// master-port indices — tracked so snapshots can re-create them.
+	DMAs     []*dma.Engine
+	dmaPorts []int
 
 	Cfg SystemConfig
 }

@@ -1,0 +1,264 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/dma"
+	"repro/internal/mem"
+	"repro/internal/snapshot"
+)
+
+// This file is the snapshot orchestrator: it enumerates the system's
+// ports and modules in deterministic build order and delegates each
+// one's state to its snapshot.Saver/Restorer capability. Modules that
+// do not implement the capability (native smapi.Procs, whose state
+// lives in a goroutine) make Snapshot fail loudly — a snapshot is
+// complete or it is nothing.
+
+// Hash digests the full configuration, scheduler knobs included. Use
+// it to key result caches: two runs with equal hashes and equal
+// workloads produce byte-identical results.
+func (c SystemConfig) Hash() string { return c.hash(false) }
+
+// StateHash digests the configuration with the scheduler-only knobs
+// (Lockstep, Workers, ISS fast paths) zeroed. Two configs with equal
+// StateHash build systems whose observable state evolves identically,
+// so a snapshot taken under one may be restored under the other — that
+// is exactly the warm-boot sweep contract, and RestoreSnapshot
+// enforces it.
+func (c SystemConfig) StateHash() string { return c.hash(true) }
+
+func (c SystemConfig) hash(normalize bool) string {
+	n := c
+	if normalize {
+		n.Lockstep = false
+		n.Workers = 0
+		n.DisableISSBatch = false
+		n.DisableISSDecodeCache = false
+	}
+	// Pointer fields would digest as addresses; hash their values
+	// separately and blank them in the struct dump.
+	var wd core.DelayParams
+	if c.WrapperDelays != nil {
+		wd = *c.WrapperDelays
+	}
+	var sd mem.Delays
+	if c.StaticDelays != nil {
+		sd = *c.StaticDelays
+	}
+	n.WrapperDelays, n.StaticDelays = nil, nil
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v|wd:%v:%+v|sd:%v:%+v", n, c.WrapperDelays != nil, wd, c.StaticDelays != nil, sd)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// AddDMA attaches a DMA engine to master port idx and registers it for
+// snapshotting; devices wired around the System (raw dma.New on a
+// port) work but are invisible to Snapshot's meta section, so
+// RestoreSystem could not re-create them.
+func (s *System) AddDMA(idx int, name string) (*dma.Engine, error) {
+	if idx < 0 || idx >= len(s.MasterPorts) {
+		return nil, fmt.Errorf("config: AddDMA port %d out of range (%d masters)", idx, len(s.MasterPorts))
+	}
+	eng := dma.New(s.Kernel, name, s.MasterPorts[idx])
+	s.DMAs = append(s.DMAs, eng)
+	s.dmaPorts = append(s.dmaPorts, idx)
+	return eng, nil
+}
+
+// snapshotPorts enumerates every port the System tracks, in build
+// order. Cache writeback ports are not listed: they are internal to
+// the caches, which embed them in their own sections.
+func (s *System) snapshotPorts() []*bus.Port {
+	var ports []*bus.Port
+	ports = append(ports, s.MasterPorts...)
+	ports = append(ports, s.SlavePorts...)
+	ports = append(ports, s.CachePorts...)
+	return ports
+}
+
+const metaSection = "meta"
+
+// Snapshot serializes the complete simulator state into the versioned
+// format of internal/snapshot. It fails — rather than write a partial
+// file — when any module does not support snapshotting or the kernel
+// is mid-cycle.
+func (s *System) Snapshot() ([]byte, error) {
+	if !s.Kernel.Quiescent() {
+		return nil, fmt.Errorf("config: snapshot requires a quiescent kernel (between cycles, no uncommitted signals)")
+	}
+	if len(s.Procs) > 0 {
+		return nil, fmt.Errorf("config: module %s does not support snapshotting (native tasks hold goroutine state)", s.Procs[0].Name())
+	}
+	w := snapshot.NewWriter()
+	w.AddSection(metaSection, func(e *snapshot.Encoder) {
+		e.String(s.Cfg.StateHash())
+		e.U64(s.Kernel.Cycle())
+		e.Int(len(s.MasterPorts))
+		e.Int(len(s.SlavePorts))
+		e.Int(len(s.CachePorts))
+		e.Int(len(s.CPUs))
+		e.Int(len(s.DMAs))
+		for i, eng := range s.DMAs {
+			e.String(eng.Name())
+			e.Int(s.dmaPorts[i])
+		}
+	})
+	w.AddSection("kernel", s.Kernel.SaveState)
+	for _, p := range s.snapshotPorts() {
+		w.AddSection("port."+p.Name(), p.SaveState)
+	}
+	for _, m := range s.Kernel.Modules() {
+		sv, ok := m.(snapshot.Saver)
+		if !ok {
+			return nil, fmt.Errorf("config: module %s does not support snapshotting", m.Name())
+		}
+		w.AddSection("mod."+m.Name(), sv.SaveState)
+	}
+	return w.Finish()
+}
+
+func (s *System) restoreSection(f *snapshot.File, name string, r snapshot.Restorer) error {
+	dec, err := f.Section(name)
+	if err != nil {
+		return err
+	}
+	if err := r.RestoreState(dec); err != nil {
+		return snapshot.SectionErr(name, err)
+	}
+	if err := dec.Finish(); err != nil {
+		return snapshot.SectionErr(name, err)
+	}
+	return nil
+}
+
+// RestoreSnapshot overwrites the state of this system — built from a
+// state-compatible config, with the same masters attached in the same
+// order — from a snapshot produced by Snapshot. On success the system
+// resumes bit-identically to the one that was saved; on any error the
+// system must be considered corrupt and discarded (restore does not
+// roll back).
+func (s *System) RestoreSnapshot(data []byte) error {
+	f, err := snapshot.Read(data)
+	if err != nil {
+		return err
+	}
+	return s.restoreFrom(f)
+}
+
+func (s *System) restoreFrom(f *snapshot.File) error {
+	dec, err := f.Section(metaSection)
+	if err != nil {
+		return err
+	}
+	hash := dec.String()
+	_ = dec.U64() // cycle, informational (authoritative copy in "kernel")
+	nm, ns, nc := dec.Int(), dec.Int(), dec.Int()
+	ncpu, ndma := dec.Int(), dec.Int()
+	type dmaMeta struct {
+		name string
+		port int
+	}
+	dmas := make([]dmaMeta, 0, ndma)
+	for i := 0; i < ndma && dec.Err() == nil; i++ {
+		name := dec.String()
+		dmas = append(dmas, dmaMeta{name: name, port: dec.Int()})
+	}
+	if err := dec.Finish(); err != nil {
+		return snapshot.SectionErr(metaSection, err)
+	}
+	if want := s.Cfg.StateHash(); hash != want {
+		return fmt.Errorf("config: snapshot belongs to a different configuration (state hash %s, this system %s)", hash, want)
+	}
+	if nm != len(s.MasterPorts) || ns != len(s.SlavePorts) || nc != len(s.CachePorts) {
+		return fmt.Errorf("config: snapshot topology mismatch: %d/%d/%d ports vs system %d/%d/%d",
+			nm, ns, nc, len(s.MasterPorts), len(s.SlavePorts), len(s.CachePorts))
+	}
+	if ncpu != len(s.CPUs) {
+		return fmt.Errorf("config: snapshot has %d CPUs, system has %d", ncpu, len(s.CPUs))
+	}
+	if ndma != len(s.DMAs) {
+		return fmt.Errorf("config: snapshot has %d DMA engines, system has %d", ndma, len(s.DMAs))
+	}
+	for i, m := range dmas {
+		if m.name != s.DMAs[i].Name() || m.port != s.dmaPorts[i] {
+			return fmt.Errorf("config: DMA %d mismatch: snapshot has %s@m%d, system has %s@m%d",
+				i, m.name, m.port, s.DMAs[i].Name(), s.dmaPorts[i])
+		}
+	}
+	if err := s.restoreSection(f, "kernel", s.Kernel); err != nil {
+		return err
+	}
+	for _, p := range s.snapshotPorts() {
+		if err := s.restoreSection(f, "port."+p.Name(), p); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.Kernel.Modules() {
+		r, ok := m.(snapshot.Restorer)
+		if !ok {
+			return fmt.Errorf("config: module %s does not support snapshot restore", m.Name())
+		}
+		if err := s.restoreSection(f, "mod."+m.Name(), r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreSystem builds a fresh runnable system from cfg and a snapshot:
+// Build, re-attach the masters the meta section names (CPUs first,
+// then DMA engines — the build-order convention every in-repo harness
+// follows), then restore all state. cfg may differ from the snapshot's
+// origin only in scheduler knobs (see StateHash); that is what lets a
+// warm-boot sweep fan one snapshot across the scheduler matrix.
+func RestoreSystem(cfg SystemConfig, data []byte) (*System, error) {
+	f, err := snapshot.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := f.Section(metaSection)
+	if err != nil {
+		return nil, err
+	}
+	_ = dec.String() // state hash, verified by restoreFrom
+	_ = dec.U64()
+	_, _, _ = dec.Int(), dec.Int(), dec.Int()
+	ncpu, ndma := dec.Int(), dec.Int()
+	type dmaMeta struct {
+		name string
+		port int
+	}
+	var dmas []dmaMeta
+	for i := 0; i < ndma && dec.Err() == nil; i++ {
+		name := dec.String()
+		dmas = append(dmas, dmaMeta{name: name, port: dec.Int()})
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, snapshot.SectionErr(metaSection, err)
+	}
+	sys, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ncpu > 0 {
+		// Programs live inside each CPU's restored memory image; the
+		// rebuild only needs the right number of CPUs on the right ports.
+		if err := sys.AddCPUs(make([][]byte, ncpu)...); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range dmas {
+		if _, err := sys.AddDMA(m.port, m.name); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.restoreFrom(f); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

@@ -1,24 +1,3 @@
-// Package dma implements a descriptor-driven copy engine: a hardware
-// device (not an ISS) that masters the interconnect and moves data
-// between dynamic shared memories with burst transactions.
-//
-// The paper notes that "different hardware devices that might be
-// connected on the system can access the memories using low level
-// communication"; this engine is that path exercised. It speaks the
-// same bus protocol as the ISSs — the wrapper cannot tell the
-// difference — and demonstrates memory-to-memory traffic that never
-// touches a CPU, including across *different* wrapper instances (the
-// virtual pointers of source and destination belong to separate virtual
-// address spaces; only the sm_addr distinguishes them).
-//
-// The engine adapts to its port's outstanding depth. At depth 1 it runs
-// the classic strictly alternating read→write FSM (cycle-identical to
-// the pre-port engine). At depth ≥ 2 it pipelines: burst reads run
-// ahead of burst writes, keeping a read and a write in flight
-// concurrently (and, at higher depths, several reads buffered), so the
-// source and destination memories overlap their work. Descriptors whose
-// source and destination ranges overlap in one memory always run on the
-// serial FSM — read-ahead would change what the later chunks observe.
 package dma
 
 import (

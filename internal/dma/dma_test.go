@@ -1,4 +1,4 @@
-package dma
+package dma_test
 
 import (
 	"testing"
@@ -6,12 +6,13 @@ import (
 	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dma"
 	"repro/internal/smapi"
 )
 
 // buildDMASystem wires one PE (for setup/verification) and one DMA
 // engine as masters over nMem wrapper memories.
-func buildDMASystem(t *testing.T, nMem int, task smapi.Task) (*config.System, *Engine) {
+func buildDMASystem(t *testing.T, nMem int, task smapi.Task) (*config.System, *dma.Engine) {
 	t.Helper()
 	sys, err := config.Build(config.SystemConfig{
 		Masters: 2, Memories: nMem, MemKind: config.MemWrapper,
@@ -22,14 +23,14 @@ func buildDMASystem(t *testing.T, nMem int, task smapi.Task) (*config.System, *E
 	if err := sys.AddProcs(task); err != nil { // master 0: PE
 		t.Fatal(err)
 	}
-	eng := New(sys.Kernel, "dma0", sys.MasterPorts[1]) // master 1: DMA
+	eng := dma.New(sys.Kernel, "dma0", sys.MasterPorts[1]) // master 1: DMA
 	return sys, eng
 }
 
 func TestDMACopyWithinOneMemory(t *testing.T) {
 	var src, dst uint32
 	var allocated, verified bool
-	var eng *Engine
+	var eng *dma.Engine
 	task := func(ctx *smapi.Ctx) {
 		m := ctx.Mem(0)
 		var code bus.ErrCode
@@ -44,7 +45,7 @@ func TestDMACopyWithinOneMemory(t *testing.T) {
 				panic(code)
 			}
 		}
-		eng.Enqueue(Descriptor{SrcSM: 0, DstSM: 0, SrcVPtr: src, DstVPtr: dst, Elems: 64, DType: bus.U32, Chunk: 16})
+		eng.Enqueue(dma.Descriptor{SrcSM: 0, DstSM: 0, SrcVPtr: src, DstVPtr: dst, Elems: 64, DType: bus.U32, Chunk: 16})
 		allocated = true
 		for !eng.Idle() {
 			ctx.Sleep(10)
@@ -80,7 +81,7 @@ func TestDMACopyWithinOneMemory(t *testing.T) {
 func TestDMACopyAcrossMemories(t *testing.T) {
 	// Source in sm0, destination in sm1: two distinct virtual address
 	// spaces, bridged only by the engine's sm_addr routing.
-	var eng *Engine
+	var eng *dma.Engine
 	var ok bool
 	task := func(ctx *smapi.Ctx) {
 		m0, m1 := ctx.Mem(0), ctx.Mem(1)
@@ -99,7 +100,7 @@ func TestDMACopyAcrossMemories(t *testing.T) {
 		if code := m0.WriteArray(src, pcm); code != bus.OK {
 			panic(code)
 		}
-		eng.Enqueue(Descriptor{SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst, Elems: 40, DType: bus.I16, Chunk: 13})
+		eng.Enqueue(dma.Descriptor{SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst, Elems: 40, DType: bus.I16, Chunk: 13})
 		for !eng.Idle() {
 			ctx.Sleep(10)
 		}
@@ -127,7 +128,7 @@ func TestDMACopyAcrossMemories(t *testing.T) {
 func TestDMAErrorPropagation(t *testing.T) {
 	// A descriptor with a dangling source reports the in-band error and
 	// the engine moves on to the next descriptor.
-	var eng *Engine
+	var eng *dma.Engine
 	task := func(ctx *smapi.Ctx) {
 		m := ctx.Mem(0)
 		good, code := m.Malloc(8, bus.U32)
@@ -138,8 +139,8 @@ func TestDMAErrorPropagation(t *testing.T) {
 		if code != bus.OK {
 			panic(code)
 		}
-		eng.Enqueue(Descriptor{SrcVPtr: 0xDEAD00, DstVPtr: dst, Elems: 8, DType: bus.U32})
-		eng.Enqueue(Descriptor{SrcVPtr: good, DstVPtr: dst, Elems: 8, DType: bus.U32})
+		eng.Enqueue(dma.Descriptor{SrcVPtr: 0xDEAD00, DstVPtr: dst, Elems: 8, DType: bus.U32})
+		eng.Enqueue(dma.Descriptor{SrcVPtr: good, DstVPtr: dst, Elems: 8, DType: bus.U32})
 		for !eng.Idle() {
 			ctx.Sleep(10)
 		}
@@ -166,7 +167,7 @@ func TestDMAErrorPropagation(t *testing.T) {
 
 func TestDMAChunkingOddSizes(t *testing.T) {
 	// 100 elements in chunks of 32 → 32+32+32+4.
-	var eng *Engine
+	var eng *dma.Engine
 	var ok bool
 	task := func(ctx *smapi.Ctx) {
 		m := ctx.Mem(0)
@@ -179,7 +180,7 @@ func TestDMAChunkingOddSizes(t *testing.T) {
 		if code := m.WriteArray(src, data); code != bus.OK {
 			panic(code)
 		}
-		eng.Enqueue(Descriptor{SrcVPtr: src, DstVPtr: dst, Elems: 100, DType: bus.U8})
+		eng.Enqueue(dma.Descriptor{SrcVPtr: src, DstVPtr: dst, Elems: 100, DType: bus.U8})
 		for !eng.Idle() {
 			ctx.Sleep(10)
 		}
@@ -209,12 +210,12 @@ func TestDMAChunkingOddSizes(t *testing.T) {
 
 func TestDMADeterministicCompletion(t *testing.T) {
 	run := func() uint64 {
-		var eng *Engine
+		var eng *dma.Engine
 		task := func(ctx *smapi.Ctx) {
 			m := ctx.Mem(0)
 			src, _ := m.Malloc(64, bus.U32)
 			dst, _ := m.Malloc(64, bus.U32)
-			eng.Enqueue(Descriptor{SrcVPtr: src, DstVPtr: dst, Elems: 64, DType: bus.U32})
+			eng.Enqueue(dma.Descriptor{SrcVPtr: src, DstVPtr: dst, Elems: 64, DType: bus.U32})
 			for !eng.Idle() {
 				ctx.Sleep(5)
 			}
@@ -256,8 +257,8 @@ func runCopy(t *testing.T, depth int, split bool, elems uint32) (uint64, []uint3
 	for j := uint32(0); j < elems; j++ {
 		tr.WriteElem(se.Host, bus.U32, j, 0xC0DE0000+j)
 	}
-	eng := New(sys.Kernel, "dma0", sys.MasterPorts[0])
-	eng.Enqueue(Descriptor{SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst, Elems: elems, DType: bus.U32, Chunk: 16})
+	eng := dma.New(sys.Kernel, "dma0", sys.MasterPorts[0])
+	eng.Enqueue(dma.Descriptor{SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst, Elems: elems, DType: bus.U32, Chunk: 16})
 	if _, err := sys.Kernel.RunUntil(eng.Idle, 1_000_000); err != nil {
 		t.Fatal(err)
 	}
@@ -341,8 +342,8 @@ func TestDMAOverlappingCopyDepthInvariant(t *testing.T) {
 		for j := uint32(0); j < elems+chunk; j++ {
 			tr.WriteElem(e.Host, bus.U32, j, 0x11110000+j)
 		}
-		eng := New(sys.Kernel, "dma0", sys.MasterPorts[0])
-		eng.Enqueue(Descriptor{
+		eng := dma.New(sys.Kernel, "dma0", sys.MasterPorts[0])
+		eng.Enqueue(dma.Descriptor{
 			SrcSM: 0, DstSM: 0, SrcVPtr: buf, DstVPtr: buf + 4*chunk,
 			Elems: elems, DType: bus.U32, Chunk: chunk,
 		})

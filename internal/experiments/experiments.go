@@ -1,14 +1,3 @@
-// Package experiments implements the measurement harness behind every
-// table and figure of EXPERIMENTS.md. Each exported Ex function builds
-// fresh systems, runs seeded workloads, and returns formatted tables;
-// cmd/experiments prints them and the root benchmarks reuse the runners.
-//
-// The paper's single quantitative result — a 20% simulation-speed
-// degradation going from one to four wrapper memories under a 4-ISS GSM
-// workload — is experiment E1. The remaining experiments measure the
-// paper's qualitative claims (low overhead, accuracy, large dynamic
-// data, pointer arithmetic, coherence) and the ablations DESIGN.md
-// commits to. See DESIGN.md §5 for the experiment index.
 package experiments
 
 import (
@@ -67,6 +56,13 @@ type Options struct {
 	// config.SystemConfig.Cache/Coherent). The E11 experiment sweeps
 	// cached versus uncached regardless.
 	Cache bool
+	// Checkpoint, when non-empty, makes the WB experiment write its
+	// shared warm-up snapshot to this file.
+	Checkpoint string
+	// Restore, when non-empty, makes the WB experiment load its shared
+	// warm-up snapshot from this file instead of simulating the warm-up
+	// phase. An incompatible file fails loudly on the first restore.
+	Restore string
 }
 
 func (o Options) pick(full, quick int) int {
@@ -1054,7 +1050,10 @@ func buildMLP(streams int, elems uint32, inter config.InterconnectKind, m Mode) 
 		for j := uint32(0); j < elems; j++ {
 			tr.WriteElem(e.Host, bus.U32, j, 0x5EED0000+uint32(i)<<16+j)
 		}
-		eng := dma.New(sys.Kernel, fmt.Sprintf("dma%d", i), sys.MasterPorts[i])
+		eng, err := sys.AddDMA(i, fmt.Sprintf("dma%d", i))
+		if err != nil {
+			return nil, err
+		}
 		eng.Enqueue(dma.Descriptor{
 			SrcSM: 2 * i, DstSM: 2*i + 1, SrcVPtr: src, DstVPtr: dst,
 			Elems: elems, DType: bus.U32, Chunk: 32,

@@ -1,0 +1,500 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dma"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/smapi"
+	snaplib "repro/internal/snapshot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file is the checkpoint/restore differential harness: run-to-N
+// must be bit-identical — final cycle count, every stats counter,
+// golden ISS output, VCD bytes — to run-to-K + save + restore +
+// run-to-(N−K). The restore side additionally sweeps the scheduler
+// matrix (lockstep × event-driven × workers {1,4} × cache on/off):
+// a snapshot taken under the reference mode must resume correctly
+// under every other mode, which is exactly the warm-boot sweep
+// contract. Corrupt, truncated, and version-skewed snapshots must
+// fail loudly with a sectioned error, never load garbage.
+
+// snapDiffModes is the restore-side scheduler matrix.
+var snapDiffModes = []Mode{
+	{Lockstep: true, Workers: 1},
+	{Lockstep: true, Workers: 4},
+	{Lockstep: false, Workers: 1},
+	{Lockstep: false, Workers: 4},
+	{Lockstep: false, Workers: 1, NoBatch: true, NoDecodeCache: true},
+}
+
+// cacheTrafficSource is a scalar load/store kernel against static
+// memory 0 — the only traffic class the L1 caches: repeated sweeps
+// over an interleaved word range (neighbouring CPUs share cache
+// lines, so multi-master runs exercise MESI invalidation mid-flight).
+func cacheTrafficSource(iters, base, stride, n, seed int) string {
+	return fmt.Sprintf(`
+.equ ITERS, %d
+.equ BASE, %d
+.equ STRIDE, %d
+.equ N, %d
+.equ SEED, %d
+
+	li   r8, ITERS
+iter:
+	mov  r5, #0
+	li   r4, BASE
+wr:
+	mov  r0, r4
+	add  r1, r5, #SEED
+	mov  r2, #0
+	bl   sm_write
+	cmp  r1, #0
+	bne  fail
+	add  r4, r4, #STRIDE
+	add  r5, r5, #1
+	cmp  r5, #N
+	bne  wr
+	mov  r5, #0
+	li   r4, BASE
+rd:
+	mov  r0, r4
+	mov  r2, #0
+	bl   sm_read
+	cmp  r1, #0
+	bne  fail
+	add  r2, r5, #SEED
+	cmp  r0, r2
+	bne  fail
+	add  r4, r4, #STRIDE
+	add  r5, r5, #1
+	cmp  r5, #N
+	bne  rd
+	sub  r8, r8, #1
+	cmp  r8, #0
+	bne  iter
+	mov  r0, #0
+	swi  #0
+fail:
+	li   r0, 0xDEAD
+	swi  #0
+`+"%s", iters, base, stride, n, seed, smapi.Runtime)
+}
+
+// snapScenario is one checkpointable workload: cfg yields the
+// SystemConfig for a kernel mode, build wires and attaches a fresh
+// system (without running it), done is the completion predicate and
+// verify checks golden outcomes on a finished system.
+type snapScenario struct {
+	name   string
+	cfg    func(m Mode) config.SystemConfig
+	build  func(m Mode) (*config.System, error)
+	done   func(sys *config.System) func() bool
+	verify func(sys *config.System) error
+}
+
+func gsmSnapScenario() snapScenario {
+	cfg := func(m Mode) config.SystemConfig {
+		c := m.sysConfig()
+		c.Masters, c.Memories, c.MemKind = 2, 2, config.MemWrapper
+		return c
+	}
+	return snapScenario{
+		name: "gsm-wrapper",
+		cfg:  cfg,
+		build: func(m Mode) (*config.System, error) {
+			sys, err := config.Build(cfg(m))
+			if err != nil {
+				return nil, err
+			}
+			var progs [][]byte
+			for i := 0; i < 2; i++ {
+				p, err := isa.Assemble(workload.GSMKernelSource(workload.GSMKernelConfig{
+					Frames: 2, SM: i, Seed: uint32(i + 1),
+				}))
+				if err != nil {
+					return nil, err
+				}
+				progs = append(progs, p.Code)
+			}
+			if err := sys.AddCPUs(progs...); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		},
+		done: func(sys *config.System) func() bool { return sys.CPUsHalted },
+		verify: func(sys *config.System) error {
+			for i, cpu := range sys.CPUs {
+				if cpu.ExitCode() != 0 {
+					return fmt.Errorf("iss %d exited %#x", i, cpu.ExitCode())
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func cacheSnapScenario() snapScenario {
+	cfg := func(m Mode) config.SystemConfig {
+		c := m.sysConfig()
+		c.Masters, c.Memories, c.MemKind = 2, 1, config.MemStatic
+		c.Cache, c.Coherent = true, true
+		return c
+	}
+	return snapScenario{
+		name: "cache-static",
+		cfg:  cfg,
+		build: func(m Mode) (*config.System, error) {
+			sys, err := config.Build(cfg(m))
+			if err != nil {
+				return nil, err
+			}
+			var progs [][]byte
+			for i := 0; i < 2; i++ {
+				// Interleaved word ranges: CPU 0 owns words 0,2,4,…, CPU 1
+				// owns 1,3,5,… — every line is falsely shared.
+				p, err := isa.Assemble(cacheTrafficSource(6, 4*i, 8, 24, 16*(i+1)))
+				if err != nil {
+					return nil, err
+				}
+				progs = append(progs, p.Code)
+			}
+			if err := sys.AddCPUs(progs...); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		},
+		done: func(sys *config.System) func() bool { return sys.CPUsHalted },
+		verify: func(sys *config.System) error {
+			for i, cpu := range sys.CPUs {
+				if cpu.ExitCode() != 0 {
+					return fmt.Errorf("iss %d exited %#x", i, cpu.ExitCode())
+				}
+			}
+			hits := uint64(0)
+			for _, c := range sys.Caches {
+				hits += c.Stats().Hits
+			}
+			if hits == 0 {
+				return fmt.Errorf("cached run served no hits")
+			}
+			return nil
+		},
+	}
+}
+
+func dmaSnapScenario() snapScenario {
+	const elems = 256
+	cfg := func(m Mode) config.SystemConfig {
+		c := m.sysConfig()
+		c.Masters, c.Memories, c.MemKind = 1, 2, config.MemWrapper
+		c.OutstandingDepth, c.SplitBus, c.OutOfOrder = 4, true, true
+		return c
+	}
+	return snapScenario{
+		name: "dma-mlp",
+		cfg:  cfg,
+		build: func(m Mode) (*config.System, error) {
+			sys, err := config.Build(cfg(m))
+			if err != nil {
+				return nil, err
+			}
+			src, code := sys.Wrappers[0].Table().Alloc(elems, bus.U32)
+			if code != bus.OK {
+				return nil, fmt.Errorf("src alloc: %v", code)
+			}
+			dst, code := sys.Wrappers[1].Table().Alloc(elems, bus.U32)
+			if code != bus.OK {
+				return nil, fmt.Errorf("dst alloc: %v", code)
+			}
+			tr := core.Translator{}
+			e, _, _ := sys.Wrappers[0].Table().Resolve(src)
+			for j := uint32(0); j < elems; j++ {
+				tr.WriteElem(e.Host, bus.U32, j, 0xD1A00000+j)
+			}
+			eng, err := sys.AddDMA(0, "dma0")
+			if err != nil {
+				return nil, err
+			}
+			eng.Enqueue(dma.Descriptor{
+				SrcSM: 0, DstSM: 1, SrcVPtr: src, DstVPtr: dst,
+				Elems: elems, DType: bus.U32, Chunk: 32,
+			})
+			return sys, nil
+		},
+		done: func(sys *config.System) func() bool { return sys.DMAs[0].Idle },
+		verify: func(sys *config.System) error {
+			d := sys.DMAs[0].Done()
+			if len(d) != 1 || d[0].Err != bus.OK || d[0].Moved != elems {
+				return fmt.Errorf("dma outcome %+v", d)
+			}
+			tr := core.Translator{}
+			e, _, ok := sys.Wrappers[1].Table().Resolve(d[0].Desc.DstVPtr)
+			if !ok {
+				return fmt.Errorf("dst allocation vanished")
+			}
+			for j := uint32(0); j < elems; j++ {
+				if got, want := tr.ReadElem(e.Host, bus.U32, j), 0xD1A00000+j; got != want {
+					return fmt.Errorf("dst elem %d = %#x, want %#x", j, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// TestSchedDiffSnapshot is the differential restore matrix. For every
+// scenario: a straight run-to-N in the reference mode pins the golden
+// observables; a second reference-mode run stops at K = N/2 and
+// snapshots; then every scheduler mode restores that one snapshot —
+// through the self-contained RestoreSystem path — runs the remaining
+// N−K cycles, and must land on the exact golden observables. One leg
+// also exercises the in-place RestoreSnapshot path on an
+// identically-built system.
+func TestSchedDiffSnapshot(t *testing.T) {
+	refMode := Mode{Lockstep: true, Workers: 1}
+	for _, sc := range []snapScenario{gsmSnapScenario(), cacheSnapScenario(), dmaSnapScenario()} {
+		t.Run(sc.name, func(t *testing.T) {
+			// Straight run: the golden reference.
+			refSys, err := sc.build(refMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := refSys.Kernel.RunUntil(sc.done(refSys), runLimit); err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.verify(refSys); err != nil {
+				t.Fatal(err)
+			}
+			ref := snapshot(refSys)
+			if ref.Cycles < 4 {
+				t.Fatalf("scenario too short to checkpoint: %d cycles", ref.Cycles)
+			}
+
+			// Save leg: same build, stopped mid-flight at K.
+			k := ref.Cycles / 2
+			saveSys, err := sc.build(refMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := saveSys.Kernel.Run(k); err != nil {
+				t.Fatal(err)
+			}
+			data, err := saveSys.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Restore matrix: every scheduler mode resumes the one snapshot.
+			for _, m := range snapDiffModes {
+				warm, err := config.RestoreSystem(sc.cfg(m), data)
+				if err != nil {
+					t.Fatalf("%s: restore: %v", modeName(m), err)
+				}
+				if got := warm.Kernel.Cycle(); got != k {
+					t.Fatalf("%s: restored kernel at cycle %d, want %d", modeName(m), got, k)
+				}
+				if _, err := warm.Kernel.RunUntil(sc.done(warm), runLimit); err != nil {
+					t.Fatalf("%s: resume: %v", modeName(m), err)
+				}
+				if err := sc.verify(warm); err != nil {
+					t.Fatalf("%s: %v", modeName(m), err)
+				}
+				if got := snapshot(warm); !reflect.DeepEqual(ref, got) {
+					t.Fatalf("%s: restored run diverged from straight run\nstraight: %+v\nrestored: %+v",
+						modeName(m), ref, got)
+				}
+			}
+
+			// In-place path: restore into an identically built system.
+			inplace, err := sc.build(refMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inplace.RestoreSnapshot(data); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := inplace.Kernel.RunUntil(sc.done(inplace), runLimit); err != nil {
+				t.Fatal(err)
+			}
+			if got := snapshot(inplace); !reflect.DeepEqual(ref, got) {
+				t.Fatalf("in-place restore diverged from straight run\nstraight: %+v\nrestored: %+v", ref, got)
+			}
+		})
+	}
+}
+
+// TestSchedDiffSnapshotVCD demands VCD byte identity across a
+// checkpoint: one VCD instance traces the save leg to K, re-attaches
+// to the restored system, traces to N — and the bytes must equal the
+// straight run's trace. The probes read through a mutable system
+// pointer so the same variables keep sampling after the swap.
+func TestSchedDiffSnapshotVCD(t *testing.T) {
+	sc := gsmSnapScenario()
+	refMode := Mode{Lockstep: false, Workers: 1}
+
+	probeVCD := func(buf *bytes.Buffer, cur **config.System) *sim.VCD {
+		vcd := sim.NewVCD(buf, "1ns")
+		vcd.AddVar("mem", "live", 16, func() uint64 { return uint64((*cur).Wrappers[0].Table().Len()) })
+		vcd.AddVar("bus", "transactions", 32, func() uint64 { return (*cur).Inter.Stats().Transactions })
+		return vcd
+	}
+
+	// Straight traced run.
+	var straight bytes.Buffer
+	sys, err := sc.build(refMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := sys
+	vcd := probeVCD(&straight, &cur)
+	sys.Kernel.AfterCycle(vcd.Sample)
+	if _, err := sys.Kernel.RunUntil(sc.done(sys), runLimit); err != nil {
+		t.Fatal(err)
+	}
+	if err := vcd.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := sys.Kernel.Cycle()
+
+	// Checkpointed traced run: same probes, one VCD, two kernels.
+	var split bytes.Buffer
+	saveSys, err := sc.build(refMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2 := saveSys
+	vcd2 := probeVCD(&split, &cur2)
+	saveSys.Kernel.AfterCycle(vcd2.Sample)
+	if err := saveSys.Kernel.Run(n / 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := saveSys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := config.RestoreSystem(sc.cfg(refMode), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2 = warm
+	warm.Kernel.AfterCycle(vcd2.Sample)
+	if _, err := warm.Kernel.RunUntil(sc.done(warm), runLimit); err != nil {
+		t.Fatal(err)
+	}
+	if err := vcd2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(straight.Bytes(), split.Bytes()) {
+		t.Fatalf("VCD diverged across checkpoint: straight %d bytes, save+restore %d bytes",
+			straight.Len(), split.Len())
+	}
+}
+
+// TestSnapshotFailureModes pins the loud-failure contract: damaged or
+// incompatible snapshots error with a named section or a version
+// message — and never restore partial state silently.
+func TestSnapshotFailureModes(t *testing.T) {
+	sc := gsmSnapScenario()
+	refMode := Mode{Lockstep: true, Workers: 1}
+	sys, err := sc.build(refMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Kernel.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("corrupted", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)/2] ^= 0x20
+		_, err := config.RestoreSystem(sc.cfg(refMode), bad)
+		if err == nil {
+			t.Fatal("corrupted snapshot restored")
+		}
+		if !strings.Contains(err.Error(), "checksum mismatch") && !strings.Contains(err.Error(), "section") {
+			t.Fatalf("corruption error not sectioned: %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 3, len(data) / 3, len(data) - 1} {
+			if _, err := config.RestoreSystem(sc.cfg(refMode), data[:cut]); err == nil {
+				t.Fatalf("truncated snapshot (%d bytes) restored", cut)
+			}
+		}
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(snaplib.Magic)] ^= 0xFF // version field
+		_, err := config.RestoreSystem(sc.cfg(refMode), bad)
+		if !errors.Is(err, snaplib.ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("wrong-config", func(t *testing.T) {
+		other := sc.cfg(refMode)
+		other.MemBytes = 1 << 21
+		_, err := config.RestoreSystem(other, data)
+		if err == nil || !strings.Contains(err.Error(), "different configuration") {
+			t.Fatalf("err = %v, want configuration mismatch", err)
+		}
+	})
+	t.Run("scheduler-knobs-compatible", func(t *testing.T) {
+		other := sc.cfg(Mode{Lockstep: false, Workers: 4, NoBatch: true})
+		if _, err := config.RestoreSystem(other, data); err != nil {
+			t.Fatalf("scheduler-only change rejected: %v", err)
+		}
+	})
+	t.Run("procs-unsupported", func(t *testing.T) {
+		tr := trace.Generate(trace.GenConfig{
+			Seed: 7, Events: 50, Slots: 8, NumSM: 1,
+			MinDim: 4, MaxDim: 16, DType: bus.U32, Mix: trace.DefaultMix(),
+		})
+		cfg := refMode.sysConfig()
+		cfg.Masters, cfg.Memories, cfg.MemKind = 1, 1, config.MemWrapper
+		psys, err := config.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := psys.AddProcs(trace.ReplayTask(tr, trace.ModeDynamic, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := psys.Kernel.Run(50); err != nil {
+			t.Fatal(err)
+		}
+		_, err = psys.Snapshot()
+		if err == nil || !strings.Contains(err.Error(), "does not support snapshotting") {
+			t.Fatalf("err = %v, want unsupported-module error", err)
+		}
+	})
+}
+
+// TestWarmBootSweep smoke-runs the WB experiment in quick mode: the
+// sweep must restore from the shared snapshot, match every cold run's
+// cycle count (WB errors internally otherwise), and serve its repeated
+// variant from the result cache.
+func TestWarmBootSweep(t *testing.T) {
+	tab, err := WB(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "cache hit") {
+		t.Fatalf("WB table shows no result-cache hit:\n%s", out)
+	}
+}

@@ -92,6 +92,7 @@ type CPU struct {
 	// image (nil when disabled).
 	batch bool
 	lead  uint64
+	dcOn  bool
 	dc    []dcEntry
 
 	// bridge registers
@@ -131,6 +132,7 @@ func New(k *sim.Kernel, cfg Config) (*CPU, error) {
 		port:     cfg.Port,
 		mmioBase: cfg.MMIOBase,
 		batch:    cfg.Batch,
+		dcOn:     cfg.DecodeCache,
 	}
 	copy(c.mem, cfg.Prog)
 	if cfg.DecodeCache && len(cfg.Prog) >= 4 {

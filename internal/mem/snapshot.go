@@ -1,0 +1,65 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/snapshot"
+)
+
+// SaveState implements snapshot.Saver: the FSM, the sampled input
+// registers, the stats, and the full memory image. Config (size,
+// delays, port wiring) is rebuilt from SystemConfig.
+func (m *StaticRAM) SaveState(enc *snapshot.Encoder) {
+	enc.U8(uint8(m.state))
+	enc.U32(m.wait)
+	bus.EncodeRequest(enc, m.cur)
+	enc.U64(uint64(m.curTag))
+	enc.Bool(m.in.pending)
+	enc.U8(uint8(m.in.op))
+	enc.U32(m.in.vptr)
+	enc.U32(m.in.data)
+	enc.U32(m.in.dim)
+	enc.U8(uint8(m.in.dtype))
+	for _, v := range m.stats.Ops {
+		enc.U64(v)
+	}
+	for _, v := range m.stats.Errors {
+		enc.U64(v)
+	}
+	enc.U64(m.stats.BusyCycles)
+	enc.U64(m.stats.BurstElems)
+	enc.Bytes32(m.data)
+}
+
+// RestoreState implements snapshot.Restorer. The memory image in the
+// snapshot must match the built size exactly.
+func (m *StaticRAM) RestoreState(dec *snapshot.Decoder) error {
+	m.state = ramState(dec.U8())
+	m.wait = dec.U32()
+	m.cur = bus.DecodeRequest(dec)
+	m.curTag = bus.Tag(dec.U64())
+	m.in.pending = dec.Bool()
+	m.in.op = bus.Op(dec.U8())
+	m.in.vptr = dec.U32()
+	m.in.data = dec.U32()
+	m.in.dim = dec.U32()
+	m.in.dtype = bus.DataType(dec.U8())
+	for i := range m.stats.Ops {
+		m.stats.Ops[i] = dec.U64()
+	}
+	for i := range m.stats.Errors {
+		m.stats.Errors[i] = dec.U64()
+	}
+	m.stats.BusyCycles = dec.U64()
+	m.stats.BurstElems = dec.U64()
+	img := dec.Bytes32()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(img) != len(m.data) {
+		return fmt.Errorf("static RAM image mismatch: snapshot has %d bytes, system built with %d", len(img), len(m.data))
+	}
+	copy(m.data, img)
+	return dec.Finish()
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// Restore overwrites the signal's committed value in place: current
+// and next both become v and the signal is clean. It exists for
+// snapshot restore, which rebuilds committed state between cycles;
+// calling it on a dirty signal would silently discard a pending write,
+// so that is a programming error.
+func (s *Signal[T]) Restore(v T) {
+	if s.dirty {
+		panic(fmt.Sprintf("sim: Restore of dirty signal %q", s.name))
+	}
+	s.cur = v
+	s.next = v
+}
+
+// Quiescent reports whether the kernel sits at a cycle boundary with
+// no uncommitted signal writes. Snapshots may only be taken (and
+// restored into) a quiescent kernel: mid-phase, signal next-values and
+// the dirty list hold state the snapshot format deliberately does not
+// represent.
+func (k *Kernel) Quiescent() bool { return len(k.dirty) == 0 }
+
+// SaveState serializes the kernel's scheduling state: the clock and
+// the flags the event-driven scheduler consults when deciding whether
+// an idle skip is legal (started, anyChange), plus the cumulative
+// scheduler counters so SchedStats survive a restore. Worker/shard
+// configuration is rebuilt from config, and the parallel engine's
+// scratch buffers plus the awake-probe hint are behavior-neutral
+// caches, so none of them are serialized.
+func (k *Kernel) SaveState(enc *snapshot.Encoder) {
+	enc.U64(k.cycle)
+	enc.Bool(k.anyChange)
+	enc.Bool(k.started)
+	enc.U64(k.stepped)
+	enc.U64(k.skipped)
+	enc.U64(k.skipSpans)
+}
+
+// RestoreState rebuilds the kernel's scheduling state from a section
+// written by SaveState.
+func (k *Kernel) RestoreState(dec *snapshot.Decoder) error {
+	if !k.Quiescent() {
+		return fmt.Errorf("kernel has %d uncommitted signals", len(k.dirty))
+	}
+	k.cycle = dec.U64()
+	k.anyChange = dec.Bool()
+	k.started = dec.Bool()
+	k.stepped = dec.U64()
+	k.skipped = dec.U64()
+	k.skipSpans = dec.U64()
+	k.awakeHint = 0
+	return dec.Finish()
+}

@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.AddSection("alpha", func(e *Encoder) {
+		e.U8(7)
+		e.Bool(true)
+		e.Bool(false)
+		e.U32(0xdeadbeef)
+		e.U64(1 << 40)
+		e.Int(42)
+		e.Bytes32([]byte("hello"))
+		e.String("world")
+		e.U32s([]uint32{1, 2, 3})
+		e.U32s(nil)
+	})
+	w.AddSection("beta", func(e *Encoder) { e.U32(9) })
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Names(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Names() = %v", got)
+	}
+	d, err := f.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U8(); v != 7 {
+		t.Errorf("U8 = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool mismatch")
+	}
+	if v := d.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := d.U64(); v != 1<<40 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := d.Int(); v != 42 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := string(d.Bytes32()); v != "hello" {
+		t.Errorf("Bytes32 = %q", v)
+	}
+	if v := d.String(); v != "world" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.U32s(); len(v) != 3 || v[0] != 1 || v[2] != 3 {
+		t.Errorf("U32s = %v", v)
+	}
+	if v := d.U32s(); v != nil {
+		t.Errorf("empty U32s = %v", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestMissingSection(t *testing.T) {
+	w := NewWriter()
+	w.Add("a", []byte{1})
+	data, _ := w.Finish()
+	f, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Section("nope"); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("Section(nope) err = %v", err)
+	}
+}
+
+func TestDuplicateSection(t *testing.T) {
+	w := NewWriter()
+	w.Add("a", []byte{1})
+	w.Add("a", []byte{2})
+	if _, err := w.Finish(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Finish err = %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read([]byte("not a snapshot at all")); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("Read err = %v", err)
+	}
+	if _, err := Read(nil); err == nil {
+		t.Fatal("Read(nil) succeeded")
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Add("a", []byte{1})
+	data, _ := w.Finish()
+	// Bump the version field in place.
+	binary.LittleEndian.PutUint32(data[len(Magic):], Version+1)
+	_, err := Read(data)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("Read err = %v, want ErrVersion", err)
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Add("payload", []byte{1, 2, 3, 4})
+	data, _ := w.Finish()
+	// Flip a payload bit; the stored CRC no longer matches.
+	data[len(data)-5] ^= 0x40
+	_, err := Read(data)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") || !strings.Contains(err.Error(), `"payload"`) {
+		t.Fatalf("Read err = %v", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	w := NewWriter()
+	w.Add("a", []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	data, _ := w.Finish()
+	for cut := len(Magic) + 4 + 1; cut < len(data); cut++ {
+		if _, err := Read(data[:cut]); err == nil {
+			t.Fatalf("Read of %d/%d bytes succeeded", cut, len(data))
+		}
+	}
+}
+
+func TestDecoderSticky(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64() // too short: sets sticky error
+	if d.Err() == nil {
+		t.Fatal("no sticky error after short read")
+	}
+	// Later reads return zero values without panicking.
+	if d.U32() != 0 || d.U8() != 0 || d.Bytes32() != nil || d.U32s() != nil {
+		t.Error("reads after error returned non-zero")
+	}
+	if err := d.Finish(); err == nil {
+		t.Error("Finish nil after sticky error")
+	}
+}
+
+func TestDecoderUnconsumed(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3, 4, 5})
+	_ = d.U32()
+	if err := d.Finish(); err == nil || !strings.Contains(err.Error(), "not fully consumed") {
+		t.Fatalf("Finish err = %v", err)
+	}
+}
+
+func TestHugeU32sRejected(t *testing.T) {
+	// A corrupted element count must not allocate unbounded memory.
+	var e Encoder
+	e.U32(1 << 30)
+	d := NewDecoder(e.Bytes())
+	if v := d.U32s(); v != nil {
+		t.Fatalf("U32s returned %d elems", len(v))
+	}
+	if d.Err() == nil {
+		t.Fatal("no error on oversized count")
+	}
+}

@@ -1,6 +1,3 @@
-// Package stats provides run measurement and the aligned text tables the
-// experiment harness prints — the reporting layer shared by cmd/mpsim,
-// cmd/experiments and the benchmarks.
 package stats
 
 import (

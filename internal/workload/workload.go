@@ -1,14 +1,3 @@
-// Package workload generates armlet assembly programs for the ISS-based
-// experiments — most importantly the paper's headline configuration:
-// four ISSs running a GSM workload against dynamic shared memories.
-//
-// The full-rate codec cannot realistically be hand-written in assembly,
-// and does not need to be: what the experiment measures is co-simulation
-// speed under a workload with the GSM codec's *shape* — per 160-sample
-// frame, a dynamic buffer allocation, a burst write of the samples, an
-// autocorrelation-style multiply-accumulate kernel (the LPC hot loop),
-// a burst read-back and a free. GSMKernelSource emits exactly that; the
-// bit-exact codec lives in internal/gsm and runs on native PEs.
 package workload
 
 import (

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bus"
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -619,6 +620,43 @@ func BenchmarkCache(b *testing.B) {
 		{"sharing/coherent-l1", sharing, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) { benchCache(b, tc.w, tc.cached) })
+	}
+}
+
+// --- E12: shared L2, DRAM timing & way partitioning -----------------------
+
+// benchL2 replays the E12 asymmetric-working-set workload (quick size)
+// through the shared inclusive L2. The deterministic "simcycles" metric
+// gates the L2 pipeline, the DRAM bank model and the UCP repartitioner
+// against timing regressions.
+func benchL2(b *testing.B, w experiments.E12Workload, part cache.PartitionKind, m experiments.Mode) {
+	b.Helper()
+	var total, cycles uint64
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiments.RunE12(w, part, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.TotalCycles
+		cycles = r.TotalCycles
+	}
+	reportSimSpeed(b, total)
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+func BenchmarkL2(b *testing.B) {
+	w := experiments.E12Params(experiments.Options{Quick: true})
+	for _, tc := range []struct {
+		name string
+		part cache.PartitionKind
+		m    experiments.Mode
+	}{
+		{"static/lru", cache.PartNone, experiments.Mode{}},
+		{"static/ucp", cache.PartUCP, experiments.Mode{}},
+		{"dram-open/ucp", cache.PartUCP, experiments.Mode{DRAM: true}},
+		{"dram-close/swp", cache.PartSWP, experiments.Mode{DRAM: true, ClosePage: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchL2(b, w, tc.part, tc.m) })
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/alloc"
+	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
@@ -71,7 +72,7 @@ func (p *profiles) exit(code int) {
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,ev,par,wb,a1,a2) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12,ev,par,wb,a1,a2) or 'all'")
 	lockstep := flag.Bool("lockstep", false, "pin every measured kernel to lockstep stepping (EV always compares both)")
 	workers := flag.Int("workers", 1, "tick-phase parallelism for every measured kernel (0 = GOMAXPROCS, 1 = sequential; PAR sweeps its own counts)")
 	allocFlag := flag.String("alloc", "default", "allocation policy for every measured memory: default | first-fit | best-fit | buddy | segregated (E9 sweeps all)")
@@ -79,6 +80,10 @@ func main() {
 	split := flag.Bool("split", false, "run every measured interconnect in split-transaction mode (E10 sweeps both protocols)")
 	ooo := flag.Bool("ooo", false, "deliver completions out of order on every measured master port (default: in issue order)")
 	cacheOn := flag.Bool("cache", false, "front every measured master with a coherent private L1 cache (E11 sweeps cached vs uncached)")
+	l2On := flag.Bool("l2", false, "interpose the shared inclusive L2 on every measured cacheable system (E12 sweeps its partition policies)")
+	partit := flag.String("partition", "none", "L2 way partitioning with -l2: none | swp | ucp")
+	dram := flag.Bool("dram", false, "swap flat static memories for the banked DRAM timing model (E12 sweeps static vs DRAM)")
+	closePage := flag.Bool("close-page", false, "DRAM close-page row policy with -dram (default: open-page)")
 	checkpoint := flag.String("checkpoint", "", "wb: write the shared warm-up snapshot to this file")
 	restore := flag.String("restore", "", "wb: restore the shared warm-up snapshot from this file instead of simulating the warm-up")
 	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -101,8 +106,22 @@ func main() {
 		}
 	}
 
+	var part cache.PartitionKind
+	switch *partit {
+	case "none":
+		part = cache.PartNone
+	case "swp":
+		part = cache.PartSWP
+	case "ucp":
+		part = cache.PartUCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -partition %q\n", *partit)
+		prof.exit(2)
+	}
+
 	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers,
 		Alloc: policy, Depth: *depth, Split: *split, OOO: *ooo, Cache: *cacheOn,
+		L2: *l2On, Partition: part, DRAM: *dram, ClosePage: *closePage,
 		Checkpoint: *checkpoint, Restore: *restore}
 
 	// Run header: the tables below are attributable to this scheduler
@@ -123,6 +142,16 @@ func main() {
 	caches := "uncached"
 	if *cacheOn {
 		caches = "coherent L1"
+	}
+	if *l2On {
+		caches = fmt.Sprintf("coherent L1 + shared L2 (%s partitioning)", *partit)
+	}
+	if *dram {
+		page := "open-page"
+		if *closePage {
+			page = "close-page"
+		}
+		caches += fmt.Sprintf(" × %s DRAM", page)
 	}
 	fmt.Printf("experiments: scheduler %s × workers=%d × alloc=%s × port depth=%d × %s protocol × %s × %s (host GOMAXPROCS %d, NumCPU %d)\n\n",
 		mode, *workers, policy, *depth, proto, order, caches, runtime.GOMAXPROCS(0), runtime.NumCPU())
@@ -158,6 +187,7 @@ func main() {
 		{"e9", one(experiments.E9)},
 		{"e10", one(experiments.E10)},
 		{"e11", one(experiments.E11)},
+		{"e12", one(experiments.E12)},
 		{"ev", one(experiments.EV)},
 		{"par", one(experiments.PAR)},
 		{"wb", one(experiments.WB)},

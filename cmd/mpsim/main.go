@@ -8,6 +8,7 @@
 //	mpsim -isses 2 -memories 1 -workload traffic -iters 100
 //	mpsim -pes 1 -memories 2 -workload trace -events 5000 -memkind heapsim
 //	mpsim -isses 1 -memories 1 -workload gsm -frames 1 -vcd wave.vcd
+//	mpsim -isses 2 -memkind dram -l2 -partition ucp -workload sweep -split -depth 4
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bus"
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -40,9 +42,9 @@ func run() error {
 		isses    = flag.Int("isses", 0, "number of ISS masters (armlet CPUs)")
 		pes      = flag.Int("pes", 0, "number of native PE masters (trace replay)")
 		memories = flag.Int("memories", 1, "number of shared memory modules")
-		memkind  = flag.String("memkind", "wrapper", "memory model: wrapper | static | heapsim")
+		memkind  = flag.String("memkind", "wrapper", "memory model: wrapper | static | heapsim | dram")
 		inter    = flag.String("interconnect", "bus", "interconnect: bus | crossbar")
-		wl       = flag.String("workload", "gsm", "workload: gsm | traffic | trace")
+		wl       = flag.String("workload", "gsm", "workload: gsm | traffic | sweep | trace (sweep is the scalar cacheable sweep for flat memories: static, dram)")
 		frames   = flag.Int("frames", 10, "gsm: frames per ISS")
 		iters    = flag.Int("iters", 50, "traffic: iterations per ISS")
 		events   = flag.Int("events", 10000, "trace: events per PE")
@@ -61,6 +63,18 @@ func run() error {
 		l1ways   = flag.Int("l1ways", 0, "L1 ways (0 = default 2)")
 		l1line   = flag.Uint("l1line", 0, "L1 line size in bytes (0 = default 32)")
 		mshrs    = flag.Int("mshrs", 0, "L1 miss-status-holding registers (0 = default 4)")
+		l2on     = flag.Bool("l2", false, "interpose a shared inclusive L2 between interconnect and memory (implies -cache -coherent)")
+		l2sets   = flag.Int("l2sets", 0, "L2 sets (0 = default 64)")
+		l2ways   = flag.Int("l2ways", 0, "L2 ways (0 = default 8)")
+		l2line   = flag.Uint("l2line", 0, "L2 line size in bytes (0 = default 64)")
+		l2mshrs  = flag.Int("l2mshrs", 0, "L2 miss-status-holding registers (0 = default 8)")
+		partit   = flag.String("partition", "none", "L2 way partitioning: none | swp | ucp")
+		ucpPer   = flag.Uint64("ucp-period", 0, "demand accesses between UCP repartitions (0 = default)")
+		dbanks   = flag.Int("dram-banks", 0, "DRAM banks (0 = default 8)")
+		drow     = flag.Uint("dram-rowbytes", 0, "DRAM row-buffer bytes per bank (0 = default 1024)")
+		dclose   = flag.Bool("dram-close-page", false, "DRAM close-page policy (default: open-page row buffers)")
+		drefp    = flag.Uint64("dram-refresh-period", 0, "cycles between DRAM refresh epochs (0 = refresh off)")
+		drefc    = flag.Uint("dram-refresh-cycles", 0, "cycles a bank stalls per refresh epoch")
 		limit    = flag.Uint64("limit", 2_000_000_000, "cycle budget")
 		ckpt     = flag.Uint64("checkpoint", 0, "write a snapshot after this many cycles, then keep running")
 		ckptFile = flag.String("checkpoint-file", "mpsim.snap", "path the -checkpoint snapshot is written to")
@@ -114,6 +128,8 @@ func run() error {
 		kind = config.MemStatic
 	case "heapsim":
 		kind = config.MemHeapSim
+	case "dram":
+		kind = config.MemDRAM
 	default:
 		return fmt.Errorf("unknown -memkind %q", *memkind)
 	}
@@ -131,6 +147,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var part cache.PartitionKind
+	switch *partit {
+	case "none":
+		part = cache.PartNone
+	case "swp":
+		part = cache.PartSWP
+	case "ucp":
+		part = cache.PartUCP
+	default:
+		return fmt.Errorf("unknown -partition %q", *partit)
+	}
+	if *l2on {
+		// The L2's inclusion machinery back-invalidates L1 lines through
+		// the MESI domain, so an L2 always implies coherent L1s.
+		*cacheOn, *coherent = true, true
+	}
 
 	masters := *isses + *pes
 	cfg := config.SystemConfig{
@@ -139,6 +171,10 @@ func run() error {
 		OutstandingDepth: *depth, SplitBus: *split, OutOfOrder: *ooo,
 		Cache: *cacheOn, Coherent: *cacheOn && *coherent,
 		CacheSets: *l1sets, CacheWays: *l1ways, CacheLineBytes: uint32(*l1line), CacheMSHRs: *mshrs,
+		L2: *l2on, L2Sets: *l2sets, L2Ways: *l2ways, L2LineBytes: uint32(*l2line), L2MSHRs: *l2mshrs,
+		Partition: part, UCPPeriod: *ucpPer,
+		DRAMBanks: *dbanks, DRAMRowBytes: uint32(*drow), DRAMClosePage: *dclose,
+		DRAMRefreshPeriod: *drefp, DRAMRefreshCycles: uint32(*drefc),
 	}
 	var sys *config.System
 	if *restore != "" {
@@ -183,6 +219,16 @@ func run() error {
 		}
 		cacheDesc = fmt.Sprintf("%s L1 ×%d (%dB lines)", coh, len(sys.Caches), sys.Caches[0].LineBytes())
 	}
+	if sys.L2 != nil {
+		cacheDesc += fmt.Sprintf(" + shared inclusive L2 (%s partitioning)", *partit)
+	}
+	if kind == config.MemDRAM {
+		page := "open-page"
+		if *dclose {
+			page = "close-page"
+		}
+		cacheDesc += fmt.Sprintf("; banked DRAM (%s)", page)
+	}
 	fmt.Printf("mpsim: %d masters × %s × %d %s memories (alloc %s); %s; %s protocol × depth=%d × %s; scheduler %s × workers=%d (host GOMAXPROCS %d, NumCPU %d)\n\n",
 		masters, ic, *memories, kind, allocKind, cacheDesc, proto, *depth, order, schedMode, sys.Kernel.Workers(), runtime.GOMAXPROCS(0), runtime.NumCPU())
 
@@ -206,6 +252,14 @@ func run() error {
 				src = workload.TrafficKernelSource(workload.TrafficKernelConfig{
 					Iterations: *iters, SM: i % *memories,
 				})
+			case "sweep":
+				// Interleaved word ranges: ISS i owns words i, i+n, i+2n, …
+				// — neighbouring ISSs falsely share every cache line.
+				src = workload.SweepKernelSource(workload.SweepKernelConfig{
+					Iterations: *iters, SM: i % *memories,
+					Base: 4 * i, Stride: 4 * *isses, Words: 64,
+					Seed: uint32(*seed) + uint32(16*(i+1)),
+				})
 			default:
 				return fmt.Errorf("workload %q needs -pes masters", *wl)
 			}
@@ -224,7 +278,7 @@ func run() error {
 			return fmt.Errorf("workload %q needs -isses masters", *wl)
 		}
 		mode := trace.ModeDynamic
-		if kind == config.MemStatic {
+		if kind == config.MemStatic || kind == config.MemDRAM {
 			mode = trace.ModeStatic
 		}
 		for i := 0; i < *pes; i++ {
@@ -342,7 +396,26 @@ func run() error {
 			fmt.Sprint(st.Ops[bus.OpRead]), fmt.Sprint(st.Ops[bus.OpWrite]),
 			fmt.Sprint(st.Ops[bus.OpReadBurst]+st.Ops[bus.OpWriteBurst]), fmt.Sprint(errs))
 	}
+	for _, d := range sys.DRAMs {
+		st := d.Stats()
+		var errs uint64
+		for _, e := range st.Errors {
+			errs += e
+		}
+		mt.Add(d.Name(), "-", "-", fmt.Sprint(st.Ops[bus.OpRead]), fmt.Sprint(st.Ops[bus.OpWrite]),
+			fmt.Sprint(st.Ops[bus.OpReadBurst]+st.Ops[bus.OpWriteBurst]), fmt.Sprint(errs))
+	}
 	fmt.Println(mt)
+
+	if len(sys.DRAMs) > 0 {
+		dt := stats.NewTable("DRAM banks", "module", "row hits", "row misses", "row conflicts", "refresh stalls", "stall cycles")
+		for _, d := range sys.DRAMs {
+			st := d.Stats()
+			dt.Add(d.Name(), fmt.Sprint(st.RowHits), fmt.Sprint(st.RowMisses),
+				fmt.Sprint(st.RowConflicts), fmt.Sprint(st.RefreshStalls), fmt.Sprint(st.RefreshStallCycles))
+		}
+		fmt.Println(dt)
+	}
 
 	if len(sys.Caches) > 0 {
 		ct := stats.NewTable("L1 caches", "cache", "hits", "misses", "hit rate", "refills", "writebacks", "snoop inv", "snoop flush", "bypassed")
@@ -354,6 +427,21 @@ func run() error {
 				fmt.Sprint(st.SnoopFlushes), fmt.Sprint(st.Bypassed))
 		}
 		fmt.Println(ct)
+	}
+
+	if sys.L2 != nil {
+		st := sys.L2.Stats()
+		lt := stats.NewTable("shared L2", "metric", "value")
+		lt.Add("hits", fmt.Sprint(st.Hits))
+		lt.Add("misses", fmt.Sprint(st.Misses))
+		lt.Add("hit rate", fmt.Sprintf("%.1f%%", 100*st.HitRate()))
+		lt.Add("refills", fmt.Sprint(st.Refills))
+		lt.Add("writebacks", fmt.Sprint(st.Writebacks))
+		lt.Add("back-invalidations", fmt.Sprint(st.BackInvalidations))
+		lt.Add("dirty merges", fmt.Sprint(st.DirtyMerges))
+		lt.Add("repartitions", fmt.Sprint(st.Repartitions))
+		lt.Add("bypassed", fmt.Sprint(st.Bypassed))
+		fmt.Println(lt)
 	}
 
 	if *profile {

@@ -75,6 +75,10 @@ type Stats struct {
 	// Errors counts refills and forwarded requests completing with an
 	// in-band error (propagated to the master).
 	Errors uint64
+	// BackInvalidations counts lines dropped because an inclusive L2
+	// evicted their parent; KilledRefills counts granted refills
+	// discarded and refetched for the same reason.
+	BackInvalidations, KilledRefills uint64
 }
 
 // HitRate returns hits over cacheable accesses.
@@ -108,10 +112,12 @@ type mshr struct {
 	// granted: the interconnect granted its address phase (set by the
 	// Domain at OnGrant) — from then until install this MSHR defers
 	// conflicting peer grants. shared: a peer held a valid copy at grant
-	// time, so a clean install is S rather than E.
-	issued, granted, shared bool
-	tag                     bus.Tag
-	waiters                 []waiter
+	// time, so a clean install is S rather than E. killed: an inclusive
+	// L2 evicted the line after the grant; the arriving refill data is
+	// stale and must be discarded and refetched (see install).
+	issued, granted, shared, killed bool
+	tag                             bus.Tag
+	waiters                         []waiter
 }
 
 // wbEntry is one line writeback pending issue or in flight.
@@ -309,8 +315,17 @@ func (c *Cache) removeMSHR(m *mshr) {
 }
 
 // install writes a completed refill into its target way and serves the
-// MSHR's waiters in arrival order.
+// MSHR's waiters in arrival order. A killed MSHR (its line was
+// back-invalidated by an inclusive L2 between grant and install)
+// discards the stale data and resets to unissued: the refill reissues
+// from scratch — fresh address phase, fresh snoop — with its waiter
+// queue intact.
 func (c *Cache) install(m *mshr, resp bus.Response) {
+	if m.killed {
+		m.killed, m.issued, m.granted, m.shared = false, false, false, false
+		c.stats.KilledRefills++
+		return
+	}
 	if resp.Err != bus.OK {
 		for _, w := range m.waiters {
 			c.stats.Errors++

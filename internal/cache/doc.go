@@ -1,6 +1,8 @@
-// Package cache implements a private, write-back, write-allocate,
-// set-associative L1 cache with MESI snooping coherence, built on the
-// split-transaction port protocol of internal/bus.
+// Package cache implements a two-level cache hierarchy built on the
+// split-transaction port protocol of internal/bus: private write-back,
+// write-allocate, set-associative L1s with MESI snooping coherence,
+// and an optional shared inclusive L2 with per-master way
+// partitioning.
 //
 // # Position in the system
 //
@@ -96,6 +98,38 @@
 //     the same moment) selects S over E for clean installs.
 //   - A refill that completes with an in-band error is reported to every
 //     waiter and installs nothing.
+//
+// # The shared L2
+//
+// L2 (NewL2, L2Config) interposes one shared inclusive cache between
+// the interconnect and the memories: it is the slave on what used to
+// be the memories' interconnect ports — which become out-of-order, so
+// hits overtake misses — and masters each memory over a private
+// in-order link. That FIFO link replaces the L1's dedicated writeback
+// channel: position orders an L2 writeback ahead of a dependent
+// refill, so the deadlock the L1 split-channel design avoids cannot
+// arise. Like the L1 it allocates MSHRs (secondary misses coalesce),
+// serves hits in the popped cycle, and bypasses what it cannot cache.
+//
+// Inclusion is an enforced invariant: every line an L1 holds is
+// present in the L2. Evicting an L2 victim calls
+// Domain.BackInvalidate, which merges any Modified L1 copy into the
+// victim's data (counted as DirtyMerges — no dirty word is lost),
+// invalidates the L1 lines, and kills granted-but-uninstalled L1
+// refills for the line (their MSHRs re-arm and re-miss, counted as
+// KilledRefills). CheckInclusion asserts the invariant; FuzzL2Inclusion
+// drives it every committed cycle.
+//
+// The L2's ways can be partitioned per master (L2Config.Partition):
+// PartSWP pins static way masks (SWPMasks, or an equal split), PartUCP
+// runs utility-based repartitioning — per-master UMON shadow tags
+// (full L2 geometry, true LRU) count hits at each recency depth, and
+// every UCPPeriod demand accesses a lookahead-greedy allocator
+// reassigns ways to maximize marginal utility, halving the counters.
+// Victim selection only evicts within the requester's allowed ways;
+// migration is lazy (lines drift as they miss). The repartition
+// schedule counts accesses, not cycles, so every scheduler mode
+// repartitions at the same point.
 //
 // # Scheduling
 //

@@ -181,6 +181,37 @@ func (c *Cache) snoopInvalidate(sm int, lo, hi uint32) bool {
 	return held
 }
 
+// BackInvalidate enforces inclusion when a shared L2 evicts the line
+// [lo, hi) of memory sm: every L1 copy inside the range is invalidated
+// synchronously, with Modified lines first merging their data into the
+// victim buffer (a zero-cycle forced writeback — the merged victim goes
+// to memory on the L2's writeback path). L1 refills of the range that
+// are granted but not yet installed are killed: their in-flight data
+// may predate the eviction, so the L1 discards it on arrival and
+// refetches. Unissued and ungranted misses need no action — their
+// requests reach the L2 after the eviction and refetch naturally, as do
+// writebacks already queued or in flight (the L2 write-allocates them).
+// Returns whether any dirty line was merged. victim must cover [lo, hi).
+func (d *Domain) BackInvalidate(sm int, lo, hi uint32, victim []byte) bool {
+	dirty := false
+	for _, c := range d.caches {
+		c.visitOverlapping(sm, lo, hi, func(ln *line) {
+			if ln.state == Modified && ln.base >= lo && ln.base-lo+c.cfg.LineBytes <= uint32(len(victim)) {
+				copy(victim[ln.base-lo:], ln.data)
+				dirty = true
+			}
+			ln.state = Invalid
+			c.stats.BackInvalidations++
+		})
+		for _, m := range c.mshrs {
+			if m.granted && !m.killed && lineOverlaps(m.sm, m.base, c.cfg.LineBytes, sm, lo, hi) {
+				m.killed = true
+			}
+		}
+	}
+	return dirty
+}
+
 // CheckExclusivity verifies the MESI ownership invariant across a set
 // of caches: a line valid in two caches may only be Shared — Modified
 // and Exclusive holders tolerate no other valid copy. Tests and the

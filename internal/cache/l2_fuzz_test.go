@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/smapi"
+)
+
+// FuzzL2Inclusion drives the FuzzMESI op streams through the full
+// two-level hierarchy: three cached PEs behind tiny 2×2 L1s, a shared
+// 2-set × 2-way inclusive L2, and a flat golden memory. The first
+// input byte selects the way-partition policy (none / SWP / UCP), the
+// rest decode exactly as in FuzzMESI. On top of the single-writer /
+// monotonic-read / exact-final-image properties, every committed cycle
+// checks:
+//
+//   - MESI M/E exclusivity across the L1s (CheckExclusivity), and
+//   - the inclusion invariant (CheckInclusion): no L1 holds a line the
+//     L2 has evicted.
+//
+// The L2 is deliberately small (8 lines of 32B against a 16-line
+// address space under three 128B L1s), so back-invalidations, dirty
+// merges into L2 victims, and killed-in-flight refills fire constantly
+// — the exact-image check proves no dirty data is lost across them.
+func FuzzL2Inclusion(f *testing.F) {
+	f.Add([]byte{0x00, 0x80, 0, 0x08, 0, 0x10, 0, 0x00, 0, 0x88, 0, 0x90, 0})
+	f.Add(append([]byte{0x00}, fuzzPingPong()...))
+	f.Add(append([]byte{0x01}, fuzzCapacityWalk()...)) // SWP equal split
+	f.Add(append([]byte{0x02}, fuzzBurstMix()...))     // UCP repartitioning live
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runL2Inclusion(t, data)
+	})
+}
+
+func runL2Inclusion(t *testing.T, data []byte) {
+	part := PartNone
+	if len(data) > 0 {
+		part = PartitionKind(data[0] % 3)
+		data = data[1:]
+	}
+	streams := decodeMESI(data)
+
+	golden := make([]uint32, fuzzWords)
+	seq := make([]uint32, fuzzWords)
+	written := make([][]uint32, fuzzPEs)
+	for pe := range written {
+		written[pe] = make([]uint32, fuzzWords)
+	}
+	for _, ops := range streams {
+		for _, op := range ops {
+			if op.write {
+				seq[op.word]++
+				golden[op.word] = uint32(op.word)<<16 | seq[op.word]
+			}
+		}
+	}
+	liveSeq := make([]uint32, fuzzWords)
+
+	k := sim.New()
+	up := bus.NewPort(k, "s0", bus.PortConfig{Depth: 4, OutOfOrder: true})
+	md := bus.NewPort(k, "md0", bus.PortConfig{Depth: 6})
+	ram := mem.NewStaticRAM(k, mem.Config{Name: "ram", Size: fuzzWords * 4, Delays: mem.DefaultDelays()}, md)
+	dom := NewDomain()
+	var caches []*Cache
+	var downs, wbs []*bus.Port
+	var procs []*smapi.Proc
+	lastSeen := make([][]uint32, fuzzPEs)
+	for pe := 0; pe < fuzzPEs; pe++ {
+		lastSeen[pe] = make([]uint32, fuzzWords)
+		mup := bus.NewPort(k, fmt.Sprintf("m%d", pe), bus.PortConfig{Depth: 2})
+		down := bus.NewPort(k, fmt.Sprintf("c%d", pe), bus.PortConfig{Depth: 8, OutOfOrder: true})
+		wbp := bus.NewPort(k, fmt.Sprintf("w%d", pe), bus.PortConfig{Depth: 4, OutOfOrder: true})
+		c, err := New(k, Config{Sets: 2, Ways: 2}, mup, down, wbp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom.Attach(c, pe, fuzzPEs+pe)
+		caches = append(caches, c)
+		downs = append(downs, down)
+		wbs = append(wbs, wbp)
+		ops := streams[pe]
+		peID := pe
+		procs = append(procs, smapi.NewProc(k, fmt.Sprintf("pe%d", pe), pe, mup, func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			for _, op := range ops {
+				switch {
+				case op.burst:
+					base := uint32(op.word/8) * 32
+					if _, code := m.ReadArray(base, 8); code != bus.OK {
+						panic(fmt.Sprintf("pe%d: burst read: %v", peID, code))
+					}
+				case op.write:
+					liveSeq[op.word]++
+					v := uint32(op.word)<<16 | liveSeq[op.word]
+					written[peID][op.word] = v
+					if code := m.WriteAs(uint32(op.word)*4, v, bus.U32); code != bus.OK {
+						panic(fmt.Sprintf("pe%d: write: %v", peID, code))
+					}
+				default:
+					v, code := m.ReadAs(uint32(op.word)*4, bus.U32)
+					if code != bus.OK {
+						panic(fmt.Sprintf("pe%d: read: %v", peID, code))
+					}
+					if v != 0 && v>>16 != uint32(op.word) {
+						panic(fmt.Sprintf("pe%d: word %d holds foreign value %#x", peID, op.word, v))
+					}
+					if v < lastSeen[peID][op.word] {
+						panic(fmt.Sprintf("pe%d: word %d went backwards: %#x after %#x (staleness)",
+							peID, op.word, v, lastSeen[peID][op.word]))
+					}
+					if owner(op.word) == peID && v != written[peID][op.word] {
+						panic(fmt.Sprintf("pe%d: lost own write to word %d: read %#x, wrote %#x",
+							peID, op.word, v, written[peID][op.word]))
+					}
+					lastSeen[peID][op.word] = v
+				}
+			}
+		}))
+	}
+	l2, err := NewL2(k, L2Config{
+		Sets: 2, Ways: 4, LineBytes: 32, MSHRs: 4, Masters: fuzzPEs,
+		Partition: part, UCPPeriod: 64,
+	}, []*bus.Port{up}, []*bus.Port{md})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.AttachL1s(dom); err != nil {
+		t.Fatal(err)
+	}
+	b := bus.NewBus(k, "bus", append(downs, wbs...), []*bus.Port{up}, bus.NewRoundRobin())
+	b.Snoop = dom
+	b.Split = true
+	b.RespArb = bus.NewRoundRobin()
+
+	k.AfterCycle(func(cycle uint64) {
+		if err := CheckExclusivity(caches); err != nil {
+			k.Fault(fmt.Errorf("cycle %d: %w", cycle, err))
+		}
+		if err := CheckInclusion(l2, caches); err != nil {
+			k.Fault(fmt.Errorf("cycle %d: %w", cycle, err))
+		}
+	})
+
+	done := func() bool {
+		for _, p := range procs {
+			if !p.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := k.RunUntil(done, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two-phase drain: L1 dirty lines land in the L2, then the L2's
+	// dirty lines land in memory.
+	for _, c := range caches {
+		c.FlushAll()
+	}
+	l1Idle := func() bool {
+		for _, c := range caches {
+			if !c.Idle() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := k.RunUntil(l1Idle, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	l2.FlushAll()
+	if _, err := k.RunUntil(func() bool { return l1Idle() && l2.Idle() }, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	for w := 0; w < fuzzWords; w++ {
+		got := uint32(ram.Peek(uint32(4*w))) | uint32(ram.Peek(uint32(4*w+1)))<<8 |
+			uint32(ram.Peek(uint32(4*w+2)))<<16 | uint32(ram.Peek(uint32(4*w+3)))<<24
+		if got != golden[w] {
+			t.Fatalf("word %d = %#x after flush, want %#x (part=%v)", w, got, golden[w], part)
+		}
+	}
+	if err := CheckExclusivity(caches); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInclusion(l2, caches); err != nil {
+		t.Fatal(err)
+	}
+}

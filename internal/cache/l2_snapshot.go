@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/snapshot"
+)
+
+// SaveState implements snapshot.Saver: every line, the live MSHRs with
+// their waiter queues, the per-memory writeback queues and in-flight
+// writebacks, forwarded bypasses, per-port pending bypasses, the
+// partitioner (masks, schedule and UMON shadow state — repartition
+// points are deterministic, so they must survive a restore), the stats
+// — and the embedded state of the private down links, which only the
+// L2 holds references to (the up ports are interconnect slave ports
+// that config.System tracks itself).
+func (l *L2) SaveState(enc *snapshot.Encoder) {
+	enc.Int(len(l.sets))
+	if len(l.sets) > 0 {
+		enc.Int(len(l.sets[0]))
+	} else {
+		enc.Int(0)
+	}
+	enc.Int(len(l.ups))
+	enc.Int(len(l.mshrs))
+	enc.U64(l.useClock)
+	for si := range l.sets {
+		for wi := range l.sets[si] {
+			ln := &l.sets[si][wi]
+			enc.U8(uint8(ln.state))
+			enc.Int(ln.sm)
+			enc.U32(ln.base)
+			enc.U64(ln.used)
+			enc.Bytes32(ln.data)
+		}
+	}
+	for _, m := range l.mshrs {
+		enc.Int(m.sm)
+		enc.U32(m.base)
+		enc.Int(m.set)
+		enc.Int(m.way)
+		enc.Bool(m.issued)
+		enc.U64(uint64(m.tag))
+		enc.U32(uint32(len(m.waiters)))
+		for _, w := range m.waiters {
+			enc.U64(uint64(w.tag))
+			bus.EncodeRequest(enc, w.req)
+		}
+	}
+	for i := range l.downs {
+		enc.U32(uint32(len(l.wbq[i])))
+		for _, e := range l.wbq[i] {
+			encodeWB(enc, e)
+		}
+		tags := sortedTags(l.wbInflight[i])
+		enc.U32(uint32(len(tags)))
+		for _, t := range tags {
+			enc.U64(uint64(t))
+			encodeWB(enc, l.wbInflight[i][t])
+		}
+		ftags := sortedTags(l.fwd[i])
+		enc.U32(uint32(len(ftags)))
+		for _, t := range ftags {
+			enc.U64(uint64(t))
+			enc.U64(uint64(l.fwd[i][t]))
+		}
+	}
+	for i := range l.ups {
+		p := l.pending[i]
+		enc.Bool(p != nil)
+		if p == nil {
+			continue
+		}
+		enc.U64(uint64(p.upTag))
+		bus.EncodeRequest(enc, p.req)
+		enc.Bool(p.needWait)
+		enc.U32(p.lo)
+		enc.U32(p.hi)
+	}
+	l.part.saveState(enc)
+	enc.U64(l.stats.Hits)
+	enc.U64(l.stats.Misses)
+	enc.U64(l.stats.WBAllocates)
+	enc.U64(l.stats.Refills)
+	enc.U64(l.stats.Writebacks)
+	enc.U64(l.stats.BackInvalidations)
+	enc.U64(l.stats.DirtyMerges)
+	enc.U64(l.stats.Bypassed)
+	enc.U64(l.stats.Errors)
+	for _, d := range l.downs {
+		d.SaveState(enc)
+	}
+}
+
+// RestoreState implements snapshot.Restorer. Geometry (sets, ways, port
+// count, MSHR capacity) must match the rebuilt L2 exactly.
+func (l *L2) RestoreState(dec *snapshot.Decoder) error {
+	nsets := dec.Int()
+	nways := dec.Int()
+	nups := dec.Int()
+	nmshr := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	ways := 0
+	if len(l.sets) > 0 {
+		ways = len(l.sets[0])
+	}
+	if nsets != len(l.sets) || nways != ways || nups != len(l.ups) || nmshr > l.cfg.MSHRs {
+		return fmt.Errorf("%s geometry mismatch: snapshot has sets=%d ways=%d ports=%d mshrs=%d, system has sets=%d ways=%d ports=%d mshr capacity %d",
+			l.name, nsets, nways, nups, nmshr, len(l.sets), ways, len(l.ups), l.cfg.MSHRs)
+	}
+	l.useClock = dec.U64()
+	for si := range l.sets {
+		for wi := range l.sets[si] {
+			ln := &l.sets[si][wi]
+			ln.state = State(dec.U8())
+			ln.sm = dec.Int()
+			ln.base = dec.U32()
+			ln.used = dec.U64()
+			data := dec.Bytes32()
+			if dec.Err() != nil {
+				return dec.Err()
+			}
+			if len(data) != len(ln.data) {
+				return fmt.Errorf("%s: line size mismatch: snapshot has %d bytes, system has %d", l.name, len(data), len(ln.data))
+			}
+			copy(ln.data, data)
+		}
+	}
+	l.mshrs = l.mshrs[:0]
+	for i := 0; i < nmshr; i++ {
+		m := &l2mshr{}
+		m.sm = dec.Int()
+		m.base = dec.U32()
+		m.set = dec.Int()
+		m.way = dec.Int()
+		m.issued = dec.Bool()
+		m.tag = bus.Tag(dec.U64())
+		for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+			tag := bus.Tag(dec.U64())
+			m.waiters = append(m.waiters, waiter{tag: tag, req: bus.DecodeRequest(dec)})
+		}
+		l.mshrs = append(l.mshrs, m)
+	}
+	for i := range l.downs {
+		l.wbq[i] = nil
+		for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+			l.wbq[i] = append(l.wbq[i], decodeWB(dec))
+		}
+		l.wbInflight[i] = make(map[bus.Tag]*wbEntry)
+		for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+			tag := bus.Tag(dec.U64())
+			l.wbInflight[i][tag] = decodeWB(dec)
+		}
+		l.fwd[i] = make(map[bus.Tag]bus.Tag)
+		for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
+			down := bus.Tag(dec.U64())
+			l.fwd[i][down] = bus.Tag(dec.U64())
+		}
+	}
+	for i := range l.ups {
+		l.pending[i] = nil
+		if dec.Bool() {
+			p := &l2bypass{}
+			p.upTag = bus.Tag(dec.U64())
+			p.req = bus.DecodeRequest(dec)
+			p.needWait = dec.Bool()
+			p.lo = dec.U32()
+			p.hi = dec.U32()
+			l.pending[i] = p
+		}
+	}
+	if err := l.part.restoreState(dec); err != nil {
+		return fmt.Errorf("%s partitioner: %w", l.name, err)
+	}
+	l.stats.Hits = dec.U64()
+	l.stats.Misses = dec.U64()
+	l.stats.WBAllocates = dec.U64()
+	l.stats.Refills = dec.U64()
+	l.stats.Writebacks = dec.U64()
+	l.stats.BackInvalidations = dec.U64()
+	l.stats.DirtyMerges = dec.U64()
+	l.stats.Bypassed = dec.U64()
+	l.stats.Errors = dec.U64()
+	for i, d := range l.downs {
+		if err := d.RestoreState(dec); err != nil {
+			return fmt.Errorf("%s down port %d: %w", l.name, i, err)
+		}
+	}
+	return dec.Finish()
+}
+
+// saveState appends the partitioner's dynamic state: masks, the
+// repartition schedule position, and each UMON's shadow directory.
+func (p *partitioner) saveState(enc *snapshot.Encoder) {
+	enc.U8(uint8(p.kind))
+	enc.U32(uint32(len(p.masks)))
+	for _, m := range p.masks {
+		enc.U64(m)
+	}
+	enc.U64(p.count)
+	enc.U64(p.repartitions)
+	enc.Int(len(p.umons))
+	for _, u := range p.umons {
+		enc.U64(u.clock)
+		for _, h := range u.hits {
+			enc.U64(h)
+		}
+		for s := range u.tags {
+			for w := range u.tags[s] {
+				e := &u.tags[s][w]
+				enc.Bool(e.valid)
+				enc.Int(e.sm)
+				enc.U32(e.base)
+				enc.U64(e.used)
+			}
+		}
+	}
+}
+
+func (p *partitioner) restoreState(dec *snapshot.Decoder) error {
+	kind := PartitionKind(dec.U8())
+	nmasks := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if kind != p.kind || nmasks != len(p.masks) {
+		return fmt.Errorf("policy mismatch: snapshot has kind=%d masks=%d, system has kind=%d masks=%d",
+			kind, nmasks, p.kind, len(p.masks))
+	}
+	for i := range p.masks {
+		p.masks[i] = dec.U64()
+	}
+	p.count = dec.U64()
+	p.repartitions = dec.U64()
+	numon := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if numon != len(p.umons) {
+		return fmt.Errorf("UMON count mismatch: snapshot has %d, system has %d", numon, len(p.umons))
+	}
+	for _, u := range p.umons {
+		u.clock = dec.U64()
+		for i := range u.hits {
+			u.hits[i] = dec.U64()
+		}
+		for s := range u.tags {
+			for w := range u.tags[s] {
+				e := &u.tags[s][w]
+				e.valid = dec.Bool()
+				e.sm = dec.Int()
+				e.base = dec.U32()
+				e.used = dec.U64()
+			}
+		}
+	}
+	return dec.Err()
+}

@@ -1,0 +1,349 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/smapi"
+)
+
+// l2rig is a hand-wired two-level system: n Procs behind private L1s on
+// a snooping bus whose slave port feeds a shared L2, which fronts one
+// static RAM over a private in-order link — the same topology
+// config.Build produces, minus the config package (it imports this
+// one).
+type l2rig struct {
+	k      *sim.Kernel
+	ram    *mem.StaticRAM
+	l2     *L2
+	caches []*Cache
+	procs  []*smapi.Proc
+	dom    *Domain
+}
+
+func buildL2Rig(t *testing.T, l1cfg Config, l2cfg L2Config, ramBytes uint32, split bool, tasks ...smapi.Task) *l2rig {
+	t.Helper()
+	k := sim.New()
+	if l2cfg.MSHRs <= 0 {
+		l2cfg.MSHRs = 8
+	}
+	// The L2's up port is the interconnect's slave port; it must be OOO
+	// so L2 hits complete under outstanding misses.
+	up := bus.NewPort(k, "s0", bus.PortConfig{Depth: 4, OutOfOrder: true})
+	md := bus.NewPort(k, "md0", bus.PortConfig{Depth: l2cfg.MSHRs + 2})
+	r := &l2rig{k: k, ram: mem.NewStaticRAM(k, mem.Config{Name: "ram", Size: ramBytes, Delays: mem.DefaultDelays()}, md)}
+	r.dom = NewDomain()
+	var downs, wbs []*bus.Port
+	n := len(tasks)
+	for i, task := range tasks {
+		mup := bus.NewPort(k, fmt.Sprintf("m%d", i), bus.PortConfig{Depth: 4})
+		down := bus.NewPort(k, fmt.Sprintf("c%d", i), bus.PortConfig{Depth: 8, OutOfOrder: true})
+		wb := bus.NewPort(k, fmt.Sprintf("w%d", i), bus.PortConfig{Depth: 4, OutOfOrder: true})
+		c, err := New(k, l1cfg, mup, down, wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.dom.Attach(c, i, n+i)
+		r.caches = append(r.caches, c)
+		downs = append(downs, down)
+		wbs = append(wbs, wb)
+		r.procs = append(r.procs, smapi.NewProc(k, fmt.Sprintf("pe%d", i), i, mup, task))
+	}
+	l2cfg.Masters = n
+	l2, err := NewL2(k, l2cfg, []*bus.Port{up}, []*bus.Port{md})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.AttachL1s(r.dom); err != nil {
+		t.Fatal(err)
+	}
+	r.l2 = l2
+	b := bus.NewBus(k, "bus", append(downs, wbs...), []*bus.Port{up}, bus.NewRoundRobin())
+	b.Snoop = r.dom
+	if split {
+		b.Split = true
+		b.RespArb = bus.NewRoundRobin()
+	}
+	return r
+}
+
+func (r *l2rig) run(t *testing.T) {
+	t.Helper()
+	done := func() bool {
+		for _, p := range r.procs {
+			if !p.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := r.k.RunUntil(done, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drain runs the two-phase flush: L1 dirty data lands in the L2 first,
+// then the L2's dirty lines land in memory.
+func (r *l2rig) drain(t *testing.T) {
+	t.Helper()
+	for _, c := range r.caches {
+		c.FlushAll()
+	}
+	l1Idle := func() bool {
+		for _, c := range r.caches {
+			if !c.Idle() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := r.k.RunUntil(l1Idle, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r.l2.FlushAll()
+	if _, err := r.k.RunUntil(func() bool { return l1Idle() && r.l2.Idle() }, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *l2rig) peek32(addr uint32) uint32 {
+	return uint32(r.ram.Peek(addr)) | uint32(r.ram.Peek(addr+1))<<8 |
+		uint32(r.ram.Peek(addr+2))<<16 | uint32(r.ram.Peek(addr+3))<<24
+}
+
+// checkInvariants wires per-cycle inclusion + MESI checks into the
+// kernel.
+func (r *l2rig) checkInvariants() {
+	r.k.AfterCycle(func(cycle uint64) {
+		if err := CheckExclusivity(r.caches); err != nil {
+			r.k.Fault(fmt.Errorf("cycle %d: %w", cycle, err))
+		}
+		if err := CheckInclusion(r.l2, r.caches); err != nil {
+			r.k.Fault(fmt.Errorf("cycle %d: %w", cycle, err))
+		}
+	})
+}
+
+// TestL2HitServesL1Misses: a working set that thrashes a tiny L1 but
+// fits the L2 is re-fetched from the L2 on the second pass — memory
+// sees each line read once.
+func TestL2HitServesL1Misses(t *testing.T) {
+	const words = 64 // 256 bytes: 8 L1 lines through a 2-line L1, 4 L2 lines
+	r := buildL2Rig(t,
+		Config{Sets: 2, Ways: 1},
+		L2Config{Sets: 4, Ways: 4, LineBytes: 64},
+		4096, false,
+		func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			for pass := 0; pass < 3; pass++ {
+				for i := uint32(0); i < words; i++ {
+					if _, code := m.ReadAs(4*i, bus.U32); code != bus.OK {
+						panic(code)
+					}
+				}
+			}
+		})
+	r.checkInvariants()
+	r.run(t)
+	st := r.l2.Stats()
+	if st.Hits == 0 {
+		t.Errorf("L2 never hit: %+v", st)
+	}
+	// Memory refills only the 4 cold L2 lines; every later L1 refill is
+	// an L2 hit.
+	if got := r.ram.Stats().Ops[bus.OpReadBurst]; got != 4 {
+		t.Errorf("memory served %d line reads, want 4 (everything else L2 hits)", got)
+	}
+	if st.Misses != 4 {
+		t.Errorf("L2 misses = %d, want 4", st.Misses)
+	}
+}
+
+// TestL2InclusionBackInvalidation: the L2's reach (1 set × 2 ways) is
+// smaller than the combined L1 reach, so L2 victims are lines the L1s
+// still hold dirty — every eviction must back-invalidate live L1 copies
+// and merge their Modified data into the victim. The per-cycle
+// inclusion invariant must hold throughout and the drained image must
+// be exact.
+func TestL2InclusionBackInvalidation(t *testing.T) {
+	const passes = 8
+	// Four 64-byte L2 lines, all mapping to the single L2 set; PE0 owns
+	// lines 0 and 128, PE1 owns 64 and 192. Each PE's four 32-byte L1
+	// lines spread over both L1 sets and fit its 2×2 L1 exactly, so the
+	// L1s retain everything while the L2 thrashes.
+	task := func(id uint32) smapi.Task {
+		return func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			for pass := uint32(1); pass <= passes; pass++ {
+				for _, base := range []uint32{id * 64, 128 + id*64} {
+					for off := uint32(0); off < 64; off += 4 {
+						if code := m.WriteAs(base+off, id<<28|pass<<16|(base+off), bus.U32); code != bus.OK {
+							panic(code)
+						}
+					}
+					if v, code := m.ReadAs(base, bus.U32); code != bus.OK || v != id<<28|pass<<16|base {
+						panic(fmt.Sprintf("pe%d lost own write at %#x: %#x/%v", id, base, v, code))
+					}
+				}
+			}
+		}
+	}
+	for _, split := range []bool{false, true} {
+		r := buildL2Rig(t,
+			Config{Sets: 2, Ways: 2},
+			L2Config{Sets: 1, Ways: 2, LineBytes: 64},
+			2048, split, task(0), task(1))
+		r.checkInvariants()
+		r.run(t)
+		r.drain(t)
+		st := r.l2.Stats()
+		if st.BackInvalidations == 0 {
+			t.Errorf("split=%v: no back-invalidations despite L2 capacity pressure: %+v", split, st)
+		}
+		if st.DirtyMerges == 0 {
+			t.Errorf("split=%v: no dirty L1 data merged into L2 victims: %+v", split, st)
+		}
+		var l1back uint64
+		for _, c := range r.caches {
+			l1back += c.Stats().BackInvalidations
+		}
+		if l1back == 0 {
+			t.Errorf("split=%v: L1s report no back-invalidated lines", split)
+		}
+		for addr := uint32(0); addr < 256; addr += 4 {
+			id := (addr / 64) % 2
+			want := id<<28 | uint32(passes)<<16 | addr
+			if got := r.peek32(addr); got != want {
+				t.Fatalf("split=%v: addr %#x = %#x after drain, want %#x", split, addr, got, want)
+			}
+		}
+	}
+}
+
+// TestL2SWPCapacity: a single master restricted to one way of a
+// two-way L2 loses exactly the capacity the mask takes away — the
+// partition constrains victim selection, not correctness.
+func TestL2SWPCapacity(t *testing.T) {
+	workload := func(ctx *smapi.Ctx) {
+		m := ctx.Mem(0)
+		// Two lines of one L2 set (64B lines, 2 sets: stride 128).
+		for pass := 0; pass < 8; pass++ {
+			for _, addr := range []uint32{0, 128} {
+				if _, code := m.ReadAs(addr, bus.U32); code != bus.OK {
+					panic(code)
+				}
+			}
+		}
+	}
+	misses := func(masks []uint64) uint64 {
+		cfg := L2Config{Sets: 2, Ways: 2, LineBytes: 64}
+		if masks != nil {
+			cfg.Partition = PartSWP
+			cfg.SWPMasks = masks
+		}
+		// L1 too small to hold both lines (they map to the same L1 set).
+		r := buildL2Rig(t, Config{Sets: 4, Ways: 1}, cfg, 4096, false, workload)
+		r.checkInvariants()
+		r.run(t)
+		return r.l2.Stats().Misses
+	}
+	free := misses(nil)
+	boxed := misses([]uint64{0x1})
+	if free != 2 {
+		t.Errorf("unpartitioned misses = %d, want 2 (both lines fit)", free)
+	}
+	if boxed <= free {
+		t.Errorf("one-way partition misses = %d, want thrash (> %d)", boxed, free)
+	}
+}
+
+// TestL2WritebackOrdering: dirty L2 victims reach memory before the
+// refill that displaced them re-reads the line — the in-order down
+// link plus the unissued-writeback holdback make write-before-read
+// structural. Detected end-to-end: every value survives a thrashing
+// read-modify-write workload.
+func TestL2WritebackOrdering(t *testing.T) {
+	const span = uint32(512) // 8 L2 lines through a 2-line L2
+	r := buildL2Rig(t,
+		Config{Sets: 2, Ways: 1},
+		L2Config{Sets: 1, Ways: 2, LineBytes: 64},
+		2048, false,
+		func(ctx *smapi.Ctx) {
+			m := ctx.Mem(0)
+			for pass := 0; pass < 4; pass++ {
+				for w := uint32(0); w < span/4; w++ {
+					v, code := m.ReadAs(4*w, bus.U32)
+					if code != bus.OK {
+						panic(code)
+					}
+					if v != uint32(pass)*(w+1) {
+						panic(fmt.Sprintf("pass %d word %d = %#x, want %#x (stale read after eviction)",
+							pass, w, v, uint32(pass)*(w+1)))
+					}
+					if code := m.WriteAs(4*w, v+w+1, bus.U32); code != bus.OK {
+						panic(code)
+					}
+				}
+			}
+		})
+	r.checkInvariants()
+	r.run(t)
+	r.drain(t)
+	if wb := r.l2.Stats().Writebacks; wb == 0 {
+		t.Fatal("no L2 writebacks despite dirty evictions")
+	}
+	for w := uint32(0); w < span/4; w++ {
+		if got := r.peek32(4 * w); got != 4*(w+1) {
+			t.Fatalf("word %d = %#x, want %#x", w, got, 4*(w+1))
+		}
+	}
+}
+
+// TestL2UCPRecovery: a streaming thrasher and a reuse-heavy loop share
+// a small L2. The loop's reuse distance (12 lines — 3 per L2 set) is
+// short enough that 3 dedicated ways hold it entirely, but long enough
+// that under shared LRU the stream's insertions push every loop line
+// out before its next touch. UCP's utility monitors see the stream
+// gains nothing from more ways while the loop saturates at 3, wall the
+// stream into one way, and recover the loop's hits.
+func TestL2UCPRecovery(t *testing.T) {
+	hits := func(part PartitionKind) (uint64, uint64) {
+		cfg := L2Config{Sets: 4, Ways: 4, LineBytes: 64, Partition: part, UCPPeriod: 256}
+		r := buildL2Rig(t,
+			Config{Sets: 2, Ways: 1},
+			cfg,
+			8192, true,
+			func(ctx *smapi.Ctx) { // thrasher: streams 64 lines, 16 per set
+				m := ctx.Mem(0)
+				for pass := 0; pass < 12; pass++ {
+					for addr := uint32(4096); addr < 8192; addr += 64 {
+						if _, code := m.ReadAs(addr, bus.U32); code != bus.OK {
+							panic(code)
+						}
+					}
+				}
+			},
+			func(ctx *smapi.Ctx) { // reuse: loops over 12 lines (3 per set)
+				m := ctx.Mem(0)
+				for i := 0; i < 720; i++ {
+					if _, code := m.ReadAs(uint32(i%12)*64, bus.U32); code != bus.OK {
+						panic(code)
+					}
+				}
+			})
+		r.checkInvariants()
+		r.run(t)
+		return r.l2.Stats().Hits, r.l2.Stats().Misses
+	}
+	lruHits, lruMiss := hits(PartNone)
+	ucpHits, ucpMiss := hits(PartUCP)
+	// The total traffic is identical; UCP must convert misses to hits —
+	// by a wide margin, not a rounding error.
+	if ucpHits < 2*lruHits+100 {
+		t.Errorf("UCP hits = %d (misses %d), LRU hits = %d (misses %d): no recovery",
+			ucpHits, ucpMiss, lruHits, lruMiss)
+	}
+}

@@ -69,6 +69,7 @@ func (c *Cache) SaveState(enc *snapshot.Encoder) {
 		enc.Bool(m.issued)
 		enc.Bool(m.granted)
 		enc.Bool(m.shared)
+		enc.Bool(m.killed)
 		enc.U64(uint64(m.tag))
 		enc.U32(uint32(len(m.waiters)))
 		for _, w := range m.waiters {
@@ -111,6 +112,8 @@ func (c *Cache) SaveState(enc *snapshot.Encoder) {
 	enc.U64(c.stats.SnoopDowngrades)
 	enc.U64(c.stats.Bypassed)
 	enc.U64(c.stats.Errors)
+	enc.U64(c.stats.BackInvalidations)
+	enc.U64(c.stats.KilledRefills)
 	c.wb.SaveState(enc)
 }
 
@@ -127,9 +130,9 @@ func (c *Cache) RestoreState(dec *snapshot.Decoder) error {
 	if len(c.sets) > 0 {
 		ways = len(c.sets[0])
 	}
-	if nsets != len(c.sets) || nways != ways || nmshr != len(c.mshrs) {
-		return fmt.Errorf("cache %s geometry mismatch: snapshot has sets=%d ways=%d mshrs=%d, system has sets=%d ways=%d mshrs=%d",
-			c.name, nsets, nways, nmshr, len(c.sets), ways, len(c.mshrs))
+	if nsets != len(c.sets) || nways != ways || nmshr > c.cfg.MSHRs {
+		return fmt.Errorf("cache %s geometry mismatch: snapshot has sets=%d ways=%d mshrs=%d, system has sets=%d ways=%d mshr capacity %d",
+			c.name, nsets, nways, nmshr, len(c.sets), ways, c.cfg.MSHRs)
 	}
 	c.useClock = dec.U64()
 	for si := range c.sets {
@@ -149,9 +152,11 @@ func (c *Cache) RestoreState(dec *snapshot.Decoder) error {
 			copy(l.data, data)
 		}
 	}
-	for i := range c.mshrs {
+	// The snapshot holds the live MSHRs; the freshly built cache has
+	// none, so rebuild the slice (capacity was validated above).
+	c.mshrs = c.mshrs[:0]
+	for i := 0; i < nmshr; i++ {
 		if !dec.Bool() {
-			c.mshrs[i] = nil
 			continue
 		}
 		m := &mshr{}
@@ -163,12 +168,13 @@ func (c *Cache) RestoreState(dec *snapshot.Decoder) error {
 		m.issued = dec.Bool()
 		m.granted = dec.Bool()
 		m.shared = dec.Bool()
+		m.killed = dec.Bool()
 		m.tag = bus.Tag(dec.U64())
 		for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
 			tag := bus.Tag(dec.U64())
 			m.waiters = append(m.waiters, waiter{tag: tag, req: bus.DecodeRequest(dec)})
 		}
-		c.mshrs[i] = m
+		c.mshrs = append(c.mshrs, m)
 	}
 	c.wbq = nil
 	for n := dec.U32(); n > 0 && dec.Err() == nil; n-- {
@@ -205,6 +211,8 @@ func (c *Cache) RestoreState(dec *snapshot.Decoder) error {
 	c.stats.SnoopDowngrades = dec.U64()
 	c.stats.Bypassed = dec.U64()
 	c.stats.Errors = dec.U64()
+	c.stats.BackInvalidations = dec.U64()
+	c.stats.KilledRefills = dec.U64()
 	if err := c.wb.RestoreState(dec); err != nil {
 		return fmt.Errorf("cache %s writeback port: %w", c.name, err)
 	}

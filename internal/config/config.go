@@ -25,6 +25,10 @@ const (
 	MemStatic
 	// MemHeapSim is the detailed in-simulation allocator model.
 	MemHeapSim
+	// MemDRAM is the banked DRAM timing model: flat static-table
+	// semantics with open-/close-page row timing, bank interleaving and
+	// periodic refresh (see internal/mem DRAM). Cacheable like MemStatic.
+	MemDRAM
 )
 
 // String names the kind for reports.
@@ -36,6 +40,8 @@ func (k MemKind) String() string {
 		return "static"
 	case MemHeapSim:
 		return "heapsim"
+	case MemDRAM:
+		return "dram"
 	default:
 		return fmt.Sprintf("MemKind(%d)", int(k))
 	}
@@ -107,6 +113,41 @@ type SystemConfig struct {
 	CacheSets, CacheWays int
 	CacheLineBytes       uint32
 	CacheMSHRs           int
+	// L2 inserts a shared, inclusive, set-associative L2 cache between
+	// the interconnect and the memories (see internal/cache L2): the
+	// interconnect's slave ports become the L2's upstream face and every
+	// memory moves behind a private in-order link. Requires Coherent —
+	// inclusion is enforced by back-invalidating the L1 domain — and a
+	// cacheable memory kind (MemStatic or MemDRAM). Off by default.
+	L2 bool
+	// L2Sets, L2Ways, L2LineBytes and L2MSHRs override the L2 geometry
+	// (zero values select the cache package defaults: 64 sets × 8 ways ×
+	// 64-byte lines, 8 MSHRs). L2LineBytes must be a multiple of the L1
+	// line size.
+	L2Sets, L2Ways int
+	L2LineBytes    uint32
+	L2MSHRs        int
+	// Partition selects the L2 way-partitioning policy: PartNone (plain
+	// shared LRU), PartSWP (static way masks) or PartUCP (utility-based
+	// repartitioning driven by per-master shadow-tag monitors).
+	Partition cache.PartitionKind
+	// L2SWPMasks overrides the static per-master way masks (PartSWP
+	// only; nil → contiguous equal split).
+	L2SWPMasks []uint64
+	// UCPPeriod is the number of demand accesses between UCP
+	// repartitions (0 → cache package default).
+	UCPPeriod uint64
+	// DRAMBanks, DRAMRowBytes, DRAMClosePage, DRAMRefreshPeriod and
+	// DRAMRefreshCycles configure the MemDRAM model (zero values select
+	// the mem package defaults; refresh off unless both refresh knobs
+	// are set).
+	DRAMBanks         int
+	DRAMRowBytes      uint32
+	DRAMClosePage     bool
+	DRAMRefreshPeriod uint64
+	DRAMRefreshCycles uint32
+	// DRAMTiming overrides the row timing (nil → DefaultDRAMTiming).
+	DRAMTiming *mem.DRAMTiming
 	// WrapperDelays overrides the wrapper timing (nil → DefaultDelays).
 	WrapperDelays *core.DelayParams
 	// StaticDelays overrides static RAM timing (nil → DefaultDelays).
@@ -174,9 +215,15 @@ type System struct {
 	CachePorts []*bus.Port
 	Domain     *cache.Domain
 
+	// L2 is the shared inclusive second-level cache (nil unless
+	// SystemConfig.L2); its private memory-side links are embedded in
+	// its own snapshot section, like the L1 writeback ports.
+	L2 *cache.L2
+
 	Wrappers []*core.Wrapper
 	Statics  []*mem.StaticRAM
 	Heaps    []*heapsim.HeapMem
+	DRAMs    []*mem.DRAM
 
 	Procs []*smapi.Proc
 	CPUs  []*iss.CPU
@@ -204,6 +251,14 @@ func Build(cfg SystemConfig) (*System, error) {
 	if cfg.OutstandingDepth < 0 {
 		return nil, fmt.Errorf("config: negative OutstandingDepth %d", cfg.OutstandingDepth)
 	}
+	if cfg.L2 {
+		if !cfg.Coherent {
+			return nil, fmt.Errorf("config: L2 requires Coherent (inclusion back-invalidates the L1 snoop domain)")
+		}
+		if cfg.MemKind != MemStatic && cfg.MemKind != MemDRAM {
+			return nil, fmt.Errorf("config: L2 requires a cacheable memory kind (static or dram), got %s", cfg.MemKind)
+		}
+	}
 	k := sim.New()
 	k.SetLockstep(cfg.Lockstep)
 	if cfg.Workers != 0 {
@@ -215,11 +270,28 @@ func Build(cfg SystemConfig) (*System, error) {
 	for i := 0; i < cfg.Masters; i++ {
 		sys.MasterPorts = append(sys.MasterPorts, bus.NewPort(k, fmt.Sprintf("m%d", i), portCfg))
 	}
+	l2mshrs := cfg.L2MSHRs
+	if l2mshrs <= 0 {
+		l2mshrs = 8
+	}
+	var memPorts []*bus.Port // L2 → memory links (nil without L2)
 	for i := 0; i < cfg.Memories; i++ {
 		// Slave-side ports always deliver in order: the interconnect is
-		// their only consumer and memory FSMs complete FIFO anyway.
-		link := bus.NewPort(k, fmt.Sprintf("s%d", i), bus.PortConfig{Depth: cfg.OutstandingDepth})
+		// their only consumer and memory FSMs complete FIFO anyway. With
+		// an L2 interposed the slave port becomes the L2's upstream face
+		// and must deliver out of order so hits complete under
+		// outstanding misses.
+		link := bus.NewPort(k, fmt.Sprintf("s%d", i), bus.PortConfig{
+			Depth: cfg.OutstandingDepth, OutOfOrder: cfg.L2,
+		})
 		sys.SlavePorts = append(sys.SlavePorts, link)
+		memLink := link
+		if cfg.L2 {
+			// The memory's private in-order link: FIFO position is what
+			// orders L2 writebacks before the refills that displaced them.
+			memLink = bus.NewPort(k, fmt.Sprintf("md%d", i), bus.PortConfig{Depth: l2mshrs + 2})
+			memPorts = append(memPorts, memLink)
+		}
 		name := fmt.Sprintf("%s%d", cfg.MemKind, i)
 		switch cfg.MemKind {
 		case MemWrapper:
@@ -235,7 +307,7 @@ func Build(cfg SystemConfig) (*System, error) {
 				LinearLookup:           cfg.LinearLookup,
 				EnforceReadReservation: cfg.EnforceReadReservation,
 				Policy:                 cfg.AllocPolicy,
-			}, link)
+			}, memLink)
 			if err != nil {
 				return nil, fmt.Errorf("config: %s: %w", name, err)
 			}
@@ -245,8 +317,24 @@ func Build(cfg SystemConfig) (*System, error) {
 			if cfg.StaticDelays != nil {
 				delays = *cfg.StaticDelays
 			}
-			r := mem.NewStaticRAM(k, mem.Config{Name: name, Size: cfg.MemBytes, Delays: delays}, link)
+			r := mem.NewStaticRAM(k, mem.Config{Name: name, Size: cfg.MemBytes, Delays: delays}, memLink)
 			sys.Statics = append(sys.Statics, r)
+		case MemDRAM:
+			timing := mem.DefaultDRAMTiming()
+			if cfg.DRAMTiming != nil {
+				timing = *cfg.DRAMTiming
+			}
+			d, err := mem.NewDRAMOn(k, mem.DRAMConfig{
+				Name: name, Size: cfg.MemBytes,
+				Banks: cfg.DRAMBanks, RowBytes: cfg.DRAMRowBytes,
+				ClosePage: cfg.DRAMClosePage, Timing: timing,
+				RefreshPeriod: cfg.DRAMRefreshPeriod,
+				RefreshCycles: cfg.DRAMRefreshCycles,
+			}, memLink)
+			if err != nil {
+				return nil, fmt.Errorf("config: %s: %w", name, err)
+			}
+			sys.DRAMs = append(sys.DRAMs, d)
 		case MemHeapSim:
 			h, err := heapsim.NewHeapMem(k, heapsim.Config{
 				Name:        name,
@@ -257,7 +345,7 @@ func Build(cfg SystemConfig) (*System, error) {
 				Read:        1,
 				Write:       1,
 				BurstBase:   1, BurstPerElem: 1,
-			}, link)
+			}, memLink)
 			if err != nil {
 				return nil, fmt.Errorf("config: %s: %w", name, err)
 			}
@@ -275,18 +363,19 @@ func Build(cfg SystemConfig) (*System, error) {
 		if cacheLine == 0 {
 			cacheLine = 32
 		}
-		if cfg.MemKind == MemStatic && cfg.MemBytes%cacheLine != 0 {
+		flatMem := cfg.MemKind == MemStatic || cfg.MemKind == MemDRAM
+		if flatMem && cfg.MemBytes%cacheLine != 0 {
 			return nil, fmt.Errorf("config: MemBytes %d not a multiple of the %d-byte cache line", cfg.MemBytes, cacheLine)
 		}
 		mshrs := cfg.CacheMSHRs
 		if mshrs <= 0 {
 			mshrs = 4
 		}
-		// Only the flat-addressed static table memory is cacheable: line
-		// refills are whole-line typed bursts, which the wrapper and
-		// heapsim interpret per allocation.
+		// Only the flat-addressed table memories (static, DRAM) are
+		// cacheable: line refills are whole-line typed bursts, which the
+		// wrapper and heapsim interpret per allocation.
 		var cacheable func(sm int) bool
-		if cfg.MemKind != MemStatic {
+		if !flatMem {
 			cacheable = func(int) bool { return false }
 		}
 		if cfg.Coherent {
@@ -326,6 +415,24 @@ func Build(cfg SystemConfig) (*System, error) {
 		interMasters = append(append([]*bus.Port(nil), sys.CachePorts...), wbPorts...)
 	}
 
+	if cfg.L2 {
+		l2, err := cache.NewL2(k, cache.L2Config{
+			Name: "l2",
+			Sets: cfg.L2Sets, Ways: cfg.L2Ways,
+			LineBytes: cfg.L2LineBytes, MSHRs: l2mshrs,
+			Masters:   cfg.Masters,
+			Partition: cfg.Partition, SWPMasks: cfg.L2SWPMasks,
+			UCPPeriod: cfg.UCPPeriod,
+		}, sys.SlavePorts, memPorts)
+		if err != nil {
+			return nil, fmt.Errorf("config: l2: %w", err)
+		}
+		if err := l2.AttachL1s(sys.Domain); err != nil {
+			return nil, fmt.Errorf("config: l2: %w", err)
+		}
+		sys.L2 = l2
+	}
+
 	newArb := func() bus.Arbiter {
 		if cfg.FixedPriority {
 			return bus.NewFixedPriority()
@@ -362,24 +469,64 @@ func Build(cfg SystemConfig) (*System, error) {
 	return sys, nil
 }
 
-// CachesSynced reports whether every cache has drained its dirty state
-// (see cache.Cache.Synced); trivially true without caches.
+// CachesSynced reports whether every cache level has drained its dirty
+// state (see cache.Cache.Synced / cache.L2.Synced); trivially true
+// without caches.
 func (s *System) CachesSynced() bool {
 	for _, c := range s.Caches {
 		if !c.Synced() {
 			return false
 		}
 	}
-	return true
+	return s.L2 == nil || s.L2.Synced()
 }
 
-// FlushCaches queues writebacks for every dirty line of every cache.
-// Call between kernel steps, then run until CachesSynced before
-// inspecting memory contents host-side.
+// FlushCaches queues writebacks for every dirty L1 line. Call between
+// kernel steps, then run until CachesSynced before inspecting memory
+// contents host-side. With an L2 the drain is multi-phase — dirty L1
+// data must land in the L2 before the L2 flushes — so use DrainCaches
+// instead.
 func (s *System) FlushCaches() {
 	for _, c := range s.Caches {
 		c.FlushAll()
 	}
+}
+
+// DrainCaches flushes the whole hierarchy to memory: L1 dirty lines
+// land in the L2 (or memory) first, then the L2's dirty lines land in
+// memory. limit bounds each phase's cycles. After a successful return
+// CachesSynced holds and the flat memory image is authoritative.
+func (s *System) DrainCaches(limit uint64) error {
+	// Each phase guards its predicate before running: with the predicate
+	// already true, the event-driven scheduler would skip the whole
+	// budget before checking it, leaving the final cycle count dependent
+	// on the scheduler mode.
+	if len(s.Caches) > 0 {
+		s.FlushCaches()
+		l1Idle := func() bool {
+			for _, c := range s.Caches {
+				if !c.Idle() {
+					return false
+				}
+			}
+			return true
+		}
+		if !l1Idle() {
+			if _, err := s.Kernel.RunUntil(l1Idle, limit); err != nil {
+				return fmt.Errorf("config: L1 drain: %w", err)
+			}
+		}
+	}
+	if s.L2 != nil {
+		s.L2.FlushAll()
+		drained := func() bool { return s.CachesSynced() && s.L2.Idle() }
+		if !drained() {
+			if _, err := s.Kernel.RunUntil(drained, limit); err != nil {
+				return fmt.Errorf("config: L2 drain: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // attached returns the number of master ports already claimed by Procs

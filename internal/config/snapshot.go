@@ -50,9 +50,14 @@ func (c SystemConfig) hash(normalize bool) string {
 	if c.StaticDelays != nil {
 		sd = *c.StaticDelays
 	}
-	n.WrapperDelays, n.StaticDelays = nil, nil
+	var dt mem.DRAMTiming
+	if c.DRAMTiming != nil {
+		dt = *c.DRAMTiming
+	}
+	n.WrapperDelays, n.StaticDelays, n.DRAMTiming = nil, nil, nil
 	h := sha256.New()
-	fmt.Fprintf(h, "%+v|wd:%v:%+v|sd:%v:%+v", n, c.WrapperDelays != nil, wd, c.StaticDelays != nil, sd)
+	fmt.Fprintf(h, "%+v|wd:%v:%+v|sd:%v:%+v|dt:%v:%+v", n,
+		c.WrapperDelays != nil, wd, c.StaticDelays != nil, sd, c.DRAMTiming != nil, dt)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 

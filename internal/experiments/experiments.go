@@ -56,6 +56,18 @@ type Options struct {
 	// config.SystemConfig.Cache/Coherent). The E11 experiment sweeps
 	// cached versus uncached regardless.
 	Cache bool
+	// L2 inserts the shared inclusive L2 between interconnect and
+	// memories (implies Cache; see config.SystemConfig.L2). The E12
+	// experiment sweeps its partition policies regardless.
+	L2 bool
+	// Partition selects the L2 way-partitioning policy (PartNone,
+	// PartSWP, PartUCP; meaningful only with L2).
+	Partition cache.PartitionKind
+	// DRAM swaps flat static memories for the banked DRAM timing model
+	// in experiments that measure cacheable flat memory (E11/E12-class
+	// runs); ClosePage selects its close-page row policy.
+	DRAM      bool
+	ClosePage bool
 	// Checkpoint, when non-empty, makes the WB experiment write its
 	// shared warm-up snapshot to this file.
 	Checkpoint string
@@ -88,6 +100,14 @@ type Mode struct {
 	Split    bool
 	OOO      bool
 	Cache    bool
+	// L2, Partition, DRAM and ClosePage select the shared-L2 hierarchy
+	// axes: unlike the scheduler knobs all four are observable — they
+	// change cycle counts — but each fixed combination stays bit
+	// identical across the scheduler matrix (TestSchedDiffL2).
+	L2        bool
+	Partition cache.PartitionKind
+	DRAM      bool
+	ClosePage bool
 	// NoBatch and NoDecodeCache disable the ISS fast paths (instruction
 	// batching, decode memoization) that built systems enable by default.
 	// Like Lockstep they are observably identical scheduler axes — the
@@ -98,18 +118,44 @@ type Mode struct {
 
 func (o Options) mode() Mode {
 	return Mode{Lockstep: o.Lockstep, Workers: o.Workers, Alloc: o.Alloc,
-		Depth: o.Depth, Split: o.Split, OOO: o.OOO, Cache: o.Cache}
+		Depth: o.Depth, Split: o.Split, OOO: o.OOO, Cache: o.Cache,
+		L2: o.L2, Partition: o.Partition, DRAM: o.DRAM, ClosePage: o.ClosePage}
 }
 
 // sysConfig translates the mode's protocol and scheduler axes into the
 // common SystemConfig fields every measured system shares.
 func (m Mode) sysConfig() config.SystemConfig {
-	return config.SystemConfig{
+	cfg := config.SystemConfig{
 		Lockstep: m.Lockstep, Workers: m.Workers, AllocPolicy: m.Alloc,
 		OutstandingDepth: m.Depth, SplitBus: m.Split, OutOfOrder: m.OOO,
 		Cache: m.Cache, Coherent: m.Cache,
 		DisableISSBatch: m.NoBatch, DisableISSDecodeCache: m.NoDecodeCache,
 	}
+	if m.L2 {
+		cfg.L2, cfg.Cache, cfg.Coherent = true, true, true
+		cfg.Partition = m.Partition
+	}
+	cfg.DRAMClosePage = m.ClosePage
+	return cfg
+}
+
+// flatKind maps the mode's DRAM axis onto the cacheable flat memory
+// kinds: the banked DRAM timing model when DRAM is set, the plain
+// static table otherwise.
+func (m Mode) flatKind() config.MemKind {
+	if m.DRAM {
+		return config.MemDRAM
+	}
+	return config.MemStatic
+}
+
+// flatPeek returns a byte-peek over the system's flat memory module sm,
+// whichever cacheable kind (static, DRAM) the mode selected.
+func flatPeek(sys *config.System, sm int) func(uint32) byte {
+	if len(sys.DRAMs) > 0 {
+		return sys.DRAMs[sm].Peek
+	}
+	return sys.Statics[sm].Peek
 }
 
 // runLimit is the cycle budget for any single measured run.
@@ -1169,11 +1215,12 @@ func (w CacheWorkload) task(p int) smapi.Task {
 
 // verify checks the final memory image against the workload's exact
 // expectation (single writer per word): every private word holds its
-// rewrite value, every shared slot its owner's last round.
-func (w CacheWorkload) verify(ram *mem.StaticRAM) error {
+// rewrite value, every shared slot its owner's last round. peek reads
+// one byte of the flat memory (static or DRAM).
+func (w CacheWorkload) verify(peek func(uint32) byte) error {
 	word := func(addr uint32) uint32 {
-		return uint32(ram.Peek(addr)) | uint32(ram.Peek(addr+1))<<8 |
-			uint32(ram.Peek(addr+2))<<16 | uint32(ram.Peek(addr+3))<<24
+		return uint32(peek(addr)) | uint32(peek(addr+1))<<8 |
+			uint32(peek(addr+2))<<16 | uint32(peek(addr+3))<<24
 	}
 	for p := 0; p < w.PEs; p++ {
 		if got, want := word(uint32(4*p)), uint32(p)<<24|uint32(w.SharedRounds); got != want {
@@ -1196,9 +1243,9 @@ func (w CacheWorkload) verify(ram *mem.StaticRAM) error {
 // for differential snapshots.
 func RunCache(w CacheWorkload, cached bool, inter config.InterconnectKind, m Mode) (CacheResult, *config.System, error) {
 	cfg := m.sysConfig()
-	cfg.Masters, cfg.Memories, cfg.MemKind = w.PEs, 1, config.MemStatic
+	cfg.Masters, cfg.Memories, cfg.MemKind = w.PEs, 1, m.flatKind()
 	cfg.MemBytes, cfg.Interconnect = w.memBytes(), inter
-	cfg.Cache, cfg.Coherent = cached, cached
+	cfg.Cache, cfg.Coherent = cached || cfg.L2, cached || cfg.L2
 	sys, err := config.Build(cfg)
 	if err != nil {
 		return CacheResult{}, nil, err
@@ -1226,11 +1273,10 @@ func RunCache(w CacheWorkload, cached bool, inter config.InterconnectKind, m Mod
 		res.Flushes += st.SnoopFlushes
 		res.Writebacks += st.Writebacks
 	}
-	sys.FlushCaches()
-	if _, err := sys.Kernel.RunUntil(sys.CachesSynced, runLimit); err != nil {
+	if err := sys.DrainCaches(runLimit); err != nil {
 		return CacheResult{}, nil, fmt.Errorf("cache drain: %w", err)
 	}
-	if err := w.verify(sys.Statics[0]); err != nil {
+	if err := w.verify(flatPeek(sys, 0)); err != nil {
 		return CacheResult{}, nil, fmt.Errorf("cached=%v: %w", cached, err)
 	}
 	return res, sys, nil
@@ -1264,6 +1310,191 @@ func E11(o Options) (*stats.Table, error) {
 		t.Add(tc.name, "on", fmt.Sprint(r.Cycles), r.Wall.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.1f%%", 100*r.HitRate()), fmt.Sprint(r.Invalidations), fmt.Sprint(r.Flushes),
 			fmt.Sprintf("%.2fx", float64(base.Cycles)/float64(r.Cycles)))
+	}
+	return t, nil
+}
+
+// E12Workload parameterizes the shared-L2 partitioning workload: two
+// PEs with asymmetric working sets over one flat memory behind the
+// inclusive L2. PE0 is a streaming thrasher (ThrashLines fresh 64-byte
+// lines per pass, Passes passes — zero reuse, so extra L2 ways buy it
+// nothing), PE1 a reuse-heavy loop over ReuseLines lines (3 per L2 set)
+// touched round-robin for Rounds rounds. The loop's reuse distance
+// exceeds what shared LRU can protect against the stream's insertions,
+// but 3 dedicated ways hold it entirely — the gap UCP recovers. The
+// reuse PE read-modify-writes its line heads (single writer per word),
+// so the post-drain memory image is exact and schedule-independent.
+type E12Workload struct {
+	ThrashLines, Passes, ReuseLines, Rounds int
+}
+
+// E12Params returns the E12 configuration at the requested scale.
+func E12Params(o Options) E12Workload {
+	return E12Workload{ThrashLines: 64, Passes: o.pick(40, 6), ReuseLines: 12, Rounds: o.pick(1440, 240)}
+}
+
+func (w E12Workload) memBytes() uint32 { return 8192 }
+
+// thrashBase places the stream in the memory's upper half, disjoint
+// from the reuse loop's lines.
+func (w E12Workload) thrashBase() uint32 { return 4096 }
+
+func (w E12Workload) tasks() []smapi.Task {
+	thrash := func(ctx *smapi.Ctx) {
+		m := ctx.Mem(0)
+		for pass := 0; pass < w.Passes; pass++ {
+			for i := 0; i < w.ThrashLines; i++ {
+				if _, code := m.ReadAs(w.thrashBase()+uint32(64*i), bus.U32); code != bus.OK {
+					panic(code)
+				}
+			}
+		}
+	}
+	reuse := func(ctx *smapi.Ctx) {
+		m := ctx.Mem(0)
+		for r := 0; r < w.Rounds; r++ {
+			addr := uint32(r%w.ReuseLines) * 64
+			v, code := m.ReadAs(addr, bus.U32)
+			if code != bus.OK {
+				panic(code)
+			}
+			if want := uint32(r / w.ReuseLines); v != want {
+				panic(fmt.Sprintf("reuse line %#x = %#x in round %d, want %#x", addr, v, r, want))
+			}
+			if code := m.WriteAs(addr, v+1, bus.U32); code != bus.OK {
+				panic(code)
+			}
+		}
+	}
+	return []smapi.Task{thrash, reuse}
+}
+
+// verify checks the exact post-drain image: every reuse line head
+// counts its rounds, the streamed region stays zero.
+func (w E12Workload) verify(peek func(uint32) byte) error {
+	word := func(addr uint32) uint32 {
+		return uint32(peek(addr)) | uint32(peek(addr+1))<<8 |
+			uint32(peek(addr+2))<<16 | uint32(peek(addr+3))<<24
+	}
+	for i := 0; i < w.ReuseLines; i++ {
+		want := uint32(w.Rounds / w.ReuseLines)
+		if extra := w.Rounds % w.ReuseLines; i < extra {
+			want++
+		}
+		if got := word(uint32(64 * i)); got != want {
+			return fmt.Errorf("reuse line %d head = %#x, want %#x", i, got, want)
+		}
+	}
+	for i := 0; i < w.ThrashLines; i++ {
+		if got := word(w.thrashBase() + uint32(64*i)); got != 0 {
+			return fmt.Errorf("streamed line %d head = %#x, want 0", i, got)
+		}
+	}
+	return nil
+}
+
+// E12Result is one measured E12 leg.
+type E12Result struct {
+	Partition cache.PartitionKind
+	// ReuseCycles is the cycle at which the reuse-heavy PE finished its
+	// fixed work — the throughput metric UCP must recover. TotalCycles
+	// is full-system completion.
+	ReuseCycles, TotalCycles uint64
+	L2                       cache.L2Stats
+	DRAM                     mem.DRAMStats
+	Wall                     time.Duration
+}
+
+// RunE12 runs the asymmetric two-PE workload behind the shared
+// inclusive L2 under the given partition policy, in kernel mode m
+// (whose DRAM axis selects the memory model), drains the hierarchy and
+// verifies the exact final image.
+func RunE12(w E12Workload, part cache.PartitionKind, m Mode) (E12Result, *config.System, error) {
+	m.L2, m.Partition = true, part
+	cfg := m.sysConfig()
+	cfg.Masters, cfg.Memories, cfg.MemKind = 2, 1, m.flatKind()
+	cfg.MemBytes = w.memBytes()
+	// Tiny L1s so the reuse loop's traffic reaches the L2; a 4-set ×
+	// 4-way L2 whose per-set capacity the two working sets fight over.
+	cfg.CacheSets, cfg.CacheWays = 2, 1
+	cfg.L2Sets, cfg.L2Ways, cfg.L2LineBytes = 4, 4, 64
+	cfg.UCPPeriod = 128
+	if m.DRAM {
+		// Periodic refresh on, so the E12 DRAM legs (and the scheduler
+		// differential matrix over them) exercise the stall window.
+		cfg.DRAMRefreshPeriod, cfg.DRAMRefreshCycles = 4096, 64
+	}
+	sys, err := config.Build(cfg)
+	if err != nil {
+		return E12Result{}, nil, err
+	}
+	if err := sys.AddProcs(w.tasks()...); err != nil {
+		return E12Result{}, nil, err
+	}
+	start := time.Now()
+	reuseDone := func() bool { return sys.Procs[1].Done() }
+	if _, err := sys.Kernel.RunUntil(reuseDone, runLimit); err != nil {
+		return E12Result{}, nil, err
+	}
+	res := E12Result{Partition: part, ReuseCycles: sys.Kernel.Cycle()}
+	// Guard: with the predicate already true, the event-driven scheduler
+	// would skip the whole budget before checking it.
+	if !sys.ProcsDone() {
+		if _, err := sys.Kernel.RunUntil(sys.ProcsDone, runLimit); err != nil {
+			return E12Result{}, nil, err
+		}
+	}
+	res.TotalCycles = sys.Kernel.Cycle()
+	res.Wall = time.Since(start)
+	res.L2 = sys.L2.Stats()
+	if len(sys.DRAMs) > 0 {
+		res.DRAM = sys.DRAMs[0].Stats()
+	}
+	if err := sys.DrainCaches(runLimit); err != nil {
+		return E12Result{}, nil, fmt.Errorf("drain: %w", err)
+	}
+	if err := w.verify(flatPeek(sys, 0)); err != nil {
+		return E12Result{}, nil, fmt.Errorf("partition=%s: %w", part, err)
+	}
+	return res, sys, nil
+}
+
+// E12 measures shared-L2 way partitioning end-to-end: the asymmetric
+// thrasher/reuse pair under no partitioning (shared LRU), static equal
+// SWP masks, and utility-based UCP — on the static memory and again on
+// the banked DRAM model (open-page). The headline claim: UCP finishes
+// the reuse-heavy PE ≥1.5x sooner than unpartitioned LRU, because the
+// utility monitors wall the zero-reuse stream into one way.
+func E12(o Options) (*stats.Table, error) {
+	w := E12Params(o)
+	t := stats.NewTable(
+		fmt.Sprintf("E12: shared-L2 way partitioning — stream (%d lines/pass) vs reuse loop (%d lines), 4-set × 4-way L2",
+			w.ThrashLines, w.ReuseLines),
+		"memory", "partition", "reuse-PE cycles", "total cycles", "wall", "L2 hit rate", "repartitions", "back-inv", "recovery")
+	for _, dram := range []bool{false, true} {
+		memName := "static"
+		if dram {
+			memName = "dram"
+		}
+		var base uint64
+		for _, part := range []cache.PartitionKind{cache.PartNone, cache.PartSWP, cache.PartUCP} {
+			m := o.mode()
+			m.DRAM = dram
+			r, _, err := RunE12(w, part, m)
+			if err != nil {
+				return nil, err
+			}
+			rec := "-"
+			if part == cache.PartNone {
+				base = r.ReuseCycles
+			} else {
+				rec = fmt.Sprintf("%.2fx", float64(base)/float64(r.ReuseCycles))
+			}
+			t.Add(memName, part.String(), fmt.Sprint(r.ReuseCycles), fmt.Sprint(r.TotalCycles),
+				r.Wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.1f%%", 100*r.L2.HitRate()),
+				fmt.Sprint(r.L2.Repartitions), fmt.Sprint(r.L2.BackInvalidations), rec)
+		}
 	}
 	return t, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/trace"
 
@@ -261,5 +262,53 @@ func TestE11CacheAcceptance(t *testing.T) {
 func TestE11Table(t *testing.T) {
 	if _, err := E11(Options{Quick: true}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestE12PartitionAcceptance pins the L2 partitioning claim: on the
+// asymmetric thrasher/reuse workload, UCP finishes the reuse-heavy PE
+// at least 1.5x sooner than unpartitioned shared LRU, actually
+// repartitions, and produces the exact final memory image (RunE12
+// fails on any mismatch). Full-sized — the quick scale ends before the
+// utility monitors amortize their warm-up.
+func TestE12PartitionAcceptance(t *testing.T) {
+	w := E12Params(Options{})
+	lru, _, err := RunE12(w, cache.PartNone, Mode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucp, _, err := RunE12(w, cache.PartUCP, Mode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ucp.L2.Repartitions == 0 {
+		t.Error("UCP never repartitioned")
+	}
+	if ratio := float64(lru.ReuseCycles) / float64(ucp.ReuseCycles); ratio < 1.5 {
+		t.Errorf("UCP recovered only %.2fx reuse-PE throughput (%d vs %d cycles), want ≥ 1.5x; L2 %+v vs %+v",
+			ratio, lru.ReuseCycles, ucp.ReuseCycles, lru.L2, ucp.L2)
+	} else {
+		t.Logf("UCP recovery: %.2fx (%d → %d reuse-PE cycles), hit rate %.1f%% vs %.1f%%, %d repartitions",
+			ratio, lru.ReuseCycles, ucp.ReuseCycles,
+			100*ucp.L2.HitRate(), 100*lru.L2.HitRate(), ucp.L2.Repartitions)
+	}
+	// The DRAM leg must stay correct and exercise the bank model.
+	dr, _, err := RunE12(w, cache.PartUCP, Mode{DRAM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.DRAM.RowHits+dr.DRAM.RowMisses+dr.DRAM.RowConflicts == 0 {
+		t.Errorf("DRAM leg recorded no row activity: %+v", dr.DRAM)
+	}
+}
+
+// TestE12Table smoke-runs the full E12 sweep at quick scale.
+func TestE12Table(t *testing.T) {
+	tbl, err := E12(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
 	}
 }

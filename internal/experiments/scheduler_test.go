@@ -43,7 +43,9 @@ type sysSnapshot struct {
 	Wrappers []core.Stats
 	Statics  []mem.Stats
 	Heaps    []heapsim.Stats
+	DRAMs    []mem.DRAMStats
 	Caches   []cache.Stats
+	L2s      []cache.L2Stats
 	CPUs     []cpuSnapshot
 	Procs    []procSnapshot
 }
@@ -76,8 +78,14 @@ func snapshot(sys *config.System) sysSnapshot {
 	for _, h := range sys.Heaps {
 		s.Heaps = append(s.Heaps, h.Stats())
 	}
+	for _, d := range sys.DRAMs {
+		s.DRAMs = append(s.DRAMs, d.Stats())
+	}
 	for _, c := range sys.Caches {
 		s.Caches = append(s.Caches, c.Stats())
+	}
+	if sys.L2 != nil {
+		s.L2s = append(s.L2s, sys.L2.Stats())
 	}
 	for _, c := range sys.CPUs {
 		s.CPUs = append(s.CPUs, cpuSnapshot{
@@ -646,6 +654,58 @@ func TestSchedDiffCache(t *testing.T) {
 			return sys, nil
 		})
 	}
+}
+
+// TestSchedDiffL2 extends the matrix to the two-level hierarchy: the
+// E12 asymmetric thrasher/reuse workload behind the shared inclusive
+// L2, swept over memory model (static, banked DRAM open- and
+// close-page with refresh), partition policy (shared LRU, SWP, UCP)
+// and an L2-off DRAM control. Every leg must be bit-identical across
+// lockstep × event-driven × workers {1,2,4,8}: cycle counts, L2
+// hit/miss/back-invalidation/repartition counters, DRAM row and
+// refresh counters, L1 and PE accounting. RunE12 additionally verifies
+// the exact final memory image inside every leg.
+func TestSchedDiffL2(t *testing.T) {
+	w := E12Params(Options{Quick: true})
+	for _, tc := range []struct {
+		name      string
+		part      cache.PartitionKind
+		dram      bool
+		closePage bool
+	}{
+		{"static-lru", cache.PartNone, false, false},
+		{"static-swp", cache.PartSWP, false, false},
+		{"static-ucp", cache.PartUCP, false, false},
+		{"dram-open-ucp", cache.PartUCP, true, false},
+		{"dram-close-lru", cache.PartNone, true, true},
+	} {
+		runBoth(t, "l2-"+tc.name, func(m Mode) (*config.System, error) {
+			m.DRAM, m.ClosePage = tc.dram, tc.closePage
+			r, sys, err := RunE12(w, tc.part, m)
+			if err != nil {
+				return nil, err
+			}
+			if r.L2.Hits == 0 {
+				return nil, fmt.Errorf("L2 served no hits")
+			}
+			return sys, nil
+		})
+	}
+	// L2-off control on the banked DRAM: the E11 locality workload with
+	// private L1s straight onto the DRAM, pinning the DRAM timing model
+	// alone across the kernel-mode matrix.
+	locality, _ := E11Workload(Options{Quick: true})
+	runBoth(t, "l2-off-dram", func(m Mode) (*config.System, error) {
+		m.DRAM = true
+		_, sys, err := RunCache(locality, true, config.InterBus, m)
+		if err != nil {
+			return nil, err
+		}
+		if len(sys.DRAMs) == 0 {
+			return nil, fmt.Errorf("no DRAM built")
+		}
+		return sys, nil
+	})
 }
 
 // TestSchedDiffCacheTraceReplay covers the single-master cached trace

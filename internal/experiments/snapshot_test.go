@@ -9,12 +9,12 @@ import (
 	"testing"
 
 	"repro/internal/bus"
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dma"
 	"repro/internal/isa"
 	"repro/internal/sim"
-	"repro/internal/smapi"
 	snaplib "repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -39,57 +39,15 @@ var snapDiffModes = []Mode{
 	{Lockstep: false, Workers: 1, NoBatch: true, NoDecodeCache: true},
 }
 
-// cacheTrafficSource is a scalar load/store kernel against static
+// cacheTrafficSource is the scalar load/store sweep against static
 // memory 0 — the only traffic class the L1 caches: repeated sweeps
 // over an interleaved word range (neighbouring CPUs share cache
 // lines, so multi-master runs exercise MESI invalidation mid-flight).
+// The kernel itself is the mpsim "sweep" workload.
 func cacheTrafficSource(iters, base, stride, n, seed int) string {
-	return fmt.Sprintf(`
-.equ ITERS, %d
-.equ BASE, %d
-.equ STRIDE, %d
-.equ N, %d
-.equ SEED, %d
-
-	li   r8, ITERS
-iter:
-	mov  r5, #0
-	li   r4, BASE
-wr:
-	mov  r0, r4
-	add  r1, r5, #SEED
-	mov  r2, #0
-	bl   sm_write
-	cmp  r1, #0
-	bne  fail
-	add  r4, r4, #STRIDE
-	add  r5, r5, #1
-	cmp  r5, #N
-	bne  wr
-	mov  r5, #0
-	li   r4, BASE
-rd:
-	mov  r0, r4
-	mov  r2, #0
-	bl   sm_read
-	cmp  r1, #0
-	bne  fail
-	add  r2, r5, #SEED
-	cmp  r0, r2
-	bne  fail
-	add  r4, r4, #STRIDE
-	add  r5, r5, #1
-	cmp  r5, #N
-	bne  rd
-	sub  r8, r8, #1
-	cmp  r8, #0
-	bne  iter
-	mov  r0, #0
-	swi  #0
-fail:
-	li   r0, 0xDEAD
-	swi  #0
-`+"%s", iters, base, stride, n, seed, smapi.Runtime)
+	return workload.SweepKernelSource(workload.SweepKernelConfig{
+		Iterations: iters, SM: 0, Base: base, Stride: stride, Words: n, Seed: uint32(seed),
+	})
 }
 
 // snapScenario is one checkpointable workload: cfg yields the
@@ -254,6 +212,67 @@ func dmaSnapScenario() snapScenario {
 	}
 }
 
+// l2dramSnapScenario stacks the full two-level hierarchy over banked
+// DRAM: falsely-shared L1 traffic through a deliberately tiny shared
+// inclusive L2 (UCP-partitioned, so the UMON shadow tags and the
+// repartition schedule ride in the snapshot) into a 4-bank open-page
+// DRAM with a short refresh epoch. At the mid-flight checkpoint the
+// L2's MSHRs, writeback queues and private memory-side links plus the
+// DRAM's row-buffer registers and refresh phase are all live — the
+// restore matrix proves every one of them round-trips bit-identically.
+func l2dramSnapScenario() snapScenario {
+	cfg := func(m Mode) config.SystemConfig {
+		c := m.sysConfig()
+		c.Masters, c.Memories, c.MemKind = 2, 1, config.MemDRAM
+		c.Cache, c.Coherent, c.L2 = true, true, true
+		c.CacheSets, c.CacheWays = 2, 1
+		c.L2Sets, c.L2Ways, c.L2MSHRs = 2, 4, 4
+		c.Partition, c.UCPPeriod = cache.PartUCP, 64
+		c.DRAMBanks = 4
+		c.DRAMRefreshPeriod, c.DRAMRefreshCycles = 512, 16
+		return c
+	}
+	return snapScenario{
+		name: "l2-dram-ucp",
+		cfg:  cfg,
+		build: func(m Mode) (*config.System, error) {
+			sys, err := config.Build(cfg(m))
+			if err != nil {
+				return nil, err
+			}
+			var progs [][]byte
+			for i := 0; i < 2; i++ {
+				p, err := isa.Assemble(cacheTrafficSource(6, 4*i, 8, 24, 16*(i+1)))
+				if err != nil {
+					return nil, err
+				}
+				progs = append(progs, p.Code)
+			}
+			if err := sys.AddCPUs(progs...); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		},
+		done: func(sys *config.System) func() bool { return sys.CPUsHalted },
+		verify: func(sys *config.System) error {
+			for i, cpu := range sys.CPUs {
+				if cpu.ExitCode() != 0 {
+					return fmt.Errorf("iss %d exited %#x", i, cpu.ExitCode())
+				}
+			}
+			l2 := sys.L2.Stats()
+			if l2.Hits == 0 || l2.Misses == 0 {
+				return fmt.Errorf("L2 saw no mixed traffic: %+v", l2)
+			}
+			d := sys.DRAMs[0].Stats()
+			if d.RowHits+d.RowMisses+d.RowConflicts == 0 {
+				return fmt.Errorf("DRAM banks saw no accesses: %+v", d)
+			}
+			return nil
+		},
+	}
+}
+
 // TestSchedDiffSnapshot is the differential restore matrix. For every
 // scenario: a straight run-to-N in the reference mode pins the golden
 // observables; a second reference-mode run stops at K = N/2 and
@@ -264,7 +283,7 @@ func dmaSnapScenario() snapScenario {
 // identically-built system.
 func TestSchedDiffSnapshot(t *testing.T) {
 	refMode := Mode{Lockstep: true, Workers: 1}
-	for _, sc := range []snapScenario{gsmSnapScenario(), cacheSnapScenario(), dmaSnapScenario()} {
+	for _, sc := range []snapScenario{gsmSnapScenario(), cacheSnapScenario(), dmaSnapScenario(), l2dramSnapScenario()} {
 		t.Run(sc.name, func(t *testing.T) {
 			// Straight run: the golden reference.
 			refSys, err := sc.build(refMode)

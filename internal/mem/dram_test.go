@@ -1,0 +1,268 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+type dramHarness struct {
+	t    *testing.T
+	k    *sim.Kernel
+	link *bus.Port
+	r    *DRAM
+}
+
+func newDRAMHarness(t *testing.T, cfg DRAMConfig) *dramHarness {
+	t.Helper()
+	k := sim.New()
+	link := bus.NewLink(k, "t")
+	r, err := NewDRAMOn(k, cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dramHarness{t: t, k: k, link: link, r: r}
+}
+
+func (h *dramHarness) do(req bus.Request) (bus.Response, uint64) {
+	h.t.Helper()
+	start := h.k.Cycle()
+	h.link.Issue(req)
+	for i := 0; i < 100000; i++ {
+		if err := h.k.Step(); err != nil {
+			h.t.Fatal(err)
+		}
+		if resp, ok := h.link.Response(); ok {
+			return resp, h.k.Cycle() - start
+		}
+	}
+	h.t.Fatalf("transaction %v did not complete", req)
+	return bus.Response{}, 0
+}
+
+func (h *dramHarness) read(addr uint32) uint64 {
+	h.t.Helper()
+	resp, n := h.do(bus.Request{Op: bus.OpRead, VPtr: addr, DType: bus.U32})
+	if resp.Err != bus.OK {
+		h.t.Fatalf("read %#x: %v", addr, resp.Err)
+	}
+	return n
+}
+
+// testTiming has distinct, hand-checkable hit/miss/conflict costs.
+var testTiming = DRAMTiming{Decode: 1, RowHit: 2, RowMiss: 6, RowConflict: 11, BurstPerElem: 1}
+
+// wireOverhead measures the fixed port/FSM cost of a scalar read with
+// every configured latency at zero, so the policy tests can assert
+// absolute cycle counts as wire + Decode + <hand-computed row cost>.
+func wireOverhead(t *testing.T) uint64 {
+	h := newDRAMHarness(t, DRAMConfig{Size: 4096, Banks: 1})
+	return h.read(0)
+}
+
+func TestDRAMOpenPagePolicy(t *testing.T) {
+	wire := wireOverhead(t)
+	// One bank, 128-byte rows: row = addr/128.
+	h := newDRAMHarness(t, DRAMConfig{
+		Size: 4096, Banks: 1, RowBytes: 128, Interleave: 64, Timing: testTiming,
+	})
+	base := wire + uint64(testTiming.Decode)
+	// Cold bank: activate (row miss).
+	if n := h.read(0); n != base+uint64(testTiming.RowMiss) {
+		t.Errorf("cold read took %d cycles, want %d", n, base+uint64(testTiming.RowMiss))
+	}
+	// Same row: CAS only.
+	if n := h.read(64); n != base+uint64(testTiming.RowHit) {
+		t.Errorf("row-hit read took %d cycles, want %d", n, base+uint64(testTiming.RowHit))
+	}
+	// Different row, same bank: precharge + activate.
+	if n := h.read(256); n != base+uint64(testTiming.RowConflict) {
+		t.Errorf("row-conflict read took %d cycles, want %d", n, base+uint64(testTiming.RowConflict))
+	}
+	// Back to the first row: conflict again.
+	if n := h.read(0); n != base+uint64(testTiming.RowConflict) {
+		t.Errorf("return read took %d cycles, want %d", n, base+uint64(testTiming.RowConflict))
+	}
+	st := h.r.Stats()
+	if st.RowHits != 1 || st.RowMisses != 1 || st.RowConflicts != 2 {
+		t.Errorf("stats = hits %d / misses %d / conflicts %d, want 1/1/2",
+			st.RowHits, st.RowMisses, st.RowConflicts)
+	}
+}
+
+func TestDRAMClosePagePolicy(t *testing.T) {
+	wire := wireOverhead(t)
+	h := newDRAMHarness(t, DRAMConfig{
+		Size: 4096, Banks: 1, RowBytes: 128, Interleave: 64,
+		ClosePage: true, Timing: testTiming,
+	})
+	want := wire + uint64(testTiming.Decode) + uint64(testTiming.RowMiss)
+	for _, addr := range []uint32{0, 64, 256, 0} {
+		if n := h.read(addr); n != want {
+			t.Errorf("close-page read %#x took %d cycles, want %d", addr, n, want)
+		}
+	}
+	st := h.r.Stats()
+	if st.RowHits != 0 || st.RowConflicts != 0 || st.RowMisses != 4 {
+		t.Errorf("stats = hits %d / misses %d / conflicts %d, want 0/4/0",
+			st.RowHits, st.RowMisses, st.RowConflicts)
+	}
+}
+
+func TestDRAMBankInterleave(t *testing.T) {
+	// Two banks interleaved at 64 bytes: addr 0 → bank 0, addr 64 →
+	// bank 1, addr 128 → bank 0 again (same row as addr 0: rows are
+	// 128 bytes, so bank 0's row 0 covers frames 0 and 128).
+	h := newDRAMHarness(t, DRAMConfig{
+		Size: 4096, Banks: 2, RowBytes: 128, Interleave: 64, Timing: testTiming,
+	})
+	h.read(0)   // bank 0: miss
+	h.read(64)  // bank 1: miss — does not disturb bank 0's open row
+	h.read(128) // bank 0, frame 1 of row 0: hit
+	h.read(0)   // bank 0, frame 0 of row 0: still a hit
+	st := h.r.Stats()
+	if st.RowMisses != 2 || st.RowHits != 2 || st.RowConflicts != 0 {
+		t.Errorf("stats = hits %d / misses %d / conflicts %d, want 2/2/0",
+			st.RowHits, st.RowMisses, st.RowConflicts)
+	}
+}
+
+func TestDRAMBurstTransfer(t *testing.T) {
+	h := newDRAMHarness(t, DRAMConfig{
+		Size: 4096, Banks: 1, RowBytes: 128, Interleave: 64, Timing: testTiming,
+	})
+	// An 8-element burst to a cold bank: decode + activate + 8 transfer
+	// cycles on top of the fixed wire overhead, measured against the
+	// same burst on a zero-latency device.
+	zero := newDRAMHarness(t, DRAMConfig{Size: 4096, Banks: 1})
+	burst := bus.Request{Op: bus.OpReadBurst, VPtr: 0, Dim: 8, DType: bus.U32}
+	_, zn := zero.do(burst)
+	_, n := h.do(burst)
+	want := zn + uint64(testTiming.Decode) + uint64(testTiming.RowMiss) + 8*uint64(testTiming.BurstPerElem)
+	if n != want {
+		t.Errorf("burst took %d cycles, want %d (zero-latency %d + decode + activate + transfer)", n, want, zn)
+	}
+}
+
+func TestDRAMRefresh(t *testing.T) {
+	cfg := DRAMConfig{
+		Size: 4096, Banks: 1, RowBytes: 128, Interleave: 64, Timing: testTiming,
+		RefreshPeriod: 500, RefreshCycles: 40,
+	}
+	// Part 1: an access whose exec entry lands inside the refresh window
+	// is pushed to the window's end. Steady-state reference first.
+	h := newDRAMHarness(t, cfg)
+	normal := h.read(0) // cold miss, away from any window (cycle ~0 is
+	// inside window 0's [0, 40) stall — so take a post-stall reference
+	// instead below.
+	h2 := newDRAMHarness(t, cfg)
+	if err := h2.k.Run(100); err != nil { // past window 0's stall
+		t.Fatal(err)
+	}
+	clean := h2.read(0)
+	st := h.r.Stats()
+	if st.RefreshStalls != 1 {
+		t.Fatalf("cold access at cycle 0 should hit refresh window 0: stalls = %d", st.RefreshStalls)
+	}
+	if normal != clean+st.RefreshStallCycles {
+		t.Errorf("stalled read took %d cycles, want clean %d + stall %d",
+			normal, clean, st.RefreshStallCycles)
+	}
+	// Part 2: a refresh closes open rows — the same address that would
+	// be a row hit within one window is a row miss after the boundary.
+	if err := h2.k.Run(200); err != nil { // still inside window 0
+		t.Fatal(err)
+	}
+	h2.read(0)                            // row hit: row opened in window 0, still window 0
+	if err := h2.k.Run(300); err != nil { // cross into window 1, past its stall
+		t.Fatal(err)
+	}
+	h2.read(0) // row re-activate: refresh precharged the bank
+	st2 := h2.r.Stats()
+	if st2.RowHits != 1 || st2.RowMisses != 2 {
+		t.Errorf("stats = hits %d / misses %d, want 1 hit (same window) and 2 misses (cold + post-refresh)",
+			st2.RowHits, st2.RowMisses)
+	}
+}
+
+// TestDRAMStaticEquivalence pins the flat-timing regression: a DRAM
+// with uniform row latencies, one bank and refresh off is
+// cycle-identical and bit-identical to a StaticRAM with the matching
+// Delays on any request sequence. This is the "DRAM off" guarantee in
+// module form — the static path itself is untouched and stays pinned
+// by the PR 7 goldens.
+func TestDRAMStaticEquivalence(t *testing.T) {
+	static := newHarness(t, Config{Size: 1024, Delays: Delays{
+		Decode: 1, Read: 3, Write: 3, BurstBase: 3, BurstPerElem: 2,
+	}})
+	dram := newDRAMHarness(t, DRAMConfig{Size: 1024, Banks: 1, Timing: DRAMTiming{
+		Decode: 1, RowHit: 3, RowMiss: 3, RowConflict: 3, BurstPerElem: 2,
+	}})
+	script := []bus.Request{
+		{Op: bus.OpWrite, VPtr: 16, Data: 0xA1B2, DType: bus.U32},
+		{Op: bus.OpRead, VPtr: 16, DType: bus.U32},
+		{Op: bus.OpWriteBurst, VPtr: 64, Burst: []uint32{1, 2, 3, 4}, DType: bus.U32},
+		{Op: bus.OpReadBurst, VPtr: 64, Dim: 4, DType: bus.U32},
+		{Op: bus.OpRead, VPtr: 500, DType: bus.U16},
+		{Op: bus.OpWrite, VPtr: 999, Data: 7, DType: bus.U8},
+		{Op: bus.OpRead, VPtr: 2000, DType: bus.U32}, // bounds error
+		{Op: bus.OpAlloc, Dim: 4, DType: bus.U32},    // bad op
+		{Op: bus.OpReadBurst, VPtr: 0, Dim: 8, DType: bus.U16},
+	}
+	for i, req := range script {
+		sr, sn := static.do(req)
+		dr, dn := dram.do(req)
+		if sr.Err != dr.Err || sr.Data != dr.Data || len(sr.Burst) != len(dr.Burst) {
+			t.Fatalf("req %d %v: static %v vs dram %v", i, req, sr, dr)
+		}
+		for j := range sr.Burst {
+			if sr.Burst[j] != dr.Burst[j] {
+				t.Fatalf("req %d %v: burst elem %d differs", i, req, j)
+			}
+		}
+		if sn != dn {
+			t.Errorf("req %d %v: static took %d cycles, dram %d", i, req, sn, dn)
+		}
+	}
+}
+
+func TestDRAMSnapshotRoundTrip(t *testing.T) {
+	cfg := DRAMConfig{
+		Size: 2048, Banks: 2, RowBytes: 128, Interleave: 64, Timing: testTiming,
+		RefreshPeriod: 1000, RefreshCycles: 20,
+	}
+	h := newDRAMHarness(t, cfg)
+	if err := h.k.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	h.do(bus.Request{Op: bus.OpWrite, VPtr: 100, Data: 0xFACE, DType: bus.U32})
+	h.read(0) // opens bank 0 row 0
+	enc := &snapshot.Encoder{}
+	h.r.SaveState(enc)
+
+	h2 := newDRAMHarness(t, cfg)
+	if err := h2.k.Run(h.k.Cycle()); err != nil { // align cycle counts (refresh epochs)
+		t.Fatal(err)
+	}
+	if err := h2.r.RestoreState(snapshot.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.r.Peek(100); got != 0xCE {
+		t.Errorf("restored image byte = %#x, want 0xce", got)
+	}
+	if h2.r.Stats() != h.r.Stats() {
+		t.Errorf("restored stats differ: %+v vs %+v", h2.r.Stats(), h.r.Stats())
+	}
+	// The restored bank row-buffer state must behave identically: the
+	// next access to the open row is a hit on both.
+	n1 := h.read(64)
+	n2 := h2.read(64)
+	if n1 != n2 {
+		t.Errorf("post-restore read took %d cycles on original, %d on restored", n1, n2)
+	}
+	if h2.r.Stats().RowHits != h.r.Stats().RowHits {
+		t.Errorf("post-restore row hits differ")
+	}
+}

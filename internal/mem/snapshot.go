@@ -63,3 +63,78 @@ func (m *StaticRAM) RestoreState(dec *snapshot.Decoder) error {
 	copy(m.data, img)
 	return dec.Finish()
 }
+
+// SaveState implements snapshot.Saver: the FSM, every bank's row-buffer
+// register, the stats, and the full memory image. Config (geometry,
+// timing, refresh schedule, port wiring) is rebuilt from SystemConfig.
+func (r *DRAM) SaveState(enc *snapshot.Encoder) {
+	enc.U8(uint8(r.state))
+	enc.U32(r.wait)
+	bus.EncodeRequest(enc, r.cur)
+	enc.U64(uint64(r.curTag))
+	enc.Int(len(r.banks))
+	for i := range r.banks {
+		b := &r.banks[i]
+		enc.Bool(b.open)
+		enc.U32(b.row)
+		enc.U64(b.epoch)
+	}
+	for _, v := range r.stats.Ops {
+		enc.U64(v)
+	}
+	for _, v := range r.stats.Errors {
+		enc.U64(v)
+	}
+	enc.U64(r.stats.BusyCycles)
+	enc.U64(r.stats.BurstElems)
+	enc.U64(r.stats.RowHits)
+	enc.U64(r.stats.RowMisses)
+	enc.U64(r.stats.RowConflicts)
+	enc.U64(r.stats.RefreshStalls)
+	enc.U64(r.stats.RefreshStallCycles)
+	enc.Bytes32(r.data)
+}
+
+// RestoreState implements snapshot.Restorer. Bank count and memory
+// image size in the snapshot must match the built geometry exactly.
+func (r *DRAM) RestoreState(dec *snapshot.Decoder) error {
+	r.state = ramState(dec.U8())
+	r.wait = dec.U32()
+	r.cur = bus.DecodeRequest(dec)
+	r.curTag = bus.Tag(dec.U64())
+	nbanks := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if nbanks != len(r.banks) {
+		return fmt.Errorf("dram %s: snapshot has %d banks, system built with %d", r.cfg.Name, nbanks, len(r.banks))
+	}
+	for i := range r.banks {
+		b := &r.banks[i]
+		b.open = dec.Bool()
+		b.row = dec.U32()
+		b.epoch = dec.U64()
+	}
+	for i := range r.stats.Ops {
+		r.stats.Ops[i] = dec.U64()
+	}
+	for i := range r.stats.Errors {
+		r.stats.Errors[i] = dec.U64()
+	}
+	r.stats.BusyCycles = dec.U64()
+	r.stats.BurstElems = dec.U64()
+	r.stats.RowHits = dec.U64()
+	r.stats.RowMisses = dec.U64()
+	r.stats.RowConflicts = dec.U64()
+	r.stats.RefreshStalls = dec.U64()
+	r.stats.RefreshStallCycles = dec.U64()
+	img := dec.Bytes32()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(img) != len(r.data) {
+		return fmt.Errorf("dram %s image mismatch: snapshot has %d bytes, system built with %d", r.cfg.Name, len(img), len(r.data))
+	}
+	copy(r.data, img)
+	return dec.Finish()
+}

@@ -208,59 +208,6 @@ func (r *StaticRAM) maybeFinish() {
 	r.state = ramIdle
 }
 
-// inBounds checks an n-byte access at addr.
-func (r *StaticRAM) inBounds(addr, n uint32) bool {
-	return uint64(addr)+uint64(n) <= uint64(len(r.data))
-}
-
 func (r *StaticRAM) execute(req bus.Request) bus.Response {
-	es := req.DType.Size()
-	switch req.Op {
-	case bus.OpRead:
-		if !r.inBounds(req.VPtr, es) {
-			return bus.Response{Err: bus.ErrBounds}
-		}
-		return bus.Response{Data: r.readElem(req.VPtr, req.DType)}
-
-	case bus.OpWrite:
-		if !r.inBounds(req.VPtr, es) {
-			return bus.Response{Err: bus.ErrBounds}
-		}
-		r.writeElem(req.VPtr, req.DType, req.Data)
-		return bus.Response{}
-
-	case bus.OpReadBurst:
-		if !r.inBounds(req.VPtr, es*req.Dim) {
-			return bus.Response{Err: bus.ErrBounds}
-		}
-		out := make([]uint32, req.Dim)
-		for i := uint32(0); i < req.Dim; i++ {
-			out[i] = r.readElem(req.VPtr+i*es, req.DType)
-		}
-		r.stats.BurstElems += uint64(req.Dim)
-		return bus.Response{Burst: out}
-
-	case bus.OpWriteBurst:
-		n := uint32(len(req.Burst))
-		if !r.inBounds(req.VPtr, es*n) {
-			return bus.Response{Err: bus.ErrBounds}
-		}
-		for i, v := range req.Burst {
-			r.writeElem(req.VPtr+uint32(i)*es, req.DType, v)
-		}
-		r.stats.BurstElems += uint64(n)
-		return bus.Response{}
-
-	default:
-		// Static tables have no dynamic operations.
-		return bus.Response{Err: bus.ErrBadOp}
-	}
-}
-
-func (r *StaticRAM) readElem(addr uint32, dt bus.DataType) uint32 {
-	return dt.ReadElem(r.data[addr:])
-}
-
-func (r *StaticRAM) writeElem(addr uint32, dt bus.DataType, val uint32) {
-	dt.WriteElem(r.data[addr:], val)
+	return executeTable(r.data, req, &r.stats.BurstElems)
 }

@@ -1,0 +1,57 @@
+package mem
+
+import (
+	"repro/internal/bus"
+)
+
+// executeTable implements the flat table-memory operation semantics
+// shared by StaticRAM and DRAM: a fixed little-endian byte array
+// addressed directly by VPtr, dynamic operations rejected with
+// ErrBadOp. burstElems is bumped by the element count of burst
+// operations.
+func executeTable(data []byte, req bus.Request, burstElems *uint64) bus.Response {
+	inBounds := func(addr, n uint32) bool {
+		return uint64(addr)+uint64(n) <= uint64(len(data))
+	}
+	es := req.DType.Size()
+	switch req.Op {
+	case bus.OpRead:
+		if !inBounds(req.VPtr, es) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		return bus.Response{Data: req.DType.ReadElem(data[req.VPtr:])}
+
+	case bus.OpWrite:
+		if !inBounds(req.VPtr, es) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		req.DType.WriteElem(data[req.VPtr:], req.Data)
+		return bus.Response{}
+
+	case bus.OpReadBurst:
+		if !inBounds(req.VPtr, es*req.Dim) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		out := make([]uint32, req.Dim)
+		for i := uint32(0); i < req.Dim; i++ {
+			out[i] = req.DType.ReadElem(data[req.VPtr+i*es:])
+		}
+		*burstElems += uint64(req.Dim)
+		return bus.Response{Burst: out}
+
+	case bus.OpWriteBurst:
+		n := uint32(len(req.Burst))
+		if !inBounds(req.VPtr, es*n) {
+			return bus.Response{Err: bus.ErrBounds}
+		}
+		for i, v := range req.Burst {
+			req.DType.WriteElem(data[req.VPtr+uint32(i)*es:], v)
+		}
+		*burstElems += uint64(n)
+		return bus.Response{}
+
+	default:
+		// Flat tables have no dynamic operations.
+		return bus.Response{Err: bus.ErrBadOp}
+	}
+}

@@ -145,6 +145,91 @@ type TrafficKernelConfig struct {
 	Dim int
 }
 
+// SweepKernelConfig parameterizes SweepKernelSource.
+type SweepKernelConfig struct {
+	// Iterations is the number of write-then-verify sweeps.
+	Iterations int
+	// SM is the flat-addressed shared memory the sweep targets.
+	SM int
+	// Base is the byte address of the first word, Stride the byte
+	// distance between consecutive words, Words the words per sweep.
+	Base, Stride, Words int
+	// Seed offsets the written values so different ISSs write
+	// distinguishable data.
+	Seed uint32
+}
+
+// SweepKernelSource returns assembly performing a scalar-only
+// write-then-verify sweep: the cacheable traffic class for the
+// flat-addressed memories (static, DRAM), where the allocating GSM and
+// traffic kernels cannot run. Interleaving Base/Stride across masters
+// makes neighbouring ISSs share cache lines, so coherent multi-master
+// runs exercise MESI invalidation (and, with an L2, inclusion
+// back-invalidation) mid-flight. The program exits 0 on success and
+// 0xDEAD on any error status or failed readback.
+func SweepKernelSource(cfg SweepKernelConfig) string {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = 4
+	}
+	if cfg.Words <= 0 {
+		cfg.Words = 16
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+; scalar write/verify sweep over a flat-addressed memory
+.equ ITERS, %d
+.equ SMADDR, %d
+.equ BASE, %d
+.equ STRIDE, %d
+.equ N, %d
+.equ SEED, %d
+
+	li   r8, ITERS
+iter:
+	mov  r5, #0
+	li   r4, BASE
+wr:
+	mov  r0, r4
+	add  r1, r5, #SEED
+	mov  r2, #SMADDR
+	bl   sm_write
+	cmp  r1, #0
+	bne  fail
+	add  r4, r4, #STRIDE
+	add  r5, r5, #1
+	cmp  r5, #N
+	bne  wr
+	mov  r5, #0
+	li   r4, BASE
+rd:
+	mov  r0, r4
+	mov  r2, #SMADDR
+	bl   sm_read
+	cmp  r1, #0
+	bne  fail
+	add  r2, r5, #SEED
+	cmp  r0, r2
+	bne  fail
+	add  r4, r4, #STRIDE
+	add  r5, r5, #1
+	cmp  r5, #N
+	bne  rd
+	sub  r8, r8, #1
+	cmp  r8, #0
+	bne  iter
+	mov  r0, #0
+	swi  #0
+fail:
+	li   r0, 0xDEAD
+	swi  #0
+`, cfg.Iterations, cfg.SM, cfg.Base, cfg.Stride, cfg.Words, cfg.Seed)
+	sb.WriteString(smapi.Runtime)
+	return sb.String()
+}
+
 // TrafficKernelSource returns assembly performing scalar-only dynamic
 // memory traffic: allocate, write and read back each element, free.
 func TrafficKernelSource(cfg TrafficKernelConfig) string {

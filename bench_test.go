@@ -9,8 +9,15 @@ package repro
 // Run with: go test -bench=. -benchmem
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/bus"
@@ -20,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gsm"
 	"repro/internal/isa"
+	"repro/internal/service"
 	"repro/internal/smapi"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -699,4 +707,89 @@ func BenchmarkWarmBoot(b *testing.B) {
 		}
 		reportSimSpeed(b, cycles)
 	})
+}
+
+// --- Service: jobs/sec through the full HTTP + store path ----------------
+
+// BenchmarkServiceThroughput measures end-to-end job throughput of the
+// simulation service on a tiny config: POST over HTTP, pool-fanned
+// simulation, result-store write, poll to completion. Seeds advance
+// per iteration so every leg actually simulates (a cache hit would
+// measure the store, not the service). The simcycles/s metric is
+// deterministic per leg — the same seeds always simulate the same
+// cycles — so regressions in it are service overhead, not workload
+// noise.
+func BenchmarkServiceThroughput(b *testing.B) {
+	store, err := service.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Store:  store,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	post := func(spec service.SweepSpec) string {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("POST = %d", resp.StatusCode)
+		}
+		var out map[string]string
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out["id"]
+	}
+	poll := func(id string) service.JobView {
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var v service.JobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch v.State {
+			case service.StateDone:
+				return v
+			case service.StateFailed, service.StateCanceled:
+				b.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		v := poll(post(service.SweepSpec{
+			Name: "bench",
+			Legs: []experiments.LegSpec{
+				{Name: "a", Workload: "gsm", ISSes: 1, Memories: 1, Frames: 1, Seed: uint32(1 + 2*i)},
+				{Name: "b", Workload: "gsm", ISSes: 1, Memories: 1, Frames: 1, Seed: uint32(2 + 2*i)},
+			},
+		}))
+		for _, leg := range v.Legs {
+			cycles += leg.SimCycles()
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "jobs/s")
+	}
+	reportSimSpeed(b, cycles)
 }

@@ -11,16 +11,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/stats"
 )
 
@@ -88,9 +96,31 @@ func main() {
 	restore := flag.String("restore", "", "wb: restore the shared warm-up snapshot from this file instead of simulating the warm-up")
 	cpuprof := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprof := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	serve := flag.Bool("serve", false, "serve the simulation job API instead of running the suite (thin mpsimd mode)")
+	addr := flag.String("addr", ":8080", "-serve: listen address")
+	storeDir := flag.String("store", "mpsimd-store", "-serve: result/snapshot store directory")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	// SIGINT/SIGTERM cancel in-flight runs through the context; the
+	// suite then exits through prof.exit, so -cpuprofile/-memprofile
+	// flush even on Ctrl-C. A second signal kills immediately (default
+	// disposition restored once the first one fires).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	if *serve {
+		if err := serveAPI(ctx, *addr, *storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	prof := &profiles{memPath: *memprof}
@@ -122,7 +152,7 @@ func main() {
 	opts := experiments.Options{Quick: *quick, Lockstep: *lockstep, Workers: *workers,
 		Alloc: policy, Depth: *depth, Split: *split, OOO: *ooo, Cache: *cacheOn,
 		L2: *l2On, Partition: part, DRAM: *dram, ClosePage: *closePage,
-		Checkpoint: *checkpoint, Restore: *restore}
+		Checkpoint: *checkpoint, Restore: *restore, Ctx: ctx}
 
 	// Run header: the tables below are attributable to this scheduler
 	// configuration — including the completion-delivery order, so the
@@ -202,6 +232,10 @@ func main() {
 		}
 		tables, err := e.run(opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "%s: interrupted; flushing profiles\n", e.id)
+				prof.exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			failed = true
 			continue
@@ -214,4 +248,35 @@ func main() {
 		prof.exit(1)
 	}
 	prof.exit(0)
+}
+
+// serveAPI is the thin -serve mode: the same service cmd/mpsimd runs,
+// on the experiments binary, until ctx (the signal context) fires.
+func serveAPI(ctx context.Context, addr, storeDir string) error {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	store, err := service.OpenStore(storeDir)
+	if err != nil {
+		return err
+	}
+	srv, err := service.New(service.Config{Store: store, Logger: log})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("experiments -serve listening", "addr", addr, "store", storeDir)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "err", err)
+	}
+	srv.Close()
+	return nil
 }

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/alloc"
@@ -35,6 +38,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpsim:", err)
 		os.Exit(1)
 	}
+}
+
+// ctxChunk is the cycle granularity at which the simulation loop checks
+// for SIGINT/SIGTERM. Fixed so interruptible runs stay deterministic —
+// see the matching constant in internal/experiments.
+const ctxChunk = 65536
+
+// runCtx is Kernel.Run in ctxChunk slices, aborting with ctx.Err() at
+// the first boundary after a signal.
+func runCtx(ctx context.Context, k *sim.Kernel, n uint64) error {
+	for done := uint64(0); done < n; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		budget := n - done
+		if budget > ctxChunk {
+			budget = ctxChunk
+		}
+		if err := k.Run(budget); err != nil {
+			return err
+		}
+		done += budget
+	}
+	return nil
+}
+
+// runUntilCtx is Kernel.RunUntil in ctxChunk slices with the same
+// cancellation behavior.
+func runUntilCtx(ctx context.Context, k *sim.Kernel, pred func() bool, limit uint64) error {
+	for done := uint64(0); done < limit; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		budget := limit - done
+		if budget > ctxChunk {
+			budget = ctxChunk
+		}
+		adv, err := k.RunUntil(pred, budget)
+		done += adv
+		if err == nil {
+			return nil
+		}
+		if err != sim.ErrLimit {
+			return err
+		}
+	}
+	return sim.ErrLimit
 }
 
 func run() error {
@@ -86,6 +136,17 @@ func run() error {
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+
+	// SIGINT/SIGTERM cancel the simulation at the next chunk boundary;
+	// run() then returns through its defers, so -cpuprofile/-memprofile
+	// (and any -vcd waveform) flush even on Ctrl-C. A second signal
+	// kills immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -317,7 +378,7 @@ func run() error {
 		sys.Kernel.EnableProfiling()
 	}
 	if *ckpt > 0 {
-		if err := sys.Kernel.Run(*ckpt); err != nil {
+		if err := runCtx(ctx, sys.Kernel, *ckpt); err != nil {
 			return fmt.Errorf("checkpoint warm-up: %w", err)
 		}
 		data, err := sys.Snapshot()
@@ -332,7 +393,10 @@ func run() error {
 	}
 	startCycle := sys.Kernel.Cycle()
 	start := time.Now()
-	if _, err := sys.Kernel.RunUntil(doneFn, *limit); err != nil {
+	if err := runUntilCtx(ctx, sys.Kernel, doneFn, *limit); err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted at cycle %d (profiles flushed)", sys.Kernel.Cycle())
+		}
 		return fmt.Errorf("simulation: %w", err)
 	}
 	wall := time.Since(start)

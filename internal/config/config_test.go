@@ -1,6 +1,7 @@
 package config
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/bus"
@@ -263,5 +264,35 @@ func TestMixedMastersGetDistinctLinks(t *testing.T) {
 	// Overcommit after mixing is rejected.
 	if err := sys.AddProcs(task); err == nil {
 		t.Error("overcommitted AddProcs accepted")
+	}
+}
+
+func TestSnapshotProcErrorIsActionable(t *testing.T) {
+	// Snapshotting a system with native smapi procs must fail with an
+	// error that names the offending module, explains why its state
+	// cannot travel, and points at the docs section covering it —
+	// a user hitting this mid-sweep should not need to read source.
+	sys, err := Build(SystemConfig{Masters: 1, Memories: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := func(ctx *smapi.Ctx) {}
+	if err := sys.AddProcs(task); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Snapshot()
+	if err == nil {
+		t.Fatal("Snapshot succeeded with a native proc attached")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		sys.Procs[0].Name(), // names the offending module
+		"goroutine",         // says why the state does not serialize
+		"AddCPUs",           // offers the supported alternative
+		`docs/SNAPSHOT.md "What deliberately does not travel"`, // points at the docs
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Snapshot error %q missing %q", msg, want)
+		}
 	}
 }

@@ -97,7 +97,7 @@ func (s *System) Snapshot() ([]byte, error) {
 		return nil, fmt.Errorf("config: snapshot requires a quiescent kernel (between cycles, no uncommitted signals)")
 	}
 	if len(s.Procs) > 0 {
-		return nil, fmt.Errorf("config: module %s does not support snapshotting (native tasks hold goroutine state)", s.Procs[0].Name())
+		return nil, fmt.Errorf("config: cannot snapshot: module %s is a native smapi proc whose task state lives in a goroutine, which does not serialize; rebuild the system with ISS masters (AddCPUs) instead of native procs, or checkpoint before AddProcs — see docs/SNAPSHOT.md \"What deliberately does not travel\"", s.Procs[0].Name())
 	}
 	w := snapshot.NewWriter()
 	w.AddSection(metaSection, func(e *snapshot.Encoder) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -75,6 +76,11 @@ type Options struct {
 	// warm-up snapshot from this file instead of simulating the warm-up
 	// phase. An incompatible file fails loudly on the first restore.
 	Restore string
+	// Ctx, when non-nil, makes every measured run cancellable: a run
+	// aborts with Ctx.Err() at the next chunk boundary after
+	// cancellation (see Mode.WithContext). Nil keeps runs
+	// uninterruptible.
+	Ctx context.Context
 }
 
 func (o Options) pick(full, quick int) int {
@@ -114,12 +120,20 @@ type Mode struct {
 	// plain-interpreter side of the differential matrix.
 	NoBatch       bool
 	NoDecodeCache bool
+
+	// ctx, when set via WithContext, makes measured runs cancellable:
+	// they abort with ctx.Err() at the next chunk boundary. Unexported
+	// so keyed Mode literals elsewhere stay valid; nil means
+	// uninterruptible (and chunk-free, byte-for-byte the historical
+	// behavior).
+	ctx context.Context
 }
 
 func (o Options) mode() Mode {
 	return Mode{Lockstep: o.Lockstep, Workers: o.Workers, Alloc: o.Alloc,
 		Depth: o.Depth, Split: o.Split, OOO: o.OOO, Cache: o.Cache,
-		L2: o.L2, Partition: o.Partition, DRAM: o.DRAM, ClosePage: o.ClosePage}
+		L2: o.L2, Partition: o.Partition, DRAM: o.DRAM, ClosePage: o.ClosePage,
+		ctx: o.Ctx}
 }
 
 // sysConfig translates the mode's protocol and scheduler axes into the
@@ -189,7 +203,7 @@ func RunGSMISS(nISS, nMem, frames int, m Mode) (stats.RunResult, error) {
 		return stats.RunResult{}, err
 	}
 	start := time.Now()
-	if _, err := sys.Kernel.RunUntil(sys.CPUsHalted, runLimit); err != nil {
+	if _, err := m.runUntil(sys.Kernel, sys.CPUsHalted, runLimit); err != nil {
 		return stats.RunResult{}, err
 	}
 	wall := time.Since(start)

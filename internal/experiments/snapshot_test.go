@@ -497,7 +497,7 @@ func TestSnapshotFailureModes(t *testing.T) {
 			t.Fatal(err)
 		}
 		_, err = psys.Snapshot()
-		if err == nil || !strings.Contains(err.Error(), "does not support snapshotting") {
+		if err == nil || !strings.Contains(err.Error(), "cannot snapshot") {
 			t.Fatalf("err = %v, want unsupported-module error", err)
 		}
 	})

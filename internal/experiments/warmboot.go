@@ -89,8 +89,8 @@ func wbBuild(frames int, m Mode) (*config.System, error) {
 	return sys, nil
 }
 
-func wbFinish(sys *config.System) (uint64, error) {
-	if _, err := sys.Kernel.RunUntil(sys.CPUsHalted, runLimit); err != nil {
+func wbFinish(sys *config.System, m Mode) (uint64, error) {
+	if _, err := m.runUntil(sys.Kernel, sys.CPUsHalted, runLimit); err != nil {
 		return 0, err
 	}
 	for i, cpu := range sys.CPUs {
@@ -110,7 +110,7 @@ func WarmBootSnapshot(frames int, m Mode, coldCycles uint64) ([]byte, uint64, er
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := sys.Kernel.Run(warmK); err != nil {
+	if err := runCtx(m.ctx, sys.Kernel, warmK); err != nil {
 		return nil, 0, err
 	}
 	data, err := sys.Snapshot()
@@ -127,7 +127,7 @@ func WarmBootColdRun(frames int, m Mode) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return wbFinish(sys)
+	return wbFinish(sys, m)
 }
 
 // WarmBootResume restores the WB workload's snapshot under mode m and
@@ -138,7 +138,7 @@ func WarmBootResume(m Mode, snap []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return wbFinish(sys)
+	return wbFinish(sys, m)
 }
 
 // WB is the warm-boot experiment: a scheduler sweep over the GSM
@@ -156,7 +156,7 @@ func WB(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	total, err := wbFinish(refSys)
+	total, err := wbFinish(refSys, base)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +218,7 @@ func WB(o Options) (*stats.Table, error) {
 			return nil, err
 		}
 		coldStart := time.Now()
-		coldCycles, err := wbFinish(coldSys)
+		coldCycles, err := wbFinish(coldSys, v.mode)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +230,7 @@ func WB(o Options) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		warmCycles, err := wbFinish(warmSys)
+		warmCycles, err := wbFinish(warmSys, v.mode)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+)
+
+// SweepSpec is the POST /v1/jobs request body: a named sweep of
+// simulation legs with optional shared warm-up and verification.
+type SweepSpec struct {
+	// Name labels the job in listings and logs.
+	Name string `json:"name,omitempty"`
+	// Legs are the sweep's simulation legs; each runs independently on
+	// the worker pool.
+	Legs []experiments.LegSpec `json:"legs"`
+	// WarmupCycles, when non-zero, warm-boots every leg: the first
+	// warmup_cycles cycles of each leg's cold run are simulated once per
+	// warm-boot compatibility class (or loaded from the snapshot store),
+	// snapshotted, and every leg resumes from its class snapshot.
+	WarmupCycles uint64 `json:"warmup_cycles,omitempty"`
+	// VerifyCold additionally runs each warm-booted leg cold and
+	// asserts the two results are bit-identical (cycles, instructions,
+	// module stats). A divergence fails the leg — determinism is a
+	// checked invariant, not an assumption.
+	VerifyCold bool `json:"verify_cold,omitempty"`
+	// TimeoutSec bounds the whole job; 0 uses the server default.
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// maxLegs bounds one submission; sweeps beyond this should be split
+// into multiple jobs.
+const maxLegs = 64
+
+// Validate rejects malformed sweeps with field-level errors, dry-building
+// each leg's system config so unbuildable combinations (an L2 over
+// wrapper memories, say) fail the POST with a 400 instead of failing
+// the job later.
+func (s SweepSpec) Validate() error {
+	if len(s.Legs) == 0 {
+		return fmt.Errorf("sweep has no legs")
+	}
+	if len(s.Legs) > maxLegs {
+		return fmt.Errorf("sweep has %d legs, max %d per job", len(s.Legs), maxLegs)
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("timeout_sec %d is negative", s.TimeoutSec)
+	}
+	for i, leg := range s.Legs {
+		if err := leg.Validate(); err != nil {
+			return fmt.Errorf("legs[%d]: %w", i, err)
+		}
+		cfg, err := leg.Config()
+		if err != nil {
+			return fmt.Errorf("legs[%d]: %w", i, err)
+		}
+		if _, err := config.Build(cfg); err != nil {
+			return fmt.Errorf("legs[%d]: %w", i, err)
+		}
+		if s.VerifyCold && leg.VCD {
+			return fmt.Errorf("legs[%d]: vcd and verify_cold are mutually exclusive", i)
+		}
+	}
+	if s.VerifyCold && s.WarmupCycles == 0 {
+		return fmt.Errorf("verify_cold requires warmup_cycles (it compares warm against cold)")
+	}
+	return nil
+}
+
+// Job lifecycle states. queued → running → done | failed | canceled;
+// the three right-hand states are terminal.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Leg result sources.
+const (
+	SourceStore     = "store"     // served from the result store, zero cycles simulated
+	SourceSimulated = "simulated" // simulated cold, from cycle 0
+	SourceWarmBoot  = "warm-boot" // simulated from a stored warm-up snapshot
+)
+
+// LegStatus is one leg's slot in a job view.
+type LegStatus struct {
+	experiments.LegResult
+	// State is queued/running/done/failed/canceled (legs reuse the job
+	// state names).
+	State string `json:"state"`
+	// Source tells where a done leg's result came from.
+	Source string `json:"source,omitempty"`
+	// Verified is set when verify_cold compared this warm leg against
+	// its cold reference and they matched bit for bit.
+	Verified bool   `json:"verified,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Job is one submitted sweep and its progress. All mutable fields are
+// guarded by mu; the HTTP layer reads through View.
+type Job struct {
+	ID   string
+	Spec SweepSpec
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	legs     []LegStatus
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// cancel tears down the job's context; ctx.Err() distinguishes a
+	// DELETE (Cause = errCanceled) from a timeout.
+	cancel context.CancelCauseFunc
+
+	log *slog.Logger
+}
+
+// errCanceled marks user-requested cancellation (DELETE /v1/jobs/{id})
+// as the job context's cancel cause.
+var errCanceled = fmt.Errorf("job canceled by request")
+
+func (j *Job) setState(s string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setLeg publishes leg i's status.
+func (j *Job) setLeg(i int, ls LegStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.legs[i] = ls
+}
+
+// legSnapshot returns a copy of leg i's status.
+func (j *Job) legSnapshot(i int) LegStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.legs[i]
+}
+
+// JobView is the GET /v1/jobs/{id} response body.
+type JobView struct {
+	ID       string      `json:"id"`
+	Name     string      `json:"name,omitempty"`
+	State    string      `json:"state"`
+	Error    string      `json:"error,omitempty"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+	Legs     []LegStatus `json:"legs"`
+}
+
+// View snapshots the job for the HTTP layer.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.ID, Name: j.Spec.Name, State: j.state, Error: j.err,
+		Created: j.created, Legs: append([]LegStatus(nil), j.legs...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

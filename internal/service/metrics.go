@@ -1,0 +1,84 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's operational counters, rendered in
+// Prometheus text exposition format by render (hand-rolled — the repo
+// takes no dependencies). Job-state gauges are computed from the live
+// job table at render time; everything here is monotonic.
+type metrics struct {
+	start time.Time
+
+	jobsSubmitted atomic.Uint64
+	jobsRejected  atomic.Uint64
+
+	// Per-leg outcome counters by source.
+	legsFromStore atomic.Uint64
+	legsSimulated atomic.Uint64
+	legsWarmBoot  atomic.Uint64 // subset of legsSimulated that resumed warm
+	legsFailed    atomic.Uint64
+
+	// simCycles accumulates cycles actually simulated (store hits
+	// contribute nothing); legWallNS the host time spent simulating.
+	// legs/sec and cycles/sec are rates over these and the uptime.
+	simCycles atomic.Uint64
+	legWallNS atomic.Uint64
+
+	warmupsRun atomic.Uint64
+}
+
+// jobStateCounts is a point-in-time census of the job table.
+type jobStateCounts struct {
+	queued, running, done, failed, canceled int
+}
+
+func (m *metrics) render(w io.Writer, states jobStateCounts, queueDepth int, storeHits, storeMisses uint64) {
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP mpsimd_jobs Jobs by lifecycle state.\n# TYPE mpsimd_jobs gauge\n")
+	for _, s := range []struct {
+		state string
+		n     int
+	}{
+		{"queued", states.queued}, {"running", states.running},
+		{"done", states.done}, {"failed", states.failed}, {"canceled", states.canceled},
+	} {
+		fmt.Fprintf(w, "mpsimd_jobs{state=%q} %d\n", s.state, s.n)
+	}
+
+	c("mpsimd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", m.jobsSubmitted.Load())
+	c("mpsimd_jobs_rejected_total", "Submissions rejected before queueing.", m.jobsRejected.Load())
+	g("mpsimd_queue_depth", "Pool tasks waiting for a worker.", queueDepth)
+
+	fmt.Fprintf(w, "# HELP mpsimd_legs_total Finished legs by result source.\n# TYPE mpsimd_legs_total counter\n")
+	fmt.Fprintf(w, "mpsimd_legs_total{source=\"store\"} %d\n", m.legsFromStore.Load())
+	fmt.Fprintf(w, "mpsimd_legs_total{source=\"simulated\"} %d\n", m.legsSimulated.Load())
+	fmt.Fprintf(w, "mpsimd_legs_total{source=\"warm-boot\"} %d\n", m.legsWarmBoot.Load())
+	c("mpsimd_leg_failures_total", "Legs that ended in error (panics included).", m.legsFailed.Load())
+	c("mpsimd_warmups_total", "Warm-up prefixes simulated (snapshot-store misses).", m.warmupsRun.Load())
+
+	c("mpsimd_store_hits_total", "Result-store lookups served from disk.", storeHits)
+	c("mpsimd_store_misses_total", "Result-store lookups that missed (corrupt files included).", storeMisses)
+
+	c("mpsimd_sim_cycles_total", "Simulated cycles across all legs (cache hits add none).", m.simCycles.Load())
+	fmt.Fprintf(w, "# HELP mpsimd_leg_wall_seconds_total Host seconds spent simulating legs.\n# TYPE mpsimd_leg_wall_seconds_total counter\nmpsimd_leg_wall_seconds_total %g\n",
+		float64(m.legWallNS.Load())/1e9)
+
+	up := time.Since(m.start).Seconds()
+	fmt.Fprintf(w, "# HELP mpsimd_uptime_seconds Seconds since the server started.\n# TYPE mpsimd_uptime_seconds gauge\nmpsimd_uptime_seconds %g\n", up)
+	if up > 0 {
+		done := m.legsFromStore.Load() + m.legsSimulated.Load()
+		fmt.Fprintf(w, "# HELP mpsimd_legs_per_second Finished legs per uptime second.\n# TYPE mpsimd_legs_per_second gauge\nmpsimd_legs_per_second %g\n",
+			float64(done)/up)
+	}
+}

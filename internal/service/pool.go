@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Pool is a bounded worker pool: a fixed number of goroutines draining
+// a bounded task queue. Simulation legs run here so that an arbitrary
+// number of concurrent jobs contends for a fixed amount of CPU, and the
+// queue bound turns overload into backpressure at submission time
+// rather than unbounded goroutine growth.
+//
+// Workers isolate panics: a panicking task reports a descriptive error
+// (with its stack) to its waiter and the worker keeps serving. A
+// crashing leg can fail its job; it can never take the server down.
+type Pool struct {
+	tasks chan poolTask
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+type poolTask struct {
+	ctx  context.Context
+	fn   func(context.Context) error
+	done chan<- error
+}
+
+// NewPool starts workers goroutines over a queue of depth queue.
+// workers and queue are clamped to at least 1.
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{tasks: make(chan poolTask, queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Go submits fn and returns a 1-buffered channel that receives its
+// outcome exactly once. If the task's context is canceled before a
+// worker picks it up, the task is skipped and the channel receives the
+// context error; if the pool is closed (or its queue never drains and
+// ctx fires first), likewise. fn always receives the submitting ctx.
+func (p *Pool) Go(ctx context.Context, fn func(context.Context) error) <-chan error {
+	done := make(chan error, 1)
+	t := poolTask{ctx: ctx, fn: fn, done: done}
+	select {
+	case p.tasks <- t:
+	case <-ctx.Done():
+		done <- ctx.Err()
+	}
+	return done
+}
+
+// QueueDepth is the number of submitted tasks no worker has picked up
+// yet (operational metric).
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Close stops the workers after the queued tasks drain and waits for
+// them to exit. Go must not be called after (or concurrently with)
+// Close.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if err := t.ctx.Err(); err != nil {
+			t.done <- err
+			continue
+		}
+		t.done <- p.run(t)
+	}
+}
+
+// run executes one task, converting a panic into an error.
+func (p *Pool) run(t poolTask) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("leg panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return t.fn(t.ctx)
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	var n atomic.Int32
+	var chans []<-chan error
+	for i := 0; i < 10; i++ {
+		chans = append(chans, p.Go(context.Background(), func(context.Context) error {
+			n.Add(1)
+			return nil
+		}))
+	}
+	for _, c := range chans {
+		if err := <-c; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Load() != 10 {
+		t.Fatalf("ran %d tasks, want 10", n.Load())
+	}
+}
+
+func TestPoolPanicIsolation(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	err := <-p.Go(context.Background(), func(context.Context) error {
+		panic("boom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("panic error carries no stack: %v", err)
+	}
+	// The single worker survived the panic and keeps serving.
+	if err := <-p.Go(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("worker dead after panic: %v", err)
+	}
+}
+
+func TestPoolSkipsCanceledTasks(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := <-p.Go(ctx, func(context.Context) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("canceled task still ran")
+	}
+}
+
+// TestPoolConcurrentSubmitCancel hammers the pool with concurrent
+// submitters, half of which cancel mid-flight — the worker-pool shape
+// the race detector must bless (the CI race job runs the whole suite
+// under -race).
+func TestPoolConcurrentSubmitCancel(t *testing.T) {
+	p := NewPool(4, 4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var done atomic.Int32
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if i%3 == 0 {
+				cancel() // canceled before (or racing) pickup
+			}
+			err := <-p.Go(ctx, func(ctx context.Context) error {
+				if i%7 == 0 {
+					panic(fmt.Sprintf("task %d panic", i))
+				}
+				done.Add(1)
+				return ctx.Err()
+			})
+			if i%3 != 0 && i%7 != 0 && err != nil {
+				t.Errorf("task %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if done.Load() == 0 {
+		t.Error("no task ran")
+	}
+}
